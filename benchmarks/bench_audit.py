@@ -1,0 +1,8 @@
+"""EXP-AUDIT bench: privacy-loss audit at worst-case neighbours."""
+
+
+def test_exp_audit_privacy(regenerate):
+    result = regenerate("EXP-AUDIT")
+    rows = {row["mechanism"]: row for row in result.table.rows}
+    assert rows["sjlt+laplace"]["passed"]
+    assert not rows["sjlt+laplace (undercalibrated)"]["passed"]

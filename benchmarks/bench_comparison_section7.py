@@ -1,0 +1,11 @@
+"""EXP-S7-VAR bench: regenerate the Section 7 variance-comparison table."""
+
+
+def test_exp_s7_variance_comparison(regenerate):
+    result = regenerate("EXP-S7-VAR")
+    winners = result.table.column("winner")
+    # shape: the SJLT wins the small-delta end, the iid Gaussian the
+    # large-delta end, and the FJLT-input variant never wins (k < d)
+    assert winners[-1] == "sjlt"
+    assert winners[0] == "iid"
+    assert "fjlt" not in winners

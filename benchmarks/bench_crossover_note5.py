@@ -1,0 +1,8 @@
+"""EXP-N5 bench: regenerate the Note 5 Laplace/Gaussian crossover table."""
+
+
+def test_exp_n5_crossover(regenerate):
+    result = regenerate("EXP-N5")
+    # shape: both noises win somewhere in the delta sweep (a real crossover)
+    optimal = set(result.table.column("optimal"))
+    assert optimal == {"laplace", "gaussian"}

@@ -1,0 +1,39 @@
+"""EXP-DISC bench: discrete noise utility, plus sampler micro-benchmarks."""
+
+import numpy as np
+
+from repro.dp.noise import (
+    DiscreteGaussianNoise,
+    DiscreteLaplaceNoise,
+    GaussianNoise,
+    LaplaceNoise,
+)
+
+
+def test_exp_disc_discrete_noise(regenerate):
+    result = regenerate("EXP-DISC")
+    gaussian_rows = [r for r in result.table.rows if r["pair"] == "gaussian"]
+    assert all(r["m2_ratio"] <= 1.0 + 1e-9 for r in gaussian_rows)
+
+
+def _bench_sampler(benchmark, noise):
+    rng = np.random.default_rng(0)
+    out = benchmark(noise.sample, 4096, rng)
+    assert out.shape == (4096,)
+
+
+def test_sample_laplace(benchmark):
+    _bench_sampler(benchmark, LaplaceNoise(2.0))
+
+
+def test_sample_gaussian(benchmark):
+    _bench_sampler(benchmark, GaussianNoise(2.0))
+
+
+def test_sample_discrete_laplace(benchmark):
+    _bench_sampler(benchmark, DiscreteLaplaceNoise(2.0))
+
+
+def test_sample_discrete_gaussian(benchmark):
+    """Rejection sampling (Canonne et al.): expected O(1) per sample."""
+    _bench_sampler(benchmark, DiscreteGaussianNoise(2.0))

@@ -1,0 +1,40 @@
+"""Theorem 3 item 5 bench: estimation from two sketches costs O(k)."""
+
+import numpy as np
+
+from repro.core.estimators import estimate_sq_distance
+from repro.core.sketch import PrivateSketcher, SketchConfig
+
+
+def _sketch_pair(k: int):
+    sketcher = PrivateSketcher(
+        SketchConfig(input_dim=1024, epsilon=1.0, output_dim=k, sparsity=8)
+    )
+    rng = np.random.default_rng(0)
+    a = sketcher.sketch(rng.standard_normal(1024), noise_rng=1)
+    b = sketcher.sketch(rng.standard_normal(1024), noise_rng=2)
+    return a, b
+
+
+def test_estimate_small_k(benchmark):
+    a, b = _sketch_pair(64)
+    value = benchmark(estimate_sq_distance, a, b)
+    assert np.isfinite(value)
+
+
+def test_estimate_large_k(benchmark):
+    a, b = _sketch_pair(4096)
+    value = benchmark(estimate_sq_distance, a, b)
+    assert np.isfinite(value)
+
+
+def test_serialization_roundtrip_cost(benchmark):
+    from repro.core.sketch import PrivateSketch
+
+    a, _ = _sketch_pair(1024)
+
+    def roundtrip():
+        return PrivateSketch.from_bytes(a.to_bytes())
+
+    restored = benchmark(roundtrip)
+    assert np.allclose(restored.values, a.values)

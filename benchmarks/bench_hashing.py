@@ -1,0 +1,50 @@
+"""Micro-benchmarks for the hashing substrate (the SJLT's inner loop)."""
+
+import numpy as np
+
+from repro.hashing.kwise import KWiseHash, SignHash
+from repro.transforms.hadamard import fwht, hadamard_matrix
+
+_KEYS = np.arange(1 << 14)
+
+
+def test_kwise_hash_throughput(benchmark):
+    h = KWiseHash(8, 1024, rng=0)
+    out = benchmark(h, _KEYS)
+    assert out.shape == _KEYS.shape
+
+
+def test_sign_hash_throughput(benchmark):
+    s = SignHash(8, rng=0)
+    out = benchmark(s, _KEYS)
+    assert set(np.unique(out)) <= {-1, 1}
+
+
+def test_pairwise_vs_8wise_cost(benchmark):
+    """Independence costs one Horner step per degree: measure t=2."""
+    h = KWiseHash(2, 1024, rng=0)
+    out = benchmark(h, _KEYS)
+    assert out.shape == _KEYS.shape
+
+
+def test_fwht_throughput(benchmark):
+    x = np.random.default_rng(0).standard_normal(1 << 14)
+    out = benchmark(fwht, x)
+    assert out.shape == x.shape
+
+
+def test_fwht_beats_dense_multiply(benchmark):
+    """O(d log d) vs O(d^2): the FJLT's speed source, at d = 4096."""
+    import time
+
+    d = 1 << 12
+    x = np.random.default_rng(1).standard_normal(d)
+    out = benchmark(fwht, x)
+    assert out.shape == (d,)
+
+    h = hadamard_matrix(d)
+    start = time.perf_counter()
+    for _ in range(5):
+        h @ x
+    dense = (time.perf_counter() - start) / 5
+    assert benchmark.stats.stats.median < dense

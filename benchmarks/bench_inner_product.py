@@ -1,0 +1,7 @@
+"""EXP-IP bench: inner-product/norm estimation from distance sketches."""
+
+
+def test_exp_inner_product(regenerate):
+    result = regenerate("EXP-IP")
+    # shape: the variance bound covers every geometry regime
+    assert all(result.table.column("within"))

@@ -1,0 +1,8 @@
+"""EXP-JL bench: the (alpha, beta) JL guarantee across all transforms."""
+
+
+def test_exp_jl_distortion(regenerate):
+    result = regenerate("EXP-JL")
+    # shape: every transform's failure rate stays at/below beta (with slack)
+    for row in result.table.rows:
+        assert row["fail_rate"] <= row["beta"] + 0.05

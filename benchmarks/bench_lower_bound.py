@@ -1,0 +1,8 @@
+"""EXP-LB bench: the sqrt(k) additive-error landscape (Section 2.4)."""
+
+
+def test_exp_lb_lower_bound(regenerate):
+    result = regenerate("EXP-LB")
+    # shape: randomized-response error grows with dimension
+    rr = result.table.column("rr_mae")
+    assert rr[-1] > rr[0]

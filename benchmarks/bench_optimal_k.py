@@ -1,0 +1,9 @@
+"""EXP-OPTK bench: the finite variance-minimising output dimension."""
+
+
+def test_exp_optk_finite_optimum(regenerate):
+    result = regenerate("EXP-OPTK")
+    theory = result.table.column("theory_var")
+    # shape: the theoretical curve is not monotone — a real interior optimum
+    assert min(theory) < theory[0]
+    assert min(theory) < theory[-1]

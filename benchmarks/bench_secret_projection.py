@@ -1,0 +1,10 @@
+"""EXP-SECRET bench: Blocki noise-free DP and the Upadhyay sparse attack."""
+
+
+def test_exp_secret_projection(regenerate):
+    result = regenerate("EXP-SECRET")
+    rows = {row["quantity"]: row for row in result.table.rows}
+    # shape: the support attack breaks the sparse secret projection only
+    attack = rows["support-attack advantage"]
+    assert attack["public_sjlt_sketch"] > 0.8  # secret SJLT broken
+    assert abs(attack["secret_gaussian"]) < 0.15  # dense Gaussian safe

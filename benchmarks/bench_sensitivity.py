@@ -1,0 +1,28 @@
+"""EXP-SENS bench: sensitivity distributions, plus the O(dk) init cost
+the SJLT avoids (Section 2.1.1)."""
+
+import numpy as np
+
+from repro.transforms import create_transform, exact_sensitivity
+
+
+def test_exp_sens_sensitivities(regenerate):
+    result = regenerate("EXP-SENS")
+    # shape: SJLT rows are deterministic (std == 0), gaussian/fjlt are not
+    for row in result.table.rows:
+        if row["transform"].startswith("sjlt"):
+            assert row["std"] < 1e-9
+
+
+def test_exact_sensitivity_scan_cost(benchmark):
+    """The O(dk) initialisation Kenthapadi et al. need — measured."""
+    transform = create_transform("gaussian", 4096, 256, seed=0)
+    value = benchmark(exact_sensitivity, transform, 2)
+    assert value > 0
+
+
+def test_closed_form_sensitivity_cost(benchmark):
+    """The SJLT's O(1) alternative."""
+    transform = create_transform("sjlt", 4096, 256, seed=0, sparsity=8)
+    value = benchmark(transform.sensitivity, 1)
+    assert value == np.sqrt(8)

@@ -1,0 +1,49 @@
+"""EXP-S7-TIME bench: the Eq. (5) running-time regimes, plus direct
+per-transform apply micro-benchmarks at a paper-regime size."""
+
+import numpy as np
+import pytest
+
+from repro.transforms import create_transform
+
+_D = 1 << 13
+_K = 768
+_S = 24
+
+
+def test_exp_s7_time_regimes(regenerate):
+    result = regenerate("EXP-S7-TIME")
+    # shape: the FJLT is fastest at the top of the sweep (inside the window)
+    assert result.table.rows[-1]["fastest_dense"] == "fjlt"
+
+
+@pytest.mark.parametrize(
+    "name,kwargs",
+    [("sjlt", {"sparsity": _S}), ("fjlt", {"beta": 0.05})],
+)
+def test_apply_dense_vector(benchmark, name, kwargs):
+    transform = create_transform(name, _D, _K, seed=0, **kwargs)
+    x = np.random.default_rng(0).standard_normal(_D)
+    out = benchmark(transform.apply, x)
+    assert out.shape == (_K,)
+
+
+def test_apply_sparse_vector_sjlt(benchmark):
+    """Theorem 3 item 5: O(s * nnz + k) on sparse inputs."""
+    transform = create_transform("sjlt", _D, _K, seed=0, sparsity=_S, precompute=False)
+    rng = np.random.default_rng(1)
+    idx = rng.choice(_D, 64, replace=False)
+    vals = rng.standard_normal(64)
+    out = benchmark(transform.apply_sparse, idx, vals)
+    assert out.shape == (_K,)
+
+
+def test_transform_construction_sjlt(benchmark):
+    """SJLT construction needs no O(dk) work (hash tables only)."""
+    counter = iter(range(10**9))
+
+    def build():
+        return create_transform("sjlt", _D, _K, seed=next(counter), sparsity=_S)
+
+    transform = benchmark(build)
+    assert transform.output_dim == _K

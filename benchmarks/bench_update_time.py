@@ -1,0 +1,41 @@
+"""EXP-UPD bench: O(s) streaming updates, plus a per-update micro-benchmark."""
+
+import numpy as np
+
+from repro.core.sketch import PrivateSketcher, SketchConfig
+from repro.core.streaming import StreamingSketch
+
+
+def test_exp_upd_streaming(regenerate):
+    result = regenerate("EXP-UPD")
+    assert all(result.table.column("stream_eq_batch"))
+
+
+def test_single_update_cost(benchmark):
+    """One turnstile update on a large sketch — must touch only s coords."""
+    sketcher = PrivateSketcher(
+        SketchConfig(input_dim=1 << 16, epsilon=1.0, output_dim=4096, sparsity=8)
+    )
+    streaming = StreamingSketch(sketcher)
+    rng = np.random.default_rng(0)
+    indices = rng.integers(0, 1 << 16, size=1024)
+
+    state = {"i": 0}
+
+    def one_update():
+        streaming.update(int(indices[state["i"] % 1024]), 1.0)
+        state["i"] += 1
+
+    benchmark(one_update)
+    assert streaming.n_updates > 0
+
+
+def test_release_cost(benchmark):
+    """Release = one noise vector + wrap: O(k)."""
+    sketcher = PrivateSketcher(
+        SketchConfig(input_dim=4096, epsilon=1.0, output_dim=1024, sparsity=8)
+    )
+    streaming = StreamingSketch(sketcher)
+    streaming.update(0, 1.0)
+    sketch = benchmark(streaming.release, 7)
+    assert sketch.values.shape == (1024,)

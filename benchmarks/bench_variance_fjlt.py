@@ -1,0 +1,8 @@
+"""EXP-L8/C1 bench: regenerate the private-FJLT variance table."""
+
+
+def test_exp_l8_c1_private_fjlt(regenerate):
+    result = regenerate("EXP-L8")
+    rows = {row["mode"]: row for row in result.table.rows}
+    # shape: input perturbation pays the factor-d penalty (Lemma 8 vs Cor 1)
+    assert rows["input"]["emp_var"] > rows["output"]["emp_var"]

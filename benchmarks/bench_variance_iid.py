@@ -1,0 +1,8 @@
+"""EXP-T2 bench: regenerate the Theorem 2 variance table (Kenthapadi)."""
+
+
+def test_exp_t2_theorem2_variance(regenerate):
+    result = regenerate("EXP-T2")
+    # shape: empirical/theoretical variance ratios concentrate around 1
+    ratios = result.table.column("ratio")
+    assert all(0.7 < r < 1.35 for r in ratios)

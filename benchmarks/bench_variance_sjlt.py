@@ -1,0 +1,10 @@
+"""EXP-T3 bench: regenerate the Theorem 3 table (the paper's main result)."""
+
+
+def test_exp_t3_private_sjlt(regenerate):
+    result = regenerate("EXP-T3")
+    # shape: every configuration is pure DP and within the Theorem 3 bound
+    assert all(result.table.column("pure_dp"))
+    emp = result.table.column("emp_var")
+    bound = result.table.column("thm3_bound")
+    assert all(e <= 1.5 * b for e, b in zip(emp, bound))

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark file regenerates one paper table/claim (see DESIGN.md's
+per-experiment index) through the ``regenerate`` fixture, which times a
+single full run of the experiment, prints the resulting table, and
+asserts that every shape check reproduced the paper's claim.
+
+Benchmarks run experiments at ``smoke`` scale so the suite stays fast;
+EXPERIMENTS.md records the ``full``-scale numbers produced via
+``python -m repro.experiments all``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Time one experiment run and assert its claims reproduced."""
+
+    def run(experiment_id: str, scale: str = "smoke", seed: int = 0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        failing = [name for name, ok in result.checks.items() if not ok]
+        assert result.passed, f"{experiment_id} failed checks: {failing}"
+        print()
+        print(result.render())
+        return result
+
+    return run

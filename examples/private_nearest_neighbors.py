@@ -1,0 +1,60 @@
+"""Private nearest-neighbour search over a document corpus.
+
+The paper's introduction motivates JL sketches with nearest-neighbour
+search.  Here a set of hospitals each hold a document (a bag-of-words
+histogram of case notes); they publish private sketches once, and a
+researcher finds, for each document, its most similar peer — without
+anyone revealing a document.
+
+Run:  python examples/private_nearest_neighbors.py
+"""
+
+import numpy as np
+
+from repro import PrivateSketcher, SketchConfig, estimate_distance_matrix
+from repro.workloads import make_corpus
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n_docs, vocab = 24, 2048
+
+    corpus = make_corpus(
+        n_docs=n_docs, vocab_size=vocab, doc_length=4000, rng=rng, n_topics=3
+    )
+    print(f"corpus: {n_docs} documents, vocabulary {vocab}, 3 latent topics")
+
+    config = SketchConfig(input_dim=vocab, epsilon=6.0, alpha=0.15, beta=0.05, seed=42)
+    sketcher = PrivateSketcher(config)
+    print(f"sketch: k={sketcher.output_dim}, s={sketcher.sparsity}, {sketcher.guarantee}")
+
+    # Each "hospital" sketches its own document with its own secret noise.
+    sketches = [
+        sketcher.sketch(doc, noise_rng=None, label=f"hospital-{i}")
+        for i, doc in enumerate(corpus.counts)
+    ]
+
+    # The researcher sees only sketches.
+    estimated = estimate_distance_matrix(sketches)
+    np.fill_diagonal(estimated, np.inf)
+    nearest_private = estimated.argmin(axis=1)
+
+    exact = corpus.pairwise_sq_distances()
+    np.fill_diagonal(exact, np.inf)
+    nearest_exact = exact.argmin(axis=1)
+
+    same_topic = corpus.topics[nearest_private] == corpus.topics
+    agree_with_exact = nearest_private == nearest_exact
+    print("\ndoc  topic  private-NN  exact-NN  same-topic?")
+    for i in range(n_docs):
+        print(
+            f"{i:3d}  {corpus.topics[i]:5d}  {nearest_private[i]:10d}  "
+            f"{nearest_exact[i]:8d}  {'yes' if same_topic[i] else 'no'}"
+        )
+    print(f"\nprivate NN matches exact NN:   {agree_with_exact.mean():.0%}")
+    print(f"private NN shares query topic: {same_topic.mean():.0%}")
+    print("(privacy costs some precision; topic-level structure survives)")
+
+
+if __name__ == "__main__":
+    main()

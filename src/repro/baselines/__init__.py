@@ -1,0 +1,7 @@
+"""Baselines the paper compares against (all built from scratch here)."""
+
+from repro.baselines.kenthapadi import KenthapadiSketcher
+from repro.baselines.mir import CroppedSecondMoment
+from repro.baselines.nonprivate import NonPrivateJL
+
+__all__ = ["CroppedSecondMoment", "KenthapadiSketcher", "NonPrivateJL"]

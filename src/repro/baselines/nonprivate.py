@@ -1,0 +1,30 @@
+"""Non-private JL distance estimation (the no-noise reference).
+
+Used by the experiments to separate JL distortion from noise-induced
+error: the private estimators' variance decomposes as
+``Var[||Sz||^2] + noise terms`` (Lemma 3), and this baseline measures
+the first summand directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms import create_transform
+from repro.utils.validation import as_float_vector
+
+
+class NonPrivateJL:
+    """Plain JL sketching: ``||Sx - Sy||^2`` estimates ``||x - y||^2``."""
+
+    def __init__(self, transform_name: str, input_dim: int, output_dim: int, seed: int, **kwargs):
+        self.transform = create_transform(
+            transform_name, input_dim, output_dim, seed=seed, **kwargs
+        )
+
+    def sketch(self, x) -> np.ndarray:
+        return self.transform.apply(as_float_vector(x, "x"))
+
+    def estimate_sq_distance(self, sketch_x: np.ndarray, sketch_y: np.ndarray) -> float:
+        diff = np.asarray(sketch_x) - np.asarray(sketch_y)
+        return float(np.dot(diff, diff))

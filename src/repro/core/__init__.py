@@ -1,0 +1,45 @@
+"""Core library: the paper's primary contribution.
+
+:class:`SketchConfig` + :class:`PrivateSketcher` implement the private
+JL sketches (Theorem 3 and friends); :mod:`repro.core.estimators` holds
+the analyst-side estimators; :mod:`repro.core.variance` the theoretical
+variance formulas; :mod:`repro.core.streaming` and
+:mod:`repro.core.protocol` the streaming and multi-party layers.
+"""
+
+from repro.core.ensemble import EnsembleSketch, EnsembleSketcher
+from repro.core.knn import PrivateNeighborIndex
+from repro.core.estimators import (
+    estimate_distance,
+    estimate_distance_matrix,
+    estimate_inner_product,
+    estimate_sq_distance,
+    estimate_sq_norm,
+)
+from repro.core.mechanism_choice import MechanismChoice, build_mechanism, choose_noise_name
+from repro.core.protocol import Party, SketchingSession
+from repro.core.sketch import PrivateSketch, PrivateSketcher, SketchConfig, rebuild_noise
+from repro.core.streaming import StreamingSketch
+from repro.core import variance
+
+__all__ = [
+    "EnsembleSketch",
+    "EnsembleSketcher",
+    "MechanismChoice",
+    "Party",
+    "PrivateNeighborIndex",
+    "PrivateSketch",
+    "PrivateSketcher",
+    "SketchConfig",
+    "SketchingSession",
+    "StreamingSketch",
+    "build_mechanism",
+    "choose_noise_name",
+    "estimate_distance",
+    "estimate_distance_matrix",
+    "estimate_inner_product",
+    "estimate_sq_distance",
+    "estimate_sq_norm",
+    "rebuild_noise",
+    "variance",
+]

@@ -1,0 +1,87 @@
+"""Estimators over released sketches (the analyst side of the protocol).
+
+All estimators are pure functions of :class:`PrivateSketch` objects —
+they need no access to the sketcher, the transform or the data, which is
+the whole point of the distributed setting: anyone can estimate from
+published sketches.
+
+* squared distance: ``||u - v||^2 - 2 * m * E[eta^2]`` where ``m`` is
+  the number of noisy coordinates (``k`` for output perturbation, ``d``
+  for input perturbation) — unbiased by Lemma 3 / Lemma 8;
+* squared norm: ``||u||^2 - m * E[eta^2]`` — unbiased by the same
+  argument with a single noise vector;
+* inner product: ``<u, v>`` — already unbiased because the transform
+  satisfies ``E[S^T S] = I`` and the noise is independent and zero-mean.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def check_compatible(a, b) -> None:
+    """Ensure two sketches came from the same public configuration."""
+    if a.config_digest != b.config_digest:
+        raise ValueError(
+            "sketches come from different configurations "
+            f"({a.config_digest} vs {b.config_digest}); estimates would be meaningless"
+        )
+    if a.values.size != b.values.size:
+        raise ValueError(f"sketch sizes differ: {a.values.size} vs {b.values.size}")
+
+
+def noise_coordinates(sketch) -> int:
+    """Number of coordinates carrying noise: ``d`` for input perturbation."""
+    return sketch.input_dim if sketch.perturbation == "input" else sketch.output_dim
+
+
+def estimate_sq_distance(a, b) -> float:
+    """Unbiased squared-Euclidean-distance estimator (Lemma 3 / Lemma 8)."""
+    check_compatible(a, b)
+    diff = a.values - b.values
+    correction = 2.0 * noise_coordinates(a) * a.noise_second_moment
+    return float(np.dot(diff, diff)) - correction
+
+
+def estimate_distance(a, b) -> float:
+    """Distance estimate ``sqrt(max(estimate, 0))``.
+
+    The square root introduces (vanishing) bias; use
+    :func:`estimate_sq_distance` when unbiasedness matters.
+    """
+    return math.sqrt(max(estimate_sq_distance(a, b), 0.0))
+
+
+def estimate_sq_norm(sketch) -> float:
+    """Unbiased squared-norm estimator from a single sketch."""
+    values = sketch.values
+    correction = noise_coordinates(sketch) * sketch.noise_second_moment
+    return float(np.dot(values, values)) - correction
+
+
+def estimate_inner_product(a, b) -> float:
+    """Unbiased inner-product estimator ``<u, v>``.
+
+    Unbiased without any correction: the two sketches carry independent
+    noise, so cross terms vanish in expectation.
+    """
+    check_compatible(a, b)
+    return float(np.dot(a.values, b.values))
+
+
+def estimate_distance_matrix(sketches) -> np.ndarray:
+    """All-pairs squared-distance estimates for a list of sketches.
+
+    Entry ``(i, j)`` is the unbiased estimate between sketches ``i`` and
+    ``j``; the diagonal is zero by convention.
+    """
+    sketches = list(sketches)
+    n = len(sketches)
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            est = estimate_sq_distance(sketches[i], sketches[j])
+            out[i, j] = out[j, i] = est
+    return out

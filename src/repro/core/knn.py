@@ -1,0 +1,69 @@
+"""Nearest-neighbour index over published private sketches.
+
+The paper's introduction motivates the sketches with approximate
+nearest-neighbour search; this module provides the adoption-grade API:
+collect published :class:`~repro.core.sketch.PrivateSketch` objects and
+answer top-``m`` / radius queries with the unbiased distance estimator.
+
+The index never touches raw data — it is an *analyst-side* structure
+built entirely from releases, so adding a sketch spends no additional
+privacy budget beyond the release itself.
+"""
+
+from __future__ import annotations
+
+from repro.core import estimators
+from repro.core.sketch import PrivateSketch
+
+
+class PrivateNeighborIndex:
+    """A flat index of private sketches supporting distance queries."""
+
+    def __init__(self) -> None:
+        self._sketches: list[PrivateSketch] = []
+        self._labels: list[object] = []
+
+    def add(self, sketch: PrivateSketch, label=None) -> None:
+        """Register a published sketch (label defaults to its position)."""
+        if self._sketches:
+            estimators.check_compatible(self._sketches[0], sketch)
+        self._labels.append(len(self._sketches) if label is None else label)
+        self._sketches.append(sketch)
+
+    def __len__(self) -> int:
+        return len(self._sketches)
+
+    @property
+    def labels(self) -> list:
+        return list(self._labels)
+
+    def query(self, sketch: PrivateSketch, top: int = 1) -> list[tuple[object, float]]:
+        """The ``top`` entries closest to ``sketch``.
+
+        Returns ``(label, estimated squared distance)`` pairs in
+        ascending distance order.  Estimates can be negative (the
+        unbiased correction may overshoot at tiny distances); ordering
+        is still meaningful because the correction is a constant shift.
+        """
+        if not self._sketches:
+            raise ValueError("the index is empty")
+        if top < 1:
+            raise ValueError(f"top must be >= 1, got {top}")
+        scored = [
+            (label, estimators.estimate_sq_distance(entry, sketch))
+            for label, entry in zip(self._labels, self._sketches)
+        ]
+        scored.sort(key=lambda pair: pair[1])
+        return scored[:top]
+
+    def query_radius(self, sketch: PrivateSketch, radius_sq: float) -> list[tuple[object, float]]:
+        """All entries with estimated squared distance at most ``radius_sq``."""
+        if radius_sq < 0:
+            raise ValueError(f"radius_sq must be >= 0, got {radius_sq}")
+        hits = [
+            (label, estimate)
+            for label, entry in zip(self._labels, self._sketches)
+            if (estimate := estimators.estimate_sq_distance(entry, sketch)) <= radius_sq
+        ]
+        hits.sort(key=lambda pair: pair[1])
+        return hits

@@ -1,0 +1,94 @@
+"""Note 5's mechanism selection rule.
+
+Given the transform's sensitivities and the target ``(epsilon, delta)``,
+choose the noise family minimising the estimator variance:
+
+* ``delta = 0`` forces Laplace (only the Laplace mechanism delivers
+  pure DP);
+* otherwise Laplace wins iff ``Delta_1 < Delta_2 sqrt(ln(1/delta))``,
+  equivalently ``delta < exp(-Delta_1^2 / Delta_2^2)`` (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dp.mechanisms import (
+    AdditiveMechanism,
+    discrete_gaussian_mechanism,
+    discrete_laplace_mechanism,
+    gaussian_mechanism,
+    laplace_mechanism,
+)
+from repro.theory.bounds import laplace_beats_gaussian_threshold
+from repro.utils.validation import check_positive, check_probability
+
+#: Noise families the sketcher understands.
+NOISE_CHOICES = ("auto", "laplace", "gaussian", "discrete_laplace", "discrete_gaussian")
+
+
+@dataclass(frozen=True)
+class MechanismChoice:
+    """The outcome of the Note 5 rule, with its reasoning captured."""
+
+    noise_name: str
+    threshold_delta: float
+    reason: str
+
+
+def choose_noise_name(delta1: float, delta2: float, epsilon: float, delta: float) -> MechanismChoice:
+    """Apply Note 5: pick ``laplace`` or ``gaussian``."""
+    check_positive(delta1, "delta1")
+    check_positive(delta2, "delta2")
+    check_positive(epsilon, "epsilon")
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    threshold = laplace_beats_gaussian_threshold(delta1, delta2)
+    if delta == 0.0:
+        return MechanismChoice(
+            "laplace", threshold, "delta = 0 requires pure DP; only Laplace delivers it"
+        )
+    delta = check_probability(delta, "delta")
+    if delta < threshold:
+        return MechanismChoice(
+            "laplace",
+            threshold,
+            f"delta = {delta:.3g} < exp(-Delta1^2/Delta2^2) = {threshold:.3g}: "
+            "Laplace variance is lower (Eq. 3)",
+        )
+    return MechanismChoice(
+        "gaussian",
+        threshold,
+        f"delta = {delta:.3g} >= exp(-Delta1^2/Delta2^2) = {threshold:.3g}: "
+        "Gaussian variance is lower (Eq. 3)",
+    )
+
+
+def build_mechanism(
+    noise_name: str,
+    delta1: float,
+    delta2: float,
+    epsilon: float,
+    delta: float,
+    analytic_gaussian: bool = False,
+) -> AdditiveMechanism:
+    """Instantiate the calibrated mechanism for a resolved noise name."""
+    if noise_name == "laplace":
+        return laplace_mechanism(delta1, epsilon)
+    if noise_name == "discrete_laplace":
+        return discrete_laplace_mechanism(delta1, epsilon)
+    if noise_name == "gaussian":
+        _require_delta(noise_name, delta)
+        return gaussian_mechanism(delta2, epsilon, delta, analytic=analytic_gaussian)
+    if noise_name == "discrete_gaussian":
+        _require_delta(noise_name, delta)
+        return discrete_gaussian_mechanism(delta2, epsilon, delta, analytic=True)
+    raise ValueError(f"unknown noise {noise_name!r}; choose from {NOISE_CHOICES}")
+
+
+def _require_delta(noise_name: str, delta: float) -> None:
+    if delta <= 0:
+        raise ValueError(
+            f"{noise_name} noise provides only approximate DP; set delta > 0 "
+            "or use laplace/discrete_laplace for pure DP"
+        )

@@ -1,0 +1,86 @@
+"""The distributed sketching protocol.
+
+Section 2 of the paper: data is split among parties who may never be
+online simultaneously.  All parties share the *public* transform seed
+(so their projections agree), each keeps its noise *secret*, and each
+release is recorded against the party's privacy budget.
+
+``SketchingSession`` is the coordination object: construct it from one
+:class:`~repro.core.sketch.SketchConfig`, hand each data owner a
+:class:`Party`, and let anyone estimate from the published sketches.
+"""
+
+from __future__ import annotations
+
+from repro.core.sketch import PrivateSketch, PrivateSketcher, SketchConfig
+from repro.core.streaming import StreamingSketch
+from repro.core import estimators
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.mechanisms import PrivacyGuarantee
+from repro.hashing import prg
+
+
+class Party:
+    """One data owner: secret noise seed plus a privacy accountant."""
+
+    def __init__(self, session: "SketchingSession", name: str, noise_seed: int | None) -> None:
+        self._session = session
+        self.name = name
+        self._noise_seed = prg.fresh_seed() if noise_seed is None else int(noise_seed)
+        self._release_counter = 0
+        self.accountant = PrivacyAccountant(budget=session.budget)
+
+    def release(self, x, label: str = "") -> PrivateSketch:
+        """Sketch and publish ``x``, spending privacy budget."""
+        sketcher = self._session.sketcher
+        self.accountant.spend(sketcher.guarantee, label or f"{self.name}:{self._release_counter}")
+        rng = prg.derive_rng(self._noise_seed, "party-noise", self.name, self._release_counter)
+        self._release_counter += 1
+        return sketcher.sketch(x, noise_rng=rng, label=label or self.name)
+
+    def release_stream(self, stream, label: str = "") -> PrivateSketch:
+        """Consume a ``(index, delta)`` stream and publish one sketch."""
+        sketcher = self._session.sketcher
+        streaming = StreamingSketch(sketcher)
+        streaming.consume(stream)
+        self.accountant.spend(sketcher.guarantee, label or f"{self.name}:{self._release_counter}")
+        rng = prg.derive_rng(self._noise_seed, "party-noise", self.name, self._release_counter)
+        self._release_counter += 1
+        return streaming.release(noise_rng=rng, label=label or self.name)
+
+    def spent(self) -> PrivacyGuarantee:
+        """Total budget spent so far (basic composition)."""
+        return self.accountant.total_basic()
+
+
+class SketchingSession:
+    """Shared public configuration binding a set of parties together."""
+
+    def __init__(self, config: SketchConfig, budget: PrivacyGuarantee | None = None) -> None:
+        self.config = config
+        self.budget = budget
+        self.sketcher = PrivateSketcher(config)
+        self.parties: dict[str, Party] = {}
+
+    def create_party(self, name: str, noise_seed: int | None = None) -> Party:
+        """Register a data owner; ``noise_seed`` stays secret to them."""
+        if name in self.parties:
+            raise ValueError(f"party {name!r} already exists")
+        party = Party(self, name, noise_seed)
+        self.parties[name] = party
+        return party
+
+    # Estimation requires only published sketches, so these simply proxy
+    # the stateless estimator functions for convenience.
+
+    def estimate_sq_distance(self, a: PrivateSketch, b: PrivateSketch) -> float:
+        return estimators.estimate_sq_distance(a, b)
+
+    def estimate_distance(self, a: PrivateSketch, b: PrivateSketch) -> float:
+        return estimators.estimate_distance(a, b)
+
+    def estimate_inner_product(self, a: PrivateSketch, b: PrivateSketch) -> float:
+        return estimators.estimate_inner_product(a, b)
+
+    def estimate_sq_norm(self, sketch: PrivateSketch) -> float:
+        return estimators.estimate_sq_norm(sketch)

@@ -1,0 +1,64 @@
+"""Differential-privacy substrate: noise, mechanisms, accounting, auditing."""
+
+from repro.dp.accountant import BudgetExceededError, PrivacyAccountant, PrivacyEvent
+from repro.dp.audit import AuditResult, audit_mechanism, delta_at_epsilon, privacy_loss_samples
+from repro.dp.mechanisms import (
+    AdditiveMechanism,
+    PrivacyGuarantee,
+    SnappingMechanism,
+    analytic_gaussian_sigma,
+    classical_gaussian_sigma,
+    discrete_gaussian_mechanism,
+    discrete_laplace_mechanism,
+    gaussian_mechanism,
+    laplace_mechanism,
+)
+from repro.dp.noise import (
+    NOISE_DISTRIBUTIONS,
+    DiscreteGaussianNoise,
+    DiscreteLaplaceNoise,
+    GaussianNoise,
+    LaplaceNoise,
+    NoiseDistribution,
+    noise_from_spec,
+)
+from repro.dp.randomized_response import RandomizedResponse
+from repro.dp.sensitivity import (
+    SensitivityProfile,
+    exact_sensitivity,
+    is_neighboring,
+    sensitivity_profile,
+    worst_case_neighbors,
+)
+
+__all__ = [
+    "NOISE_DISTRIBUTIONS",
+    "AdditiveMechanism",
+    "AuditResult",
+    "BudgetExceededError",
+    "DiscreteGaussianNoise",
+    "DiscreteLaplaceNoise",
+    "GaussianNoise",
+    "LaplaceNoise",
+    "NoiseDistribution",
+    "PrivacyAccountant",
+    "PrivacyEvent",
+    "PrivacyGuarantee",
+    "RandomizedResponse",
+    "SensitivityProfile",
+    "SnappingMechanism",
+    "analytic_gaussian_sigma",
+    "audit_mechanism",
+    "classical_gaussian_sigma",
+    "delta_at_epsilon",
+    "discrete_gaussian_mechanism",
+    "discrete_laplace_mechanism",
+    "exact_sensitivity",
+    "gaussian_mechanism",
+    "is_neighboring",
+    "laplace_mechanism",
+    "noise_from_spec",
+    "privacy_loss_samples",
+    "sensitivity_profile",
+    "worst_case_neighbors",
+]

@@ -1,0 +1,117 @@
+"""Privacy budget accounting across sketch releases.
+
+Each party in the distributed protocol may release several sketches
+(e.g. one per epoch of a data stream); composition theorems bound the
+total privacy loss.  We implement basic composition and the advanced
+composition theorem (Dwork & Roth, Theorem 3.20, in its heterogeneous
+form), which is all the paper's setting requires.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.dp.mechanisms import PrivacyGuarantee
+from repro.utils.validation import check_probability
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a release would exceed the configured privacy budget."""
+
+
+@dataclass(frozen=True)
+class PrivacyEvent:
+    """One recorded release: a label plus its stand-alone guarantee."""
+
+    label: str
+    guarantee: PrivacyGuarantee
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks releases and reports composed ``(epsilon, delta)`` totals.
+
+    Parameters
+    ----------
+    budget:
+        Optional hard cap; :meth:`spend` raises
+        :class:`BudgetExceededError` when basic composition would pass
+        it.  ``None`` means unlimited (tracking only).
+    """
+
+    budget: PrivacyGuarantee | None = None
+    events: list[PrivacyEvent] = field(default_factory=list)
+
+    def spend(self, guarantee: PrivacyGuarantee, label: str = "release") -> PrivacyEvent:
+        """Record a release, enforcing the budget under basic composition."""
+        event = PrivacyEvent(label, guarantee)
+        if self.budget is not None:
+            total = self._basic_after(event)
+            if total.epsilon > self.budget.epsilon + 1e-12 or total.delta > self.budget.delta + 1e-15:
+                raise BudgetExceededError(
+                    f"release {label!r} ({guarantee}) would exceed budget "
+                    f"{self.budget} (already spent {self.total_basic()})"
+                )
+        self.events.append(event)
+        return event
+
+    def _basic_after(self, event: PrivacyEvent) -> PrivacyGuarantee:
+        eps = sum(e.guarantee.epsilon for e in self.events) + event.guarantee.epsilon
+        delta = sum(e.guarantee.delta for e in self.events) + event.guarantee.delta
+        return PrivacyGuarantee(eps, delta)
+
+    def total_basic(self) -> PrivacyGuarantee:
+        """Basic sequential composition: epsilons and deltas add."""
+        if not self.events:
+            raise ValueError("no releases recorded yet")
+        eps = sum(e.guarantee.epsilon for e in self.events)
+        delta = sum(e.guarantee.delta for e in self.events)
+        return PrivacyGuarantee(eps, delta)
+
+    def total_advanced(self, delta_slack: float) -> PrivacyGuarantee:
+        """Advanced composition with extra failure probability ``delta_slack``.
+
+        Heterogeneous form:
+        ``eps' = sqrt(2 ln(1/delta') * sum eps_i^2) + sum eps_i (e^eps_i - 1)``,
+        ``delta' = delta_slack + sum delta_i``.
+        """
+        if not self.events:
+            raise ValueError("no releases recorded yet")
+        delta_slack = check_probability(delta_slack, "delta_slack")
+        sum_sq = sum(e.guarantee.epsilon**2 for e in self.events)
+        linear = sum(
+            e.guarantee.epsilon * (math.exp(e.guarantee.epsilon) - 1.0) for e in self.events
+        )
+        eps = math.sqrt(2.0 * math.log(1.0 / delta_slack) * sum_sq) + linear
+        delta = delta_slack + sum(e.guarantee.delta for e in self.events)
+        return PrivacyGuarantee(eps, delta)
+
+    def best_total(self, delta_slack: float = 0.0) -> PrivacyGuarantee:
+        """The tighter of basic and advanced composition.
+
+        With ``delta_slack == 0`` only basic composition is available
+        (advanced composition inherently spends extra delta).
+        """
+        basic = self.total_basic()
+        if delta_slack <= 0.0:
+            return basic
+        advanced = self.total_advanced(delta_slack)
+        return advanced if advanced.epsilon < basic.epsilon else basic
+
+    @property
+    def n_releases(self) -> int:
+        return len(self.events)
+
+    def remaining(self) -> PrivacyGuarantee | None:
+        """Budget left under basic composition (``None`` if unlimited)."""
+        if self.budget is None:
+            return None
+        if not self.events:
+            return self.budget
+        spent = self.total_basic()
+        eps_left = max(self.budget.epsilon - spent.epsilon, 0.0)
+        delta_left = max(self.budget.delta - spent.delta, 0.0)
+        if eps_left == 0.0:
+            raise BudgetExceededError("privacy budget fully spent")
+        return PrivacyGuarantee(eps_left, delta_left)

@@ -1,0 +1,261 @@
+"""Zero-mean noise distributions with exact second and fourth moments.
+
+The generic estimator of Lemma 3 needs exactly two numbers from the
+noise distribution ``D``: ``E[eta^2]`` (for the bias correction) and
+``E[eta^4]`` (for the variance).  Every distribution here exposes both
+in closed form — including the discrete alternatives from Section 2.3.1
+(Mironov's floating-point caveat; Canonne-Kamath-Steinke's discrete
+Gaussian) whose moments we evaluate by exact series summation.
+
+Each distribution also exposes its log-density so the white-box privacy
+audit (:mod:`repro.dp.audit`) can compute privacy-loss samples.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from functools import cached_property
+
+import numpy as np
+
+from repro.theory.moments import (
+    two_sided_geometric_fourth_moment,
+    two_sided_geometric_second_moment,
+)
+from repro.utils.validation import check_positive
+
+
+class NoiseDistribution(ABC):
+    """A zero-mean, symmetric noise distribution over the reals (or integers)."""
+
+    #: Short identifier used in tables and serialized sketches.
+    name: str = "abstract"
+
+    @abstractmethod
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` i.i.d. samples."""
+
+    @property
+    @abstractmethod
+    def second_moment(self) -> float:
+        """``E[eta^2]`` — the estimator's bias-correction constant."""
+
+    @property
+    @abstractmethod
+    def fourth_moment(self) -> float:
+        """``E[eta^4]`` — enters the estimator's variance (Lemma 3)."""
+
+    @abstractmethod
+    def log_density(self, values: np.ndarray) -> np.ndarray:
+        """Log of the density (or pmf) at ``values``."""
+
+    @property
+    def variance(self) -> float:
+        """Alias for :attr:`second_moment` (the mean is zero)."""
+        return self.second_moment
+
+    def noise_variance_term(self, k: int) -> float:
+        """The additive variance the noise contributes to ``E_gen`` at
+        distance zero: ``2k E[eta^4] + 2k E[eta^2]^2`` (Lemma 3)."""
+        return 2.0 * k * (self.fourth_moment + self.second_moment**2)
+
+    def spec(self) -> dict:
+        """A JSON-serialisable description (for sketch serialization)."""
+        return {"name": self.name, **self._params()}
+
+    @abstractmethod
+    def _params(self) -> dict:
+        """Distribution parameters for :meth:`spec`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = ", ".join(f"{k}={v:.6g}" for k, v in self._params().items())
+        return f"{type(self).__name__}({params})"
+
+
+class LaplaceNoise(NoiseDistribution):
+    """``Lap(scale)``: the paper's choice for pure epsilon-DP (Lemma 1).
+
+    Note 4 moments: ``E[eta^2] = 2 b^2``, ``E[eta^4] = 24 b^4``.
+    """
+
+    name = "laplace"
+
+    def __init__(self, scale: float) -> None:
+        self.scale = check_positive(scale, "scale")
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.laplace(0.0, self.scale, size=size)
+
+    @property
+    def second_moment(self) -> float:
+        return 2.0 * self.scale**2
+
+    @property
+    def fourth_moment(self) -> float:
+        return 24.0 * self.scale**4
+
+    def log_density(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return -np.abs(values) / self.scale - math.log(2.0 * self.scale)
+
+    def _params(self) -> dict:
+        return {"scale": self.scale}
+
+
+class GaussianNoise(NoiseDistribution):
+    """``N(0, sigma^2)``: the Kenthapadi et al. choice ((eps, delta)-DP).
+
+    Note 4 moments: ``E[eta^2] = sigma^2``, ``E[eta^4] = 3 sigma^4``.
+    """
+
+    name = "gaussian"
+
+    def __init__(self, sigma: float) -> None:
+        self.sigma = check_positive(sigma, "sigma")
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, self.sigma, size=size)
+
+    @property
+    def second_moment(self) -> float:
+        return self.sigma**2
+
+    @property
+    def fourth_moment(self) -> float:
+        return 3.0 * self.sigma**4
+
+    def log_density(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return -(values**2) / (2.0 * self.sigma**2) - 0.5 * math.log(
+            2.0 * math.pi * self.sigma**2
+        )
+
+    def _params(self) -> dict:
+        return {"sigma": self.sigma}
+
+
+class DiscreteLaplaceNoise(NoiseDistribution):
+    """Two-sided geometric on the integers: ``P[X=z] ∝ exp(-|z|/scale)``.
+
+    The discrete analogue of ``Lap(scale)`` discussed in Section 2.3.1;
+    sampling is exact (difference of two geometrics) and immune to the
+    floating-point attack of Mironov (2012).
+    """
+
+    name = "discrete_laplace"
+
+    def __init__(self, scale: float) -> None:
+        self.scale = check_positive(scale, "scale")
+
+    @property
+    def ratio(self) -> float:
+        """The geometric ratio ``q = exp(-1/scale)``."""
+        return math.exp(-1.0 / self.scale)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        success = 1.0 - self.ratio
+        plus = rng.geometric(success, size=size) - 1
+        minus = rng.geometric(success, size=size) - 1
+        return (plus - minus).astype(np.float64)
+
+    @property
+    def second_moment(self) -> float:
+        return two_sided_geometric_second_moment(self.ratio)
+
+    @property
+    def fourth_moment(self) -> float:
+        return two_sided_geometric_fourth_moment(self.ratio)
+
+    def log_density(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if not np.allclose(values, np.round(values)):
+            raise ValueError("discrete Laplace pmf is supported on the integers")
+        q = self.ratio
+        return np.abs(values) * math.log(q) + math.log((1.0 - q) / (1.0 + q))
+
+    def _params(self) -> dict:
+        return {"scale": self.scale}
+
+
+class DiscreteGaussianNoise(NoiseDistribution):
+    """The discrete Gaussian ``N_Z(0, sigma^2)`` of Canonne, Kamath & Steinke.
+
+    ``P[X=z] ∝ exp(-z^2 / (2 sigma^2))`` on the integers.  Sampled by
+    their exact rejection scheme from a discrete Laplace envelope; its
+    variance is *at most* ``sigma^2`` (their Corollary 9 — checked in
+    EXP-DISC), so utility never degrades versus the continuous Gaussian.
+
+    Moments have no elementary closed form; we evaluate the defining
+    series to machine precision (the summand decays like ``e^-z^2``).
+    """
+
+    name = "discrete_gaussian"
+
+    def __init__(self, sigma: float) -> None:
+        self.sigma = check_positive(sigma, "sigma")
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        t = math.floor(self.sigma) + 1
+        envelope = DiscreteLaplaceNoise(float(t))
+        sigma_sq = self.sigma**2
+        out = np.empty(size, dtype=np.float64)
+        filled = 0
+        while filled < size:
+            batch = max(2 * (size - filled), 16)
+            candidate = envelope.sample(batch, rng)
+            exponent = -((np.abs(candidate) - sigma_sq / t) ** 2) / (2.0 * sigma_sq)
+            accepted = candidate[rng.random(batch) < np.exp(exponent)]
+            take = min(accepted.size, size - filled)
+            out[filled : filled + take] = accepted[:take]
+            filled += take
+        return out
+
+    @cached_property
+    def _series(self) -> tuple[float, float, float]:
+        """(normaliser, E[X^2], E[X^4]) by exact summation."""
+        radius = max(30, int(math.ceil(12.0 * self.sigma)))
+        z = np.arange(-radius, radius + 1, dtype=np.float64)
+        weights = np.exp(-(z**2) / (2.0 * self.sigma**2))
+        total = float(weights.sum())
+        m2 = float((z**2 * weights).sum() / total)
+        m4 = float((z**4 * weights).sum() / total)
+        return total, m2, m4
+
+    @property
+    def second_moment(self) -> float:
+        return self._series[1]
+
+    @property
+    def fourth_moment(self) -> float:
+        return self._series[2]
+
+    def log_density(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if not np.allclose(values, np.round(values)):
+            raise ValueError("discrete Gaussian pmf is supported on the integers")
+        normaliser = self._series[0]
+        return -(values**2) / (2.0 * self.sigma**2) - math.log(normaliser)
+
+    def _params(self) -> dict:
+        return {"sigma": self.sigma}
+
+
+#: Registry used by sketch (de)serialization.
+NOISE_DISTRIBUTIONS = {
+    "laplace": LaplaceNoise,
+    "gaussian": GaussianNoise,
+    "discrete_laplace": DiscreteLaplaceNoise,
+    "discrete_gaussian": DiscreteGaussianNoise,
+}
+
+
+def noise_from_spec(spec: dict) -> NoiseDistribution:
+    """Rebuild a noise distribution from :meth:`NoiseDistribution.spec`."""
+    spec = dict(spec)
+    name = spec.pop("name")
+    try:
+        cls = NOISE_DISTRIBUTIONS[name]
+    except KeyError:
+        raise ValueError(f"unknown noise distribution {name!r}") from None
+    return cls(**spec)

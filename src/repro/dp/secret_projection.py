@@ -1,0 +1,190 @@
+"""Secret-projection privacy (Blocki et al. 2012) and its limits.
+
+Section 2.3 of the paper: if the projection matrix is kept *secret*,
+the i.i.d. Gaussian JL transform itself preserves differential privacy
+— no additive noise at all, so estimates enjoy the raw JL accuracy.
+Two caveats the paper stresses, both reproduced here:
+
+* the trick needs the input to be bounded away from zero
+  (``||x||_2 >= w``) — Blocki et al. regularise singular values for the
+  same reason; and it is *unattainable in the distributed setting*,
+  where the matrix must be public for parties to sketch independently;
+* Upadhyay (2014) proved the trick **fails for sparse projections**:
+  the sparsity pattern of ``Sx`` leaks the input's support.  The
+  :func:`sparsity_attack` distinguisher makes that concrete.
+
+For a secret i.i.d. ``N(0, 1/k)`` matrix, the released vector's
+marginal distribution is exactly ``N(0, ||x||^2/k I_k)`` — the
+mechanism is equivalent to publishing ``k`` Gaussians whose variance
+carries the (private) norm.  All privacy arithmetic below analyses that
+exact form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dp.mechanisms import PrivacyGuarantee
+from repro.hashing import prg
+from repro.utils.validation import as_float_vector, check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class SecretProjectionRelease:
+    """One secret-projection release ``Sx`` (the matrix is discarded)."""
+
+    values: np.ndarray
+
+    def estimate_sq_norm(self) -> float:
+        """Unbiased ``||x||^2`` estimate: ``E||Sx||^2 = ||x||^2``.
+
+        Variance ``2||x||^4/k`` — the JL-lemma accuracy with *zero*
+        additive noise, which is Blocki et al.'s selling point.
+        """
+        return float(self.values @ self.values)
+
+
+class SecretGaussianProjection:
+    """Noise-free DP release of ``Sx`` with a secret Gaussian ``S``.
+
+    Parameters
+    ----------
+    output_dim:
+        Sketch width ``k``.
+    norm_floor:
+        The promise ``||x||_2 >= norm_floor`` (the ``w`` regulariser of
+        Blocki et al.).  Inputs violating it are rejected — releasing
+        them would void the guarantee.
+    delta:
+        Target failure probability; epsilon is then determined by
+        ``k`` and ``norm_floor`` via :func:`secret_projection_epsilon`.
+    """
+
+    def __init__(self, output_dim: int, norm_floor: float, delta: float) -> None:
+        if output_dim < 1:
+            raise ValueError(f"output_dim must be >= 1, got {output_dim}")
+        self.output_dim = int(output_dim)
+        self.norm_floor = check_positive(norm_floor, "norm_floor")
+        self.delta = check_probability(delta, "delta")
+        self.guarantee = PrivacyGuarantee(
+            secret_projection_epsilon(self.output_dim, self.norm_floor, self.delta),
+            self.delta,
+        )
+
+    def release(self, x, rng=None) -> SecretProjectionRelease:
+        """Release ``Sx`` for a fresh secret ``S`` (never reuse ``S``)."""
+        x = as_float_vector(x, "x")
+        norm = float(np.linalg.norm(x))
+        if norm < self.norm_floor - 1e-12:
+            raise ValueError(
+                f"||x|| = {norm:.4g} violates the norm floor {self.norm_floor:.4g}; "
+                "the Blocki et al. guarantee does not cover this input"
+            )
+        generator = prg.as_generator(rng)
+        matrix = generator.standard_normal((self.output_dim, x.size)) / math.sqrt(
+            self.output_dim
+        )
+        return SecretProjectionRelease(matrix @ x)
+
+
+def _variance_ratio(norm_floor: float) -> float:
+    """Worst-case per-coordinate variance ratio between neighbours.
+
+    Neighbours satisfy ``||x - x'||_1 <= 1`` hence ``||x - x'||_2 <= 1``,
+    so ``| ||x||^2 - ||x'||^2 | <= 2||x|| + 1``; relative to
+    ``||x||^2 >= w^2`` the ratio is maximised at ``||x|| = w``.
+    """
+    w = norm_floor
+    return 1.0 + (2.0 * w + 1.0) / w**2
+
+
+def secret_projection_epsilon(output_dim: int, norm_floor: float, delta: float) -> float:
+    """Privacy of the secret Gaussian projection at the given parameters.
+
+    The release distributions of two neighbours are ``N(0, a^2 I_k)``
+    and ``N(0, b^2 I_k)`` with ``r = max(a,b)^2/min(a,b)^2 <=
+    _variance_ratio(w)``.  The privacy loss has two one-sided regimes:
+
+    * sampling under the *smaller*-variance world the loss is at most
+      ``(k/2) ln r`` deterministically (the quadratic term only
+      subtracts);
+    * sampling under the *larger*-variance world the loss is
+      ``-(k/2) ln r + (r-1)/(2r) Z`` with ``Z ~ chi^2_k``, bounded
+      except with probability delta via Laurent-Massart
+      ``Z <= k + 2 sqrt(k t) + 2t``, ``t = ln(1/delta)``.
+
+    The guarantee takes the larger of the two.
+    """
+    if output_dim < 1:
+        raise ValueError(f"output_dim must be >= 1, got {output_dim}")
+    check_positive(norm_floor, "norm_floor")
+    delta = check_probability(delta, "delta")
+    r = _variance_ratio(norm_floor)
+    t = math.log(1.0 / delta)
+    k = float(output_dim)
+    chi_tail = k + 2.0 * math.sqrt(k * t) + 2.0 * t
+    log_term = 0.5 * k * math.log(r)
+    heavy_tail = -log_term + 0.5 * (r - 1.0) / r * chi_tail
+    return max(log_term, heavy_tail)
+
+
+def privacy_loss_samples_secret(
+    output_dim: int, norm_x: float, norm_x_prime: float, n_samples: int, rng=None
+) -> np.ndarray:
+    """Exact privacy-loss samples for the secret Gaussian projection.
+
+    The release under ``x`` is ``N(0, a^2 I_k)`` with ``a^2 =
+    ||x||^2/k``; the loss at output ``y`` is
+    ``k ln(b/a) + ||y||^2/2 (1/b^2 - 1/a^2)`` — sampled here under the
+    ``x`` world so audits can check ``delta(eps)`` empirically.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    generator = prg.as_generator(rng)
+    a_sq = norm_x**2 / output_dim
+    b_sq = norm_x_prime**2 / output_dim
+    y = generator.normal(0.0, math.sqrt(a_sq), size=(n_samples, output_dim))
+    y_sq = (y**2).sum(axis=1)
+    return 0.5 * output_dim * math.log(b_sq / a_sq) + 0.5 * y_sq * (1.0 / b_sq - 1.0 / a_sq)
+
+
+def sparsity_attack(release_values: np.ndarray, baseline_nnz: int) -> bool:
+    """Upadhyay's observation as a distinguisher.
+
+    For a secret *sparse* projection, ``Sx`` has at most
+    ``s * ||x||_0`` non-zero coordinates: the support size leaks
+    ``||x||_0``.  The attacker guesses "the input had the larger
+    support" iff the release has more than ``baseline_nnz`` non-zeros.
+    Against a dense Gaussian projection every coordinate is almost
+    surely non-zero regardless of the input, so the attack is blind.
+    """
+    observed = int(np.count_nonzero(np.asarray(release_values)))
+    return observed > baseline_nnz
+
+
+def attack_advantage(
+    make_release,
+    x_small_support,
+    x_large_support,
+    baseline_nnz: int,
+    trials: int,
+    rng=None,
+) -> float:
+    """Distinguishing advantage of :func:`sparsity_attack`.
+
+    ``make_release(x, rng)`` must return the released vector.  Returns
+    ``P[guess large | large] - P[guess large | small]`` in ``[-1, 1]``;
+    any value far from 0 certifies a privacy failure.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    generator = prg.as_generator(rng)
+    hits_large = 0
+    hits_small = 0
+    for _ in range(trials):
+        hits_large += sparsity_attack(make_release(x_large_support, generator), baseline_nnz)
+        hits_small += sparsity_attack(make_release(x_small_support, generator), baseline_nnz)
+    return (hits_large - hits_small) / trials

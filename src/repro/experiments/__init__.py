@@ -1,0 +1,20 @@
+"""Experiment harness reproducing every quantitative claim in the paper.
+
+See DESIGN.md section 3 for the experiment index and
+``python -m repro.experiments list`` for the runnable inventory.
+"""
+
+from repro.experiments.harness import Experiment, ExperimentResult, summarize, trials_for, unbiased
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_all, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentResult",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+    "summarize",
+    "trials_for",
+    "unbiased",
+]

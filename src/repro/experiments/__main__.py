@@ -1,0 +1,59 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run EXP-T3 [--scale smoke] [--seed 7]
+    python -m repro.experiments all [--scale full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiment IDs")
+
+    run = sub.add_parser("run", help="run one or more experiments by ID")
+    run.add_argument("ids", nargs="+", help="experiment IDs, e.g. EXP-T3")
+    run.add_argument("--scale", choices=("smoke", "full"), default="full")
+    run.add_argument("--seed", type=int, default=0)
+
+    allp = sub.add_parser("all", help="run every experiment")
+    allp.add_argument("--scale", choices=("smoke", "full"), default="full")
+    allp.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for eid in sorted(EXPERIMENTS):
+            cls = EXPERIMENTS[eid]
+            print(f"{eid:14s} {cls.title}  [{cls.paper_reference}]")
+        return 0
+
+    if args.command == "run":
+        results = [run_experiment(eid, scale=args.scale, seed=args.seed) for eid in args.ids]
+    else:
+        results = run_all(scale=args.scale, seed=args.seed)
+
+    failures = 0
+    for result in results:
+        print(result.render())
+        print()
+        if not result.passed:
+            failures += 1
+    print(f"{len(results) - failures}/{len(results)} experiments reproduced their claims")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""EXP-DISC — Section 2.3.1: discrete noise as a floating-point-safe drop-in.
+
+Claims reproduced (from the works the paper cites):
+
+* the discrete Gaussian of Canonne-Kamath-Steinke has variance *at
+  most* that of the continuous Gaussian with the same sigma (their
+  Corollary; "identical or slightly better utility");
+* the discrete Laplace (two-sided geometric) matches the continuous
+  Laplace's moments as the scale grows (the ``(1 + O(1/scale))``
+  discretisation overhead quoted from [20]);
+* plugged into the Lemma 3 estimator, both discrete distributions keep
+  it unbiased — the library's moment bookkeeping, not just the
+  continuous special case, is correct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sketch import PrivateSketcher, SketchConfig
+from repro.dp.noise import (
+    DiscreteGaussianNoise,
+    DiscreteLaplaceNoise,
+    GaussianNoise,
+    LaplaceNoise,
+)
+from repro.experiments.harness import Experiment, summarize, trials_for, unbiased
+from repro.hashing import prg
+from repro.utils.tables import Table
+from repro.workloads import pair_at_distance
+
+_D = 256
+_K = 64
+_S = 4
+
+
+class DiscreteNoiseExperiment(Experiment):
+    id = "EXP-DISC"
+    title = "Discrete Laplace/Gaussian: utility matches continuous noise"
+    paper_reference = "Section 2.3.1 (Mironov; Google; Canonne et al.)"
+
+    def run(self, scale: str = "full", seed: int = 0):
+        self._check_scale(scale)
+        trials = trials_for(scale, smoke=200, full=1200)
+        rng = prg.derive_rng(seed, "exp-disc")
+
+        table = Table(
+            headers=["pair", "scale_param", "continuous_m2", "discrete_m2", "m2_ratio"],
+            title="EXP-DISC: second moments, discrete vs continuous",
+        )
+        checks: dict[str, bool] = {}
+        for sigma in (0.8, 2.0, 5.0):
+            cont = GaussianNoise(sigma)
+            disc = DiscreteGaussianNoise(sigma)
+            ratio = disc.second_moment / cont.second_moment
+            table.add_row(
+                pair="gaussian", scale_param=sigma,
+                continuous_m2=cont.second_moment, discrete_m2=disc.second_moment,
+                m2_ratio=ratio,
+            )
+            checks[f"discrete Gaussian variance <= continuous (sigma={sigma})"] = (
+                disc.second_moment <= cont.second_moment * (1.0 + 1e-9)
+            )
+        for scale_param in (1.0, 3.0, 10.0):
+            cont = LaplaceNoise(scale_param)
+            disc = DiscreteLaplaceNoise(scale_param)
+            ratio = disc.second_moment / cont.second_moment
+            table.add_row(
+                pair="laplace", scale_param=scale_param,
+                continuous_m2=cont.second_moment, discrete_m2=disc.second_moment,
+                m2_ratio=ratio,
+            )
+            checks[f"discrete Laplace m2 within 30% of continuous (b={scale_param})"] = (
+                0.7 <= ratio <= 1.3
+            )
+
+        # Estimator unbiasedness with discrete noise end to end.
+        x, y = pair_at_distance(_D, 4.0, rng)
+        for noise_name in ("discrete_laplace", "discrete_gaussian"):
+            delta = 0.0 if noise_name == "discrete_laplace" else 1e-6
+            estimates = np.empty(trials)
+            for t in range(trials):
+                sk = PrivateSketcher(
+                    SketchConfig(
+                        input_dim=_D, epsilon=1.0, delta=delta, output_dim=_K,
+                        sparsity=_S, noise=noise_name, seed=int(rng.integers(0, 2**62)),
+                    )
+                )
+                estimates[t] = sk.estimate_sq_distance(
+                    sk.sketch(x, noise_rng=rng), sk.sketch(y, noise_rng=rng)
+                )
+            summary = summarize(estimates, 16.0)
+            checks[f"estimator unbiased with {noise_name}"] = unbiased(summary)
+
+        result = self._result(table)
+        result.checks = checks
+        result.notes.append(
+            "m2_ratio -> 1 as the scale grows: the discretisation overhead "
+            "vanishes, matching the (1 + (1+2/eps)/2^k) bound quoted in 2.3.1"
+        )
+        return result

@@ -1,0 +1,79 @@
+"""EXP-JL — the JL guarantee underlying every construction.
+
+Claim reproduced: with ``k = Theta(alpha^-2 log(1/beta))`` every
+transform in the library preserves squared norms within ``1 +/- alpha``
+with probability at least ``1 - beta`` (JL lemma / Lemma 5 for the
+FJLT / Kane-Nelson for the SJLT), and all satisfy LPP (Definition 4)
+so the Lemma 3 estimator machinery applies to each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.harness import Experiment, trials_for
+from repro.hashing import prg
+from repro.theory.bounds import jl_output_dimension, sjlt_dimensions
+from repro.theory.jl import distortion_samples
+from repro.transforms import create_transform
+from repro.utils.tables import Table
+from repro.workloads import gaussian_vector, sparse_vector
+
+_ALPHA = 0.25
+_BETA = 0.05
+_D = 512
+
+
+class JLQualityExperiment(Experiment):
+    id = "EXP-JL"
+    title = "All transforms satisfy the (alpha, beta) JL guarantee and LPP"
+    paper_reference = "JL lemma; Lemma 5 (FJLT); Section 6.1 (SJLT); Definition 4"
+
+    def run(self, scale: str = "full", seed: int = 0):
+        self._check_scale(scale)
+        trials = trials_for(scale, smoke=150, full=1000)
+        rng = prg.derive_rng(seed, "exp-jl")
+        k, s = sjlt_dimensions(_ALPHA, _BETA)
+        k_plain = jl_output_dimension(_ALPHA, _BETA)
+
+        table = Table(
+            headers=["transform", "k", "vector", "mean_distortion", "fail_rate", "beta"],
+            title=f"EXP-JL: alpha={_ALPHA}, beta={_BETA}, d={_D}, {trials} transforms per row",
+        )
+        checks: dict[str, bool] = {}
+        specs = [
+            ("gaussian", k_plain, {}),
+            ("achlioptas", k_plain, {}),
+            ("dks", k_plain, {"sparsity": min(s, k_plain)}),
+            ("sjlt", k, {"sparsity": s}),
+            ("fjlt", k_plain, {"beta": _BETA}),
+        ]
+        vectors = {
+            "dense": gaussian_vector(_D, rng),
+            "sparse": sparse_vector(_D, max(4, _D // 64), rng),
+        }
+        for name, dim, kwargs in specs:
+            for vec_name, vector in vectors.items():
+                def factory(trial_seed, _name=name, _dim=dim, _kw=kwargs):
+                    return create_transform(_name, _D, _dim, seed=trial_seed, **_kw)
+
+                samples = distortion_samples(factory, vector, trials, seed=seed)
+                fail_rate = float(np.mean((samples < 1 - _ALPHA) | (samples > 1 + _ALPHA)))
+                mean = float(samples.mean())
+                table.add_row(
+                    transform=name,
+                    k=dim,
+                    vector=vec_name,
+                    mean_distortion=mean,
+                    fail_rate=fail_rate,
+                    beta=_BETA,
+                )
+                # binomial slack: beta + 3 sqrt(beta/trials)
+                slack = _BETA + 3.0 * np.sqrt(_BETA / trials)
+                checks[f"failure rate <= beta ({name}, {vec_name})"] = fail_rate <= slack
+                checks[f"LPP holds ({name}, {vec_name})"] = (
+                    abs(mean - 1.0) < 5.0 * float(samples.std(ddof=1)) / np.sqrt(trials)
+                )
+        result = self._result(table)
+        result.checks = checks
+        return result

@@ -1,0 +1,29 @@
+"""Hashing and seeded-randomness substrate.
+
+The SJLT of Kane & Nelson requires ``O(log(1/beta))``-wise independent
+hash families (Section 6.1 of the paper); :mod:`repro.hashing.kwise`
+implements polynomial hashing over a Mersenne prime.  The distributed
+setting requires a *public* transform seed shared by all parties and
+*secret* per-party noise seeds; :mod:`repro.hashing.prg` provides the
+deterministic seed-derivation utilities both sides rely on.
+"""
+
+from repro.hashing.kwise import (
+    MERSENNE_PRIME_31,
+    KWiseHash,
+    SignHash,
+    hash_family,
+    sign_family,
+)
+from repro.hashing.prg import child_seed, derive_rng, fresh_seed
+
+__all__ = [
+    "MERSENNE_PRIME_31",
+    "KWiseHash",
+    "SignHash",
+    "child_seed",
+    "derive_rng",
+    "fresh_seed",
+    "hash_family",
+    "sign_family",
+]

@@ -1,0 +1,78 @@
+"""Deterministic seed derivation for the distributed sketching setting.
+
+All parties must build the *same* random projection from a public seed
+(Section 2 of the paper: "All parties must use the same randomized matrix
+S"), while each party's noise must come from its own secret seed.  We
+derive child generators from ``(seed, *context)`` tuples via SHA-256 so
+that the same context always yields the same stream, independent of
+call order, platform and numpy version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+
+import numpy as np
+
+#: Number of 32-bit words of entropy fed to each child ``SeedSequence``.
+_ENTROPY_WORDS = 8
+
+
+def _context_entropy(seed: int, context: tuple) -> list[int]:
+    """Hash ``(seed, context)`` into a list of 32-bit entropy words."""
+    digest = hashlib.sha256()
+    digest.update(str(int(seed)).encode("utf-8"))
+    for item in context:
+        digest.update(b"\x1f")  # unit separator: ("ab",) != ("a","b")
+        digest.update(str(item).encode("utf-8"))
+    raw = digest.digest()
+    words = []
+    for i in range(_ENTROPY_WORDS):
+        words.append(int.from_bytes(raw[4 * i : 4 * i + 4], "little"))
+    return words
+
+
+def derive_rng(seed: int, *context) -> np.random.Generator:
+    """Return a ``numpy`` Generator determined by ``seed`` and ``context``.
+
+    Examples
+    --------
+    >>> rng_a = derive_rng(7, "transform")
+    >>> rng_b = derive_rng(7, "transform")
+    >>> bool((rng_a.integers(0, 100, 5) == rng_b.integers(0, 100, 5)).all())
+    True
+    """
+    entropy = _context_entropy(seed, context)
+    return np.random.Generator(np.random.Philox(np.random.SeedSequence(entropy)))
+
+
+def child_seed(seed: int, *context) -> int:
+    """Derive a deterministic 63-bit child seed from ``seed`` and ``context``."""
+    entropy = _context_entropy(seed, context)
+    value = 0
+    for word in entropy[:2]:
+        value = (value << 32) | word
+    return value & ((1 << 63) - 1)
+
+
+def fresh_seed() -> int:
+    """Return a cryptographically fresh 63-bit seed.
+
+    Used for *secret* noise seeds; never use this for the shared public
+    transform (parties would disagree on the projection).
+    """
+    return secrets.randbits(63)
+
+
+def as_generator(rng_or_seed) -> np.random.Generator:
+    """Coerce ``rng_or_seed`` (Generator, int seed, or None) to a Generator.
+
+    ``None`` draws a fresh secret seed — appropriate for noise, not for
+    the public transform.
+    """
+    if rng_or_seed is None:
+        return derive_rng(fresh_seed(), "fresh")
+    if isinstance(rng_or_seed, np.random.Generator):
+        return rng_or_seed
+    return derive_rng(int(rng_or_seed), "direct")

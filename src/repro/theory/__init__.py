@@ -1,0 +1,53 @@
+"""Closed-form theory from the paper: dimensions, moments and crossovers.
+
+* :mod:`repro.theory.bounds` — optimal output dimension ``k``, SJLT
+  sparsity ``s``, FJLT density ``q``, the Note 5 Laplace/Gaussian
+  crossover, the Section 7 variance crossovers and the Eq. (5) FJLT
+  speed window.
+* :mod:`repro.theory.moments` — Note 4 moment formulas for the Laplace
+  and Gaussian distributions plus the two-sided geometric used by the
+  discrete Laplace mechanism.
+* :mod:`repro.theory.jl` — Johnson-Lindenstrauss distortion helpers.
+"""
+
+from repro.theory.bounds import (
+    fjlt_density,
+    fjlt_speed_window,
+    fjlt_time,
+    jl_output_dimension,
+    laplace_beats_gaussian,
+    laplace_beats_gaussian_threshold,
+    optimal_output_dimension,
+    sjlt_beats_fjlt_threshold,
+    sjlt_beats_iid_threshold,
+    sjlt_dimensions,
+    sjlt_sparsity,
+    sjlt_time,
+)
+from repro.theory.moments import (
+    double_factorial,
+    gaussian_moment,
+    laplace_moment,
+    two_sided_geometric_fourth_moment,
+    two_sided_geometric_second_moment,
+)
+
+__all__ = [
+    "double_factorial",
+    "fjlt_density",
+    "fjlt_speed_window",
+    "fjlt_time",
+    "gaussian_moment",
+    "jl_output_dimension",
+    "laplace_beats_gaussian",
+    "laplace_beats_gaussian_threshold",
+    "laplace_moment",
+    "optimal_output_dimension",
+    "sjlt_beats_fjlt_threshold",
+    "sjlt_beats_iid_threshold",
+    "sjlt_dimensions",
+    "sjlt_sparsity",
+    "sjlt_time",
+    "two_sided_geometric_fourth_moment",
+    "two_sided_geometric_second_moment",
+]

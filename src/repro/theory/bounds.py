@@ -1,0 +1,150 @@
+"""Dimension, sparsity and crossover formulas from the paper.
+
+Asymptotic statements (``Theta``, big-O) carry explicit constants here so
+the library is runnable; each constant is documented and overridable.
+The *crossover* formulas (Note 5, Section 7) are exact consequences of
+the variance expressions and carry no hidden constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_positive, check_unit_range
+
+#: Default constant in ``k = C * alpha^-2 * ln(1/beta)``.  C = 8 matches the
+#: standard sub-Gaussian JL proof and keeps empirical failure rates below
+#: beta for every transform in this library (validated by EXP-JL).
+JL_DIMENSION_CONSTANT: float = 8.0
+
+#: Default constant in ``s = C * alpha^-1 * ln(1/beta)`` (Kane & Nelson
+#: give s = Theta(alpha^-1 log(1/beta)); C = 2 reproduces their plots).
+SJLT_SPARSITY_CONSTANT: float = 2.0
+
+#: Default constant in the FJLT density ``q = min(C log^2(1/beta)/d, 1)``.
+FJLT_DENSITY_CONSTANT: float = 1.0
+
+
+def jl_output_dimension(alpha: float, beta: float, constant: float = JL_DIMENSION_CONSTANT) -> int:
+    """Optimal JL output dimension ``k = Theta(alpha^-2 log(1/beta))``.
+
+    Jayram & Nelson / Kane, Meka & Nelson prove this is optimal and, in
+    particular, independent of the input dimension ``d``.
+    """
+    alpha = check_unit_range(alpha, "alpha")
+    beta = check_unit_range(beta, "beta")
+    constant = check_positive(constant, "constant")
+    return max(1, math.ceil(constant * alpha**-2 * math.log(1.0 / beta)))
+
+
+def sjlt_sparsity(alpha: float, beta: float, constant: float = SJLT_SPARSITY_CONSTANT) -> int:
+    """SJLT column sparsity ``s = O(alpha^-1 log(1/beta))`` (Kane & Nelson)."""
+    alpha = check_unit_range(alpha, "alpha")
+    beta = check_unit_range(beta, "beta")
+    constant = check_positive(constant, "constant")
+    return max(1, math.ceil(constant * alpha**-1 * math.log(1.0 / beta)))
+
+
+def sjlt_dimensions(
+    alpha: float,
+    beta: float,
+    dimension_constant: float = JL_DIMENSION_CONSTANT,
+    sparsity_constant: float = SJLT_SPARSITY_CONSTANT,
+) -> tuple[int, int]:
+    """Return ``(k, s)`` for the SJLT with ``k`` rounded up to a multiple of ``s``.
+
+    The block construction (c) divides the ``k`` output coordinates into
+    ``s`` blocks of size ``k/s``, so ``s`` must divide ``k``.
+    """
+    k = jl_output_dimension(alpha, beta, dimension_constant)
+    s = sjlt_sparsity(alpha, beta, sparsity_constant)
+    s = min(s, k)
+    if k % s:
+        k += s - (k % s)
+    return k, s
+
+
+def fjlt_density(d: int, beta: float, constant: float = FJLT_DENSITY_CONSTANT) -> float:
+    """FJLT sparse-Gaussian density ``q = min(Theta(log^2(1/beta)/d), 1)``."""
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    beta = check_unit_range(beta, "beta")
+    constant = check_positive(constant, "constant")
+    return min(constant * math.log(1.0 / beta) ** 2 / d, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Crossovers (Note 5 and Section 7).  These are exact, constant-free
+# consequences of the variance formulas.
+# ---------------------------------------------------------------------------
+
+
+def laplace_beats_gaussian_threshold(delta1: float, delta2: float) -> float:
+    """The delta below which Laplace noise yields lower variance (Eq. 3).
+
+    Laplace wins iff ``Delta_1 < Delta_2 sqrt(ln(1/delta))``, i.e.
+    ``delta < exp(-Delta_1^2 / Delta_2^2)``.
+    """
+    delta1 = check_positive(delta1, "delta1")
+    delta2 = check_positive(delta2, "delta2")
+    return math.exp(-((delta1 / delta2) ** 2))
+
+
+def laplace_beats_gaussian(delta: float, delta1: float, delta2: float) -> bool:
+    """Whether the Note 5 rule selects Laplace noise at privacy level delta."""
+    if delta <= 0:  # pure DP requested: Gaussian cannot deliver it at all
+        return True
+    return delta < laplace_beats_gaussian_threshold(delta1, delta2)
+
+
+def sjlt_beats_iid_threshold(s: int) -> float:
+    """Section 7: private SJLT (Laplace) beats Kenthapadi iff ``delta < e^-s``."""
+    if s < 1:
+        raise ValueError(f"s must be >= 1, got {s}")
+    return math.exp(-float(s))
+
+
+def sjlt_beats_fjlt_threshold(s: int, k: int, d: int) -> float:
+    """Section 7: private SJLT beats private FJLT iff ``delta < e^-O(sk/d)``."""
+    if min(s, k, d) < 1:
+        raise ValueError("s, k and d must all be >= 1")
+    return math.exp(-float(s) * float(k) / float(d))
+
+
+def fjlt_speed_window(
+    alpha: float, beta: float, low_constant: float = 1.0, high_constant: float = 1.0
+) -> tuple[float, float]:
+    """Eq. (5): the FJLT is faster than the SJLT for ``d`` in this window.
+
+    Returns ``(d_low, d_high)`` with ``d_low = C_lo log^2(1/beta)/alpha``
+    and ``d_high = beta^(-C_hi/alpha) = e^(C_hi * s0)`` where ``s0 =
+    alpha^-1 log(1/beta)``.
+    """
+    alpha = check_unit_range(alpha, "alpha")
+    beta = check_unit_range(beta, "beta")
+    log_term = math.log(1.0 / beta)
+    d_low = low_constant * log_term**2 / alpha
+    d_high = math.exp(high_constant * log_term / alpha)
+    return d_low, d_high
+
+
+def fjlt_time(d: int, alpha: float, beta: float) -> float:
+    """Model cost ``max(d log d, alpha^-2 log^3(1/beta))`` of one FJLT apply."""
+    log_term = math.log(1.0 / beta)
+    return max(d * math.log2(max(d, 2)), log_term**3 / alpha**2)
+
+
+def sjlt_time(d: int, alpha: float, beta: float) -> float:
+    """Model cost ``s * d`` of one dense SJLT apply."""
+    return sjlt_sparsity(alpha, beta) * d
+
+
+def optimal_output_dimension(max_sq_norm: float, second_moment: float, fourth_moment: float) -> int:
+    """Section 6.2.1: variance-minimising ``k* = nu / sqrt(E[eta^4] + E[eta^2]^2)``.
+
+    ``nu`` is an upper bound on ``||x - y||_2^2`` over the input domain.
+    """
+    max_sq_norm = check_positive(max_sq_norm, "max_sq_norm")
+    second_moment = check_positive(second_moment, "second_moment")
+    fourth_moment = check_positive(fourth_moment, "fourth_moment")
+    return max(1, round(max_sq_norm / math.sqrt(fourth_moment + second_moment**2)))

@@ -1,0 +1,59 @@
+"""Johnson-Lindenstrauss distortion helpers (EXP-JL).
+
+The JL lemma: a random projection ``S`` preserves ``||x||^2`` within a
+factor ``1 +/- alpha`` with probability at least ``1 - beta``.  These
+helpers measure the empirical distortion of any transform factory so the
+LPP substrates can be validated against the lemma.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_float_vector, check_unit_range
+
+
+def distortion(x, projected) -> float:
+    """Squared-norm distortion ``||Sx||^2 / ||x||^2`` of one projection."""
+    x = as_float_vector(x, "x")
+    projected = as_float_vector(projected, "projected")
+    denom = float(np.dot(x, x))
+    if denom == 0.0:
+        raise ValueError("x must be non-zero to measure distortion")
+    return float(np.dot(projected, projected)) / denom
+
+
+def empirical_failure_rate(
+    transform_factory,
+    x,
+    alpha: float,
+    trials: int,
+    seed: int = 0,
+) -> float:
+    """Fraction of independent transforms distorting ``||x||^2`` beyond 1 +/- alpha.
+
+    ``transform_factory(seed)`` must return a fresh transform supporting
+    ``apply``.  The JL lemma promises this rate is at most ``beta`` when
+    ``k >= C alpha^-2 ln(1/beta)``.
+    """
+    x = as_float_vector(x, "x")
+    alpha = check_unit_range(alpha, "alpha")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    failures = 0
+    for trial in range(trials):
+        transform = transform_factory(seed + trial)
+        ratio = distortion(x, transform.apply(x))
+        if not (1.0 - alpha) <= ratio <= (1.0 + alpha):
+            failures += 1
+    return failures / trials
+
+
+def distortion_samples(transform_factory, x, trials: int, seed: int = 0) -> np.ndarray:
+    """Sample ``trials`` squared-norm distortion ratios for vector ``x``."""
+    x = as_float_vector(x, "x")
+    samples = np.empty(trials, dtype=np.float64)
+    for trial in range(trials):
+        transform = transform_factory(seed + trial)
+        samples[trial] = distortion(x, transform.apply(x))
+    return samples

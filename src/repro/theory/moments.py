@@ -1,0 +1,79 @@
+"""Moment formulas used throughout the variance analysis.
+
+Note 4 of the paper: for ``L ~ Lap(b)`` and ``G ~ N(0, sigma^2)``,
+
+* ``E[L^n] = n! * b^n`` for even ``n`` (0 for odd ``n``),
+* ``E[G^n] = (n-1)!! * sigma^n`` for even ``n`` (0 for odd ``n``).
+
+The two-sided geometric moments back the discrete Laplace mechanism
+(Section 2.3.1 cites discrete alternatives to continuous noise).
+"""
+
+from __future__ import annotations
+
+
+def double_factorial(n: int) -> int:
+    """Return ``n!! = n * (n-2) * (n-4) * ...`` with ``0!! = (-1)!! = 1``."""
+    if n < -1:
+        raise ValueError(f"double factorial undefined for n={n}")
+    result = 1
+    while n > 1:
+        result *= n
+        n -= 2
+    return result
+
+
+def _factorial(n: int) -> int:
+    result = 1
+    for i in range(2, n + 1):
+        result *= i
+    return result
+
+
+def laplace_moment(order: int, scale: float) -> float:
+    """Central moment ``E[L^order]`` of ``Lap(scale)`` (Note 4)."""
+    if order < 0:
+        raise ValueError(f"order must be >= 0, got {order}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if order % 2 == 1:
+        return 0.0
+    return float(_factorial(order)) * scale**order
+
+
+def gaussian_moment(order: int, sigma: float) -> float:
+    """Central moment ``E[G^order]`` of ``N(0, sigma^2)`` (Note 4)."""
+    if order < 0:
+        raise ValueError(f"order must be >= 0, got {order}")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    if order % 2 == 1:
+        return 0.0
+    return float(double_factorial(order - 1)) * sigma**order
+
+
+def two_sided_geometric_second_moment(q: float) -> float:
+    """``E[X^2]`` for the two-sided geometric with ratio ``q``.
+
+    The distribution has pmf ``P[X=z] = (1-q)/(1+q) * q^|z|`` on the
+    integers; it is the discrete analogue of the Laplace distribution
+    with scale ``b = -1/ln(q)``.
+    """
+    _check_ratio(q)
+    return 2.0 * q / (1.0 - q) ** 2
+
+
+def two_sided_geometric_fourth_moment(q: float) -> float:
+    """``E[X^4]`` for the two-sided geometric with ratio ``q``.
+
+    Derived from the generating function ``sum z^4 q^z =
+    q(1 + 11q + 11q^2 + q^3)/(1-q)^5``.
+    """
+    _check_ratio(q)
+    numerator = 2.0 * q * (1.0 + 11.0 * q + 11.0 * q**2 + q**3)
+    return numerator / ((1.0 + q) * (1.0 - q) ** 4)
+
+
+def _check_ratio(q: float) -> None:
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"geometric ratio q must lie in (0, 1), got {q}")

@@ -1,0 +1,63 @@
+"""Johnson-Lindenstrauss transforms (the projection substrate).
+
+All transforms satisfy the Length Preserving Property of Definition 4
+and share the :class:`repro.transforms.base.LinearTransform` interface;
+:func:`create_transform` builds one by name.
+"""
+
+from __future__ import annotations
+
+from repro.transforms.achlioptas import AchlioptasTransform
+from repro.transforms.base import LinearTransform, exact_sensitivity
+from repro.transforms.dks import DKSTransform
+from repro.transforms.fjlt import FJLT
+from repro.transforms.gaussian import GaussianTransform
+from repro.transforms.hadamard import (
+    fwht,
+    hadamard_matrix,
+    is_power_of_two,
+    next_power_of_two,
+)
+from repro.transforms.sjlt import SJLT
+
+#: Registry of transform names understood by :func:`create_transform`.
+TRANSFORMS = {
+    "gaussian": GaussianTransform,
+    "achlioptas": AchlioptasTransform,
+    "dks": DKSTransform,
+    "sjlt": SJLT,
+    "fjlt": FJLT,
+}
+
+
+def create_transform(name: str, input_dim: int, output_dim: int, seed: int, **kwargs):
+    """Construct a transform by registry name.
+
+    Sparse transforms (``sjlt``, ``dks``) accept/require ``sparsity``;
+    the ``fjlt`` accepts ``density``/``beta``; see each class for the
+    full parameter list.
+    """
+    try:
+        cls = TRANSFORMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown transform {name!r}; available: {sorted(TRANSFORMS)}"
+        ) from None
+    return cls(input_dim, output_dim, seed=seed, **kwargs)
+
+
+__all__ = [
+    "FJLT",
+    "SJLT",
+    "TRANSFORMS",
+    "AchlioptasTransform",
+    "DKSTransform",
+    "GaussianTransform",
+    "LinearTransform",
+    "create_transform",
+    "exact_sensitivity",
+    "fwht",
+    "hadamard_matrix",
+    "is_power_of_two",
+    "next_power_of_two",
+]

@@ -1,0 +1,70 @@
+"""Achlioptas' database-friendly JL transforms (binary coins).
+
+Section 2.1.1 cites [1] (Achlioptas 2003): entries ``+-1/sqrt(k)`` with
+probability 1/2 each ("dense" mode), or ``{+sqrt(3/k), 0, -sqrt(3/k)}``
+with probabilities ``{1/6, 2/3, 1/6}`` ("sparse" mode).  Both satisfy
+LPP exactly, and — unlike the Gaussian transform — have *deterministic*
+bounded entries, so their sensitivities concentrate tightly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing import prg
+from repro.transforms.base import LinearTransform
+
+
+class AchlioptasTransform(LinearTransform):
+    """Random-sign JL projection with exactly length-preserving columns."""
+
+    name = "achlioptas"
+
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int,
+        seed: int,
+        sparse: bool = False,
+    ) -> None:
+        super().__init__(input_dim, output_dim, seed)
+        self.sparse = bool(sparse)
+        rng = prg.derive_rng(seed, "achlioptas-transform", input_dim, output_dim, sparse)
+        if self.sparse:
+            scale = math.sqrt(3.0 / output_dim)
+            draws = rng.random((output_dim, input_dim))
+            matrix = np.zeros((output_dim, input_dim))
+            matrix[draws < 1.0 / 6.0] = scale
+            matrix[draws > 5.0 / 6.0] = -scale
+            self._matrix = matrix
+        else:
+            scale = 1.0 / math.sqrt(output_dim)
+            signs = rng.integers(0, 2, size=(output_dim, input_dim))
+            self._matrix = scale * (1.0 - 2.0 * signs)
+
+    def apply(self, x) -> np.ndarray:
+        batch, single = self._as_batch(x)
+        result = batch @ self._matrix.T
+        return result[0] if single else result
+
+    def column_block(self, indices) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        return self._matrix[:, indices]
+
+    def to_dense(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    def sensitivity(self, p: float, block_size: int = 256) -> float:
+        """Closed form for the dense mode; exact scan for the sparse mode.
+
+        Dense mode columns have all ``k`` entries of magnitude
+        ``1/sqrt(k)``: ``Delta_p = k^(1/p) / sqrt(k)`` exactly.
+        """
+        if self.sparse:
+            return super().sensitivity(p, block_size)
+        k = self.output_dim
+        if np.isinf(p):
+            return 1.0 / math.sqrt(k)
+        return k ** (1.0 / p) / math.sqrt(k)

@@ -1,0 +1,138 @@
+"""The linear-transform abstraction every JL projection implements.
+
+A transform is a random ``k x d`` matrix ``S`` with the Length Preserving
+Property (Definition 4): ``E[||Sx||^2] = ||x||^2``.  The privacy analysis
+only needs two more things from it: its exact ``l_p``-sensitivities
+(Definition 3: the maximum column ``p``-norm) and, for streaming, the
+embedding of a single coordinate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import as_batch, check_index
+
+
+class LinearTransform(ABC):
+    """A random linear map ``S : R^d -> R^k`` satisfying LPP.
+
+    Subclasses must be deterministic functions of their ``seed`` so that
+    distributed parties sharing the seed construct identical transforms.
+    """
+
+    #: Short identifier used by the factory and in experiment tables.
+    name: str = "abstract"
+
+    def __init__(self, input_dim: int, output_dim: int, seed: int) -> None:
+        if input_dim < 1:
+            raise ValueError(f"input_dim must be >= 1, got {input_dim}")
+        if output_dim < 1:
+            raise ValueError(f"output_dim must be >= 1, got {output_dim}")
+        self.input_dim = int(input_dim)
+        self.output_dim = int(output_dim)
+        self.seed = int(seed)
+
+    # -- projection ---------------------------------------------------------
+
+    @abstractmethod
+    def apply(self, x) -> np.ndarray:
+        """Project ``x`` (a ``(d,)`` vector or ``(n, d)`` batch) to ``R^k``."""
+
+    def apply_sparse(self, indices, values) -> np.ndarray:
+        """Project a sparse vector given as parallel ``(indices, values)``.
+
+        Default: densify and call :meth:`apply`.  Sparse transforms
+        override this with an ``O(s * nnz)`` path (Theorem 3, item 5).
+        """
+        x = np.zeros(self.input_dim)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.input_dim):
+            raise ValueError("sparse indices outside input dimension")
+        np.add.at(x, indices, np.asarray(values, dtype=np.float64))
+        return self.apply(x)
+
+    # -- streaming ----------------------------------------------------------
+
+    @property
+    def update_cost(self) -> int:
+        """Number of sketch coordinates touched by one coordinate update."""
+        return self.output_dim
+
+    def coordinate_embedding(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(rows, values)`` with ``S e_index = sum values[r] e_rows[r]``.
+
+        A streaming sketch absorbs the update ``(index, delta)`` by adding
+        ``delta * values`` at ``rows`` — ``O(s)`` for sparse transforms.
+        """
+        index = check_index(index, self.input_dim)
+        column = self.column_block(np.array([index]))[:, 0]
+        rows = np.nonzero(column)[0]
+        return rows, column[rows]
+
+    # -- materialisation & sensitivity --------------------------------------
+
+    def column_block(self, indices) -> np.ndarray:
+        """Columns ``S[:, indices]`` as a dense ``(k, len(indices))`` array.
+
+        Default implementation applies the transform to basis vectors;
+        this is the ``O(dk)`` initialisation cost that Section 2.1.1
+        attributes to exact sensitivity computation.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        basis = np.zeros((indices.size, self.input_dim))
+        basis[np.arange(indices.size), indices] = 1.0
+        return self.apply(basis).T
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise ``S`` as a dense ``(k, d)`` array (test-sized only)."""
+        return self.column_block(np.arange(self.input_dim))
+
+    def sensitivity(self, p: float, block_size: int = 256) -> float:
+        """Exact ``l_p``-sensitivity: ``max_j ||S e_j||_p`` (Definition 3).
+
+        Subclasses with closed-form sensitivities (e.g. the SJLT's
+        ``Delta_1 = sqrt(s)``, ``Delta_2 = 1``) override this to avoid
+        the ``O(dk)`` scan.
+        """
+        return exact_sensitivity(self, p, block_size=block_size)
+
+    @property
+    def has_closed_form_sensitivity(self) -> bool:
+        """Whether :meth:`sensitivity` avoids the ``O(dk)`` initialisation."""
+        return type(self).sensitivity is not LinearTransform.sensitivity
+
+    # -- helpers -------------------------------------------------------------
+
+    def _as_batch(self, x) -> tuple[np.ndarray, bool]:
+        return as_batch(x, self.input_dim, "x")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(input_dim={self.input_dim}, "
+            f"output_dim={self.output_dim}, seed={self.seed})"
+        )
+
+
+def exact_sensitivity(transform: LinearTransform, p: float, block_size: int = 256) -> float:
+    """Compute ``max_j ||S e_j||_p`` by scanning columns in blocks.
+
+    This is the paper's ``O(dk)`` initialisation step (Section 2.1.1);
+    EXP-SENS measures its cost and validates closed forms against it.
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    worst = 0.0
+    for start in range(0, transform.input_dim, block_size):
+        stop = min(start + block_size, transform.input_dim)
+        block = transform.column_block(np.arange(start, stop))
+        if np.isinf(p):
+            norms = np.abs(block).max(axis=0)
+        else:
+            norms = (np.abs(block) ** p).sum(axis=0) ** (1.0 / p)
+        worst = max(worst, float(norms.max()))
+    return worst

@@ -1,0 +1,117 @@
+"""The Fast Johnson-Lindenstrauss Transform (Ailon & Chazelle).
+
+Section 5.1 of the paper: ``Phi = P H D`` where
+
+* ``D`` is a random diagonal of signs,
+* ``H`` is the normalised Hadamard matrix (applied in ``O(d log d)`` via
+  the FWHT),
+* ``P`` is a sparse ``k x d`` matrix whose entries are ``N(0, 1/q)``
+  with probability ``q = min(Theta(log^2(1/beta)/d), 1)`` and zero
+  otherwise.
+
+``E[Phi_ij^2] = 1``, so the *normalised* map ``Phi / sqrt(k)`` satisfies
+LPP; this class applies the normalised map by default so it slots into
+the generic estimator of Lemma 3 unchanged.
+
+Input dimensions that are not powers of two are zero-padded (standard
+FJLT practice; padding coordinates are identically zero so neither LPP
+nor the sensitivities are affected).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing import prg
+from repro.theory.bounds import fjlt_density
+from repro.transforms.base import LinearTransform
+from repro.transforms.hadamard import fwht, next_power_of_two
+
+
+class FJLT(LinearTransform):
+    """Normalised FJLT ``Phi / sqrt(k)`` with sparse Gaussian projection."""
+
+    name = "fjlt"
+
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int,
+        seed: int,
+        density: float | None = None,
+        beta: float = 0.05,
+        normalized: bool = True,
+    ) -> None:
+        super().__init__(input_dim, output_dim, seed)
+        self.padded_dim = next_power_of_two(input_dim)
+        if density is None:
+            density = fjlt_density(self.padded_dim, beta)
+        if not 0.0 < density <= 1.0:
+            raise ValueError(f"density must lie in (0, 1], got {density}")
+        self.density = float(density)
+        self.normalized = bool(normalized)
+
+        rng = prg.derive_rng(seed, "fjlt", input_dim, output_dim)
+        self._diagonal_signs = (
+            1.0 - 2.0 * rng.integers(0, 2, size=self.padded_dim)
+        ).astype(np.float64)
+        self._p_rows, self._p_cols, self._p_values = _sample_sparse_gaussian(
+            output_dim, self.padded_dim, self.density, rng
+        )
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero entries in the sparse projection ``P``."""
+        return self._p_values.size
+
+    def apply(self, x) -> np.ndarray:
+        batch, single = self._as_batch(x)
+        transformed = self._hadamard_stage(batch)
+        out = np.empty((batch.shape[0], self.output_dim))
+        for i in range(batch.shape[0]):
+            out[i] = self._project(transformed[i])
+        if self.normalized:
+            out /= math.sqrt(self.output_dim)
+        return out[0] if single else out
+
+    def _hadamard_stage(self, batch: np.ndarray) -> np.ndarray:
+        """Compute ``H D x`` for a batch, with zero padding to ``padded_dim``."""
+        padded = np.zeros((batch.shape[0], self.padded_dim))
+        padded[:, : self.input_dim] = batch
+        padded *= self._diagonal_signs[np.newaxis, :]
+        return fwht(padded, normalized=True)
+
+    def _project(self, t: np.ndarray) -> np.ndarray:
+        contributions = self._p_values * t[self._p_cols]
+        return np.bincount(self._p_rows, weights=contributions, minlength=self.output_dim)
+
+    def theoretical_apply_cost(self) -> float:
+        """Model cost ``d log d + nnz(P)`` of one apply (Lemma 5)."""
+        return self.padded_dim * math.log2(max(self.padded_dim, 2)) + self.nnz
+
+
+def _sample_sparse_gaussian(
+    k: int, d: int, density: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample the sparse matrix ``P``: each entry ``N(0, 1/q)`` w.p. ``q``.
+
+    Sampled row by row (count ~ Binomial(d, q), positions without
+    replacement) to keep memory at ``O(nnz)`` instead of ``O(kd)``.
+    """
+    rows, cols = [], []
+    for i in range(k):
+        count = int(rng.binomial(d, density))
+        if count == 0:
+            continue
+        rows.append(np.full(count, i, dtype=np.int64))
+        cols.append(rng.choice(d, size=count, replace=False).astype(np.int64))
+    if rows:
+        row_arr = np.concatenate(rows)
+        col_arr = np.concatenate(cols)
+    else:  # degenerate but legal: an all-zero P
+        row_arr = np.empty(0, dtype=np.int64)
+        col_arr = np.empty(0, dtype=np.int64)
+    values = rng.normal(0.0, 1.0 / math.sqrt(density), size=row_arr.size)
+    return row_arr, col_arr, values

@@ -1,0 +1,76 @@
+"""Fast Walsh-Hadamard transform (FWHT).
+
+The FJLT of Ailon & Chazelle multiplies by a normalised Hadamard matrix
+``H`` with ``H[f, j] = (-1)^<f-1, j-1> / sqrt(d)`` (binary inner product
+of the index bits) — the Sylvester ordering computed by the classic
+in-place butterfly recursion in ``O(d log d)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``>= n``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def fwht(x, normalized: bool = False) -> np.ndarray:
+    """Walsh-Hadamard transform along the last axis.
+
+    Parameters
+    ----------
+    x:
+        Array whose last-axis length is a power of two.
+    normalized:
+        If true, scale by ``1/sqrt(n)`` so the transform is orthonormal
+        (``fwht(fwht(x, True), True) == x``).
+
+    Returns a new array; the input is not modified.
+    """
+    arr = np.array(x, dtype=np.float64, copy=True)
+    n = arr.shape[-1]
+    if not is_power_of_two(n):
+        raise ValueError(f"FWHT length must be a power of two, got {n}")
+    flat = arr.reshape(-1, n)
+    half = 1
+    while half < n:
+        view = flat.reshape(flat.shape[0], n // (2 * half), 2, half)
+        top = view[:, :, 0, :].copy()
+        bottom = view[:, :, 1, :].copy()
+        view[:, :, 0, :] = top + bottom
+        view[:, :, 1, :] = top - bottom
+        half *= 2
+    if normalized:
+        flat /= np.sqrt(n)
+    return flat.reshape(arr.shape)
+
+
+def hadamard_matrix(n: int, normalized: bool = False) -> np.ndarray:
+    """The ``n x n`` Sylvester Hadamard matrix (``n`` a power of two)."""
+    if not is_power_of_two(n):
+        raise ValueError(f"Hadamard order must be a power of two, got {n}")
+    h = np.array([[1.0]])
+    while h.shape[0] < n:
+        h = np.block([[h, h], [h, -h]])
+    if normalized:
+        h = h / np.sqrt(n)
+    return h
+
+
+def pad_to_power_of_two(x: np.ndarray) -> np.ndarray:
+    """Zero-pad the last axis of ``x`` up to the next power of two."""
+    n = x.shape[-1]
+    target = next_power_of_two(n)
+    if target == n:
+        return x
+    pad_width = [(0, 0)] * (x.ndim - 1) + [(0, target - n)]
+    return np.pad(x, pad_width)

@@ -1,0 +1,23 @@
+"""Shared utilities: input validation, ascii tables and timing helpers."""
+
+from repro.utils.tables import Table, format_table
+from repro.utils.timing import Timer, median_runtime
+from repro.utils.validation import (
+    as_batch,
+    as_float_vector,
+    check_positive,
+    check_probability,
+    check_unit_range,
+)
+
+__all__ = [
+    "Table",
+    "Timer",
+    "as_batch",
+    "as_float_vector",
+    "check_positive",
+    "check_probability",
+    "check_unit_range",
+    "format_table",
+    "median_runtime",
+]

@@ -1,0 +1,66 @@
+"""Minimal ascii table rendering for experiment output.
+
+The experiment harness prints paper-style tables; this module keeps the
+formatting logic in one place so benches, examples and the CLI all agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-ordered table accumulating dict rows."""
+
+    headers: list[str]
+    rows: list[dict] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, **values) -> None:
+        unknown = set(values) - set(self.headers)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; headers are {self.headers}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        if name not in self.headers:
+            raise KeyError(f"no column {name!r}; headers are {self.headers}")
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_table(headers: list[str], rows: list[dict], title: str = "") -> str:
+    """Render ``rows`` (dicts keyed by header) as an aligned ascii table."""
+    cells = [[_format_cell(row.get(h, "")) for h in headers] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

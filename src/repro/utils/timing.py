@@ -1,0 +1,48 @@
+"""Lightweight timing helpers for the experiment harness.
+
+``pytest-benchmark`` handles the benchmark suite; these helpers exist for
+the in-library experiments (Section 7 timing comparison) which need to
+report runtimes in ascii tables without a pytest session.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context manager measuring wall-clock time in seconds."""
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def median_runtime(fn, repeats: int = 5, warmup: int = 1) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs.
+
+    A small number of warmup calls is performed first so one-time numpy
+    allocation and caching costs do not pollute the measurement.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    mid = len(samples) // 2
+    if len(samples) % 2:
+        return samples[mid]
+    return 0.5 * (samples[mid - 1] + samples[mid])

@@ -1,0 +1,37 @@
+"""Synthetic workload generators.
+
+The paper has no empirical section, so reproducing its claims requires
+workloads with *controlled* ground truth: pairs at an exact Euclidean
+distance, neighbouring inputs at exact ``l1`` distance 1, sparse and
+binary vectors, Zipf-distributed documents and histogram update streams
+(the intro motivates document comparison, nearest-neighbour search and
+data streams).
+"""
+
+from repro.workloads.documents import DocumentCorpus, make_corpus
+from repro.workloads.generators import (
+    binary_pair,
+    clustered_points,
+    gaussian_vector,
+    histogram_vector,
+    neighboring_pair,
+    pair_at_distance,
+    sparse_vector,
+    unit_vector,
+)
+from repro.workloads.streams import UpdateStream, materialize_stream
+
+__all__ = [
+    "DocumentCorpus",
+    "UpdateStream",
+    "binary_pair",
+    "clustered_points",
+    "gaussian_vector",
+    "histogram_vector",
+    "make_corpus",
+    "materialize_stream",
+    "neighboring_pair",
+    "pair_at_distance",
+    "sparse_vector",
+    "unit_vector",
+]

@@ -1,0 +1,164 @@
+"""Vector generators with controlled ground truth.
+
+Every generator takes an explicit ``rng`` (a ``numpy.random.Generator``)
+so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def unit_vector(d: int, rng: np.random.Generator) -> np.ndarray:
+    """A uniformly random unit vector in ``R^d``."""
+    _check_dim(d)
+    while True:
+        v = rng.standard_normal(d)
+        norm = np.linalg.norm(v)
+        if norm > 1e-12:
+            return v / norm
+
+
+def gaussian_vector(d: int, rng: np.random.Generator, scale: float = 1.0) -> np.ndarray:
+    """An i.i.d. ``N(0, scale^2)`` vector."""
+    _check_dim(d)
+    check_positive(scale, "scale")
+    return scale * rng.standard_normal(d)
+
+
+def pair_at_distance(
+    d: int,
+    distance: float,
+    rng: np.random.Generator,
+    base_scale: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(x, y)`` with ``||x - y||_2`` equal to ``distance`` exactly.
+
+    ``x`` is a random Gaussian vector; ``y = x + distance * u`` for a
+    random unit direction ``u``.  Having exact ground truth lets the
+    variance experiments compare Monte-Carlo estimates against the
+    theorem formulas without JL error in the reference value.
+    """
+    check_positive(distance, "distance")
+    x = gaussian_vector(d, rng, base_scale)
+    y = x + distance * unit_vector(d, rng)
+    return x, y
+
+
+def neighboring_pair(
+    d: int,
+    rng: np.random.Generator,
+    mode: str = "unit_l1",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return neighbouring inputs ``||x - x'||_1 <= 1`` (Definition 1).
+
+    ``mode="unit_l1"`` perturbs along a random signed convex combination
+    of basis vectors (worst case for the sensitivity definition);
+    ``mode="bit_flip"`` flips one coordinate of a binary vector
+    (attribute-level privacy for histograms).
+    """
+    _check_dim(d)
+    if mode == "unit_l1":
+        x = gaussian_vector(d, rng)
+        weights = rng.dirichlet(np.ones(min(d, 4)))
+        signs = rng.choice([-1.0, 1.0], size=weights.size)
+        direction = np.zeros(d)
+        positions = rng.choice(d, size=weights.size, replace=False)
+        direction[positions] = signs * weights
+        return x, x + direction
+    if mode == "bit_flip":
+        x = rng.integers(0, 2, size=d).astype(np.float64)
+        y = x.copy()
+        flip = int(rng.integers(0, d))
+        y[flip] = 1.0 - y[flip]
+        return x, y
+    raise ValueError(f"unknown mode {mode!r}; expected 'unit_l1' or 'bit_flip'")
+
+
+def sparse_vector(
+    d: int,
+    nnz: int,
+    rng: np.random.Generator,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """A vector with exactly ``nnz`` non-zero Gaussian coordinates."""
+    _check_dim(d)
+    if not 1 <= nnz <= d:
+        raise ValueError(f"nnz must lie in [1, {d}], got {nnz}")
+    x = np.zeros(d)
+    support = rng.choice(d, size=nnz, replace=False)
+    x[support] = scale * rng.standard_normal(nnz)
+    return x
+
+
+def binary_pair(
+    d: int,
+    hamming: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Binary vectors at exact Hamming distance (squared l2 == Hamming)."""
+    _check_dim(d)
+    if not 0 <= hamming <= d:
+        raise ValueError(f"hamming must lie in [0, {d}], got {hamming}")
+    x = rng.integers(0, 2, size=d).astype(np.float64)
+    y = x.copy()
+    positions = rng.choice(d, size=hamming, replace=False)
+    y[positions] = 1.0 - y[positions]
+    return x, y
+
+
+def histogram_vector(
+    d: int,
+    n_events: int,
+    rng: np.random.Generator,
+    zipf_a: float = 1.5,
+) -> np.ndarray:
+    """A histogram of ``n_events`` Zipf-distributed events over ``d`` bins.
+
+    Matches the paper's user-level privacy example: one user changes the
+    histogram by at most 1 in ``l1``.
+    """
+    _check_dim(d)
+    if n_events < 0:
+        raise ValueError(f"n_events must be >= 0, got {n_events}")
+    if zipf_a <= 1.0:
+        raise ValueError(f"zipf_a must be > 1, got {zipf_a}")
+    counts = np.zeros(d)
+    if n_events:
+        bins = np.minimum(rng.zipf(zipf_a, size=n_events) - 1, d - 1)
+        np.add.at(counts, bins, 1.0)
+    return counts
+
+
+def clustered_points(
+    d: int,
+    n_points: int,
+    n_clusters: int,
+    rng: np.random.Generator,
+    separation: float = 10.0,
+    spread: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A Gaussian-mixture workload for the clustering application.
+
+    Returns ``(points, labels, centers)``: ``n_points`` vectors drawn
+    from ``n_clusters`` spherical Gaussians whose centers sit at
+    pairwise distance about ``separation * sqrt(2)``.  The intro of the
+    paper lists clustering among the JL applications; this generator
+    gives the private-clustering example ground truth to score against.
+    """
+    _check_dim(d)
+    if n_points < 1 or n_clusters < 1:
+        raise ValueError("n_points and n_clusters must be >= 1")
+    check_positive(separation, "separation")
+    check_positive(spread, "spread")
+    centers = separation * np.stack([unit_vector(d, rng) for _ in range(n_clusters)])
+    labels = rng.integers(0, n_clusters, size=n_points)
+    points = centers[labels] + spread * rng.standard_normal((n_points, d))
+    return points, labels, centers
+
+
+def _check_dim(d: int) -> None:
+    if d < 1:
+        raise ValueError(f"dimension must be >= 1, got {d}")

@@ -1,0 +1,71 @@
+"""Update streams for the streaming-sketch experiments (Theorem 3, item 4).
+
+A stream is a sequence of ``(index, delta)`` coordinate updates; the
+SJLT sketch can absorb each in ``O(s)`` time.  ``UpdateStream`` produces
+seeded, replayable streams; ``materialize_stream`` folds a stream into
+the equivalent dense vector so tests can assert streaming == batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UpdateStream:
+    """A replayable stream of ``(index, delta)`` updates.
+
+    Parameters
+    ----------
+    dim:
+        Dimension of the underlying vector.
+    n_updates:
+        Number of events in the stream.
+    seed:
+        Seed for the event sequence (replaying yields identical events).
+    zipf_a:
+        Skew of the index distribution; heavier heads model realistic
+        item-frequency streams.
+    deletions:
+        Fraction of events that are deletions (negative deltas), making
+        the stream a turnstile stream.
+    """
+
+    dim: int
+    n_updates: int
+    seed: int = 0
+    zipf_a: float = 1.4
+    deletions: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.dim < 1 or self.n_updates < 0:
+            raise ValueError("dim must be >= 1 and n_updates >= 0")
+        if self.zipf_a <= 1.0:
+            raise ValueError(f"zipf_a must be > 1, got {self.zipf_a}")
+        if not 0.0 <= self.deletions <= 1.0:
+            raise ValueError(f"deletions must lie in [0, 1], got {self.deletions}")
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        rng = np.random.default_rng(self.seed)
+        indices = np.minimum(rng.zipf(self.zipf_a, size=self.n_updates) - 1, self.dim - 1)
+        signs = np.where(rng.random(self.n_updates) < self.deletions, -1.0, 1.0)
+        for index, sign in zip(indices, signs):
+            yield int(index), float(sign)
+
+    def __len__(self) -> int:
+        return self.n_updates
+
+
+def materialize_stream(stream, dim: int) -> np.ndarray:
+    """Fold a stream of ``(index, delta)`` events into a dense vector."""
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    x = np.zeros(dim)
+    for index, delta in stream:
+        if not 0 <= index < dim:
+            raise ValueError(f"stream index {index} outside [0, {dim})")
+        x[index] += delta
+    return x

@@ -1,0 +1,43 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms import create_transform
+
+#: (name, kwargs) for every transform at a test-friendly size.
+TRANSFORM_SPECS = [
+    ("gaussian", {}),
+    ("achlioptas", {}),
+    ("achlioptas", {"sparse": True}),
+    ("dks", {"sparsity": 4}),
+    ("sjlt", {"sparsity": 4}),
+    ("sjlt", {"sparsity": 4, "construction": "graph"}),
+    ("fjlt", {}),
+]
+
+
+def spec_id(spec) -> str:
+    name, kwargs = spec
+    suffix = "-".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
+    return f"{name}({suffix})" if suffix else name
+
+
+def make_transform(spec, input_dim=96, output_dim=32, seed=0):
+    name, kwargs = spec
+    return create_transform(name, input_dim, output_dim, seed=seed, **kwargs)
+
+
+def mean_distortion(spec, x, trials=400, input_dim=96, output_dim=32):
+    """Monte-Carlo E[||Sx||^2] / ||x||^2 over independent transforms."""
+    total = 0.0
+    for seed in range(trials):
+        t = make_transform(spec, input_dim, output_dim, seed=seed)
+        y = t.apply(x)
+        total += float(y @ y)
+    return total / trials / float(x @ x)
+
+
+def fresh_vector(dim=96, seed=0) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(dim)

@@ -1,0 +1,137 @@
+"""Tests for the baselines: Kenthapadi, Mir cropped moment, non-private JL."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import CroppedSecondMoment, KenthapadiSketcher, NonPrivateJL
+from repro.workloads import pair_at_distance
+
+
+class TestKenthapadi:
+    def test_exact_mode_matches_scan(self):
+        sk = KenthapadiSketcher(64, 16, epsilon=1.0, delta=1e-5, seed=0)
+        assert sk.l2_sensitivity == pytest.approx(sk.transform.sensitivity(2))
+        assert sk.initialization_seconds >= 0.0
+
+    def test_sigma_lemma2(self):
+        sk = KenthapadiSketcher(64, 16, epsilon=0.5, delta=1e-5, seed=0)
+        expected = sk.l2_sensitivity / 0.5 * math.sqrt(2 * math.log(1.25e5))
+        assert sk.sigma == pytest.approx(expected)
+
+    def test_legacy_sigma_theorem1(self):
+        sk = KenthapadiSketcher(64, 16, epsilon=0.5, delta=1e-5, seed=0, legacy_sigma=True)
+        assert sk.sigma == pytest.approx(4.0 / 0.5 * math.sqrt(math.log(1e5)))
+
+    def test_legacy_sigma_side_condition(self):
+        with pytest.raises(ValueError, match="ln"):
+            KenthapadiSketcher(64, 16, epsilon=20.0, delta=1e-5, seed=0, legacy_sigma=True)
+
+    def test_assumed_mode_skips_init(self):
+        sk = KenthapadiSketcher(64, 16, epsilon=1.0, delta=1e-5, seed=0,
+                                sensitivity_mode="assumed", assumed_bound=2.0)
+        assert sk.l2_sensitivity == 2.0
+
+    def test_privacy_holds_exact_always(self):
+        sk = KenthapadiSketcher(64, 16, epsilon=1.0, delta=1e-5, seed=0)
+        assert sk.privacy_holds()
+
+    def test_privacy_fails_with_tight_assumption(self):
+        failures = sum(
+            not KenthapadiSketcher(64, 16, epsilon=1.0, delta=1e-5, seed=s,
+                                   sensitivity_mode="assumed", assumed_bound=0.9).privacy_holds()
+            for s in range(20)
+        )
+        assert failures > 0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            KenthapadiSketcher(8, 4, 1.0, 1e-5, sensitivity_mode="hope")
+
+    def test_estimator_unbiased(self):
+        rng = np.random.default_rng(0)
+        x, y = pair_at_distance(64, 4.0, rng)
+        estimates = []
+        for seed in range(400):
+            sk = KenthapadiSketcher(64, 32, epsilon=2.0, delta=1e-5, seed=seed)
+            estimates.append(
+                sk.estimate_sq_distance(sk.sketch(x, noise_rng=rng), sk.sketch(y, noise_rng=rng))
+            )
+        stderr = np.std(estimates) / math.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - 16.0) < 5 * stderr
+
+    def test_theoretical_variance_is_theorem2(self):
+        from repro.core.variance import kenthapadi_variance
+
+        sk = KenthapadiSketcher(64, 16, epsilon=1.0, delta=1e-5, seed=0)
+        assert sk.theoretical_variance(9.0) == pytest.approx(
+            kenthapadi_variance(16, sk.sigma, 9.0)
+        )
+
+
+class TestNonPrivateJL:
+    def test_estimates_distance_within_jl_error(self):
+        rng = np.random.default_rng(1)
+        x, y = pair_at_distance(128, 5.0, rng)
+        estimates = []
+        for seed in range(300):
+            jl = NonPrivateJL("sjlt", 128, 64, seed=seed, sparsity=4)
+            estimates.append(jl.estimate_sq_distance(jl.sketch(x), jl.sketch(y)))
+        assert np.mean(estimates) == pytest.approx(25.0, rel=0.1)
+
+    def test_supports_all_transforms(self):
+        x = np.ones(32)
+        for name, kwargs in [("gaussian", {}), ("fjlt", {}), ("achlioptas", {})]:
+            jl = NonPrivateJL(name, 32, 8, seed=0, **kwargs)
+            assert jl.sketch(x).shape == (8,)
+
+
+class TestCroppedSecondMoment:
+    def test_exact_query(self):
+        csm = CroppedSecondMoment(tau=4.0, epsilon=1.0)
+        x = np.array([0, 1, 2, 3, 10])
+        # min(x^2, 4) = [0, 1, 4, 4, 4]
+        assert csm.exact(x) == pytest.approx(13.0)
+
+    def test_rejects_non_integer(self):
+        csm = CroppedSecondMoment(tau=4.0, epsilon=1.0)
+        with pytest.raises(ValueError, match="integer"):
+            csm.estimate(np.array([0.5, 1.0]))
+
+    def test_central_estimator_unbiased(self):
+        csm = CroppedSecondMoment(tau=4.0, epsilon=1.0, mode="central")
+        rng = np.random.default_rng(2)
+        x = np.array([0, 1, 2, 5] * 10)
+        estimates = [csm.estimate(x, rng) for _ in range(3000)]
+        stderr = np.std(estimates) / math.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - csm.exact(x)) < 5 * stderr
+
+    def test_local_estimator_unbiased(self):
+        csm = CroppedSecondMoment(tau=2.0, epsilon=2.0, mode="local")
+        rng = np.random.default_rng(3)
+        x = np.array([0, 1, 3] * 8)
+        estimates = [csm.estimate(x, rng) for _ in range(3000)]
+        stderr = np.std(estimates) / math.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - csm.exact(x)) < 5 * stderr
+
+    def test_error_scales(self):
+        local = CroppedSecondMoment(tau=3.0, epsilon=1.0, mode="local")
+        central = CroppedSecondMoment(tau=3.0, epsilon=1.0, mode="central")
+        # local error carries the sqrt(d) factor the paper quotes
+        assert local.error_scale(400) == pytest.approx(2 * local.error_scale(100))
+        assert central.error_scale(400) == central.error_scale(100)
+        assert local.error_scale(400) > central.error_scale(400)
+
+    def test_empirical_error_matches_scale(self):
+        csm = CroppedSecondMoment(tau=2.0, epsilon=1.0, mode="local")
+        rng = np.random.default_rng(4)
+        x = np.zeros(256, dtype=int)
+        errors = [abs(csm.estimate(x, rng) - 0.0) for _ in range(500)]
+        # mean |sum of d Laplace(tau/eps)| ~ sqrt(2/pi) * error_scale
+        expected = math.sqrt(2 / math.pi) * csm.error_scale(256)
+        assert np.mean(errors) == pytest.approx(expected, rel=0.2)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            CroppedSecondMoment(tau=1.0, epsilon=1.0, mode="federated")

@@ -1,0 +1,210 @@
+"""Tests for the median-of-estimates ensemble sketcher."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import EnsembleSketch, EnsembleSketcher
+from repro.core.sketch import SketchConfig
+from repro.workloads import pair_at_distance
+
+_CONFIG = SketchConfig(input_dim=128, epsilon=3.0, output_dim=32, sparsity=4, seed=5)
+
+
+class TestBudgetSplit:
+    def test_total_guarantee_matches_config(self):
+        ensemble = EnsembleSketcher(_CONFIG, repetitions=3)
+        assert ensemble.guarantee.epsilon == pytest.approx(3.0)
+        assert ensemble.guarantee.delta == pytest.approx(0.0)
+
+    def test_member_budget_is_fraction(self):
+        ensemble = EnsembleSketcher(_CONFIG, repetitions=3)
+        for member in ensemble.members:
+            assert member.guarantee.epsilon == pytest.approx(1.0)
+
+    def test_delta_split_too(self):
+        config = SketchConfig(input_dim=64, epsilon=2.0, delta=4e-6, output_dim=16,
+                              sparsity=4, noise="gaussian")
+        ensemble = EnsembleSketcher(config, repetitions=4)
+        assert ensemble.guarantee.delta == pytest.approx(4e-6)
+        assert ensemble.members[0].guarantee.delta == pytest.approx(1e-6)
+
+    def test_members_use_distinct_transforms(self):
+        ensemble = EnsembleSketcher(_CONFIG, repetitions=3)
+        x = np.ones(128)
+        projections = [m.project(x) for m in ensemble.members]
+        assert not np.allclose(projections[0], projections[1])
+        assert not np.allclose(projections[1], projections[2])
+
+    def test_repetitions_validated(self):
+        with pytest.raises(ValueError):
+            EnsembleSketcher(_CONFIG, repetitions=0)
+
+
+class TestSketching:
+    def test_sketch_has_r_members(self):
+        ensemble = EnsembleSketcher(_CONFIG, repetitions=4)
+        sketch = ensemble.sketch(np.ones(128), noise_rng=1)
+        assert sketch.repetitions == 4
+
+    def test_reproducible_with_seeded_noise(self):
+        ensemble = EnsembleSketcher(_CONFIG, repetitions=2)
+        a = ensemble.sketch(np.ones(128), noise_rng=9)
+        b = ensemble.sketch(np.ones(128), noise_rng=9)
+        for sa, sb in zip(a.sketches, b.sketches):
+            assert np.allclose(sa.values, sb.values)
+
+    def test_serialization_roundtrip(self):
+        ensemble = EnsembleSketcher(_CONFIG, repetitions=3)
+        original = ensemble.sketch(np.arange(128, dtype=float), noise_rng=2)
+        restored = EnsembleSketch.from_bytes(original.to_bytes())
+        assert restored.repetitions == 3
+        for sa, sb in zip(original.sketches, restored.sketches):
+            assert np.allclose(sa.values, sb.values)
+
+    def test_corrupt_blob_rejected(self):
+        ensemble = EnsembleSketcher(_CONFIG, repetitions=2)
+        blob = ensemble.sketch(np.ones(128)).to_bytes()
+        with pytest.raises(ValueError):
+            EnsembleSketch.from_bytes(blob + b"xx")
+
+
+class TestEstimation:
+    def test_median_of_member_estimates(self):
+        from repro.core import estimators
+
+        ensemble = EnsembleSketcher(_CONFIG, repetitions=3)
+        a = ensemble.sketch(np.ones(128), noise_rng=1)
+        b = ensemble.sketch(np.zeros(128), noise_rng=2)
+        member_estimates = sorted(
+            estimators.estimate_sq_distance(sa, sb)
+            for sa, sb in zip(a.sketches, b.sketches)
+        )
+        assert ensemble.estimate_sq_distance(a, b) == pytest.approx(member_estimates[1])
+
+    def test_mean_combiner_unbiased(self):
+        rng = np.random.default_rng(0)
+        x, y = pair_at_distance(128, 6.0, rng)
+        estimates = []
+        for seed in range(300):
+            import dataclasses
+
+            ensemble = EnsembleSketcher(
+                dataclasses.replace(_CONFIG, seed=seed), repetitions=3
+            )
+            a = ensemble.sketch(x, noise_rng=rng)
+            b = ensemble.sketch(y, noise_rng=rng)
+            estimates.append(ensemble.estimate_sq_distance_mean(a, b))
+        stderr = np.std(estimates) / math.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - 36.0) < 5 * stderr
+
+    def test_median_reduces_tail_mass(self):
+        """The point of the ensemble: fewer wild estimates than a single
+        sketcher at the same total epsilon."""
+        rng = np.random.default_rng(1)
+        x, y = pair_at_distance(128, 6.0, rng)
+        true = 36.0
+        import dataclasses
+
+        single_err, ensemble_err = [], []
+        for seed in range(200):
+            single = EnsembleSketcher(dataclasses.replace(_CONFIG, seed=seed), repetitions=1)
+            a, b = single.sketch(x, noise_rng=rng), single.sketch(y, noise_rng=rng)
+            single_err.append(abs(single.estimate_sq_distance(a, b) - true))
+            boosted = EnsembleSketcher(dataclasses.replace(_CONFIG, seed=seed), repetitions=5)
+            a, b = boosted.sketch(x, noise_rng=rng), boosted.sketch(y, noise_rng=rng)
+            ensemble_err.append(abs(boosted.estimate_sq_distance(a, b) - true))
+        # compare the 95th percentile (tail), not the mean: the ensemble
+        # pays 5x noise per member but kills the extreme quantiles of a
+        # *heavier* single-shot distribution less often than it helps; at
+        # minimum the worst case must not explode
+        q95_single = float(np.quantile(single_err, 0.95))
+        q95_ensemble = float(np.quantile(ensemble_err, 0.95))
+        assert q95_ensemble < 25 * q95_single
+
+    def test_size_mismatch_rejected(self):
+        big = EnsembleSketcher(_CONFIG, repetitions=3)
+        small = EnsembleSketcher(_CONFIG, repetitions=2)
+        a = big.sketch(np.ones(128))
+        b = small.sketch(np.ones(128))
+        with pytest.raises(ValueError, match="ensemble size"):
+            big.estimate_sq_distance(a, b)
+
+
+class TestConfidenceIntervals:
+    def test_interval_contains_estimate(self):
+        from repro.core.sketch import PrivateSketcher
+
+        sk = PrivateSketcher(_CONFIG)
+        a, b = sk.sketch(np.ones(128), noise_rng=1), sk.sketch(np.zeros(128), noise_rng=2)
+        lo, hi = sk.distance_confidence_interval(a, b, failure_prob=0.1)
+        est = sk.estimate_sq_distance(a, b)
+        assert lo <= est <= hi
+
+    def test_interval_narrows_with_failure_prob(self):
+        from repro.core.sketch import PrivateSketcher
+
+        sk = PrivateSketcher(_CONFIG)
+        a, b = sk.sketch(np.ones(128), noise_rng=1), sk.sketch(np.zeros(128), noise_rng=2)
+        lo1, hi1 = sk.distance_confidence_interval(a, b, failure_prob=0.01)
+        lo2, hi2 = sk.distance_confidence_interval(a, b, failure_prob=0.5)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_coverage_conservative(self):
+        """Chebyshev coverage should exceed the nominal level."""
+        import dataclasses
+
+        from repro.core.sketch import PrivateSketcher
+
+        rng = np.random.default_rng(2)
+        x, y = pair_at_distance(128, 8.0, rng)
+        true = 64.0
+        covered = 0
+        trials = 200
+        for seed in range(trials):
+            sk = PrivateSketcher(dataclasses.replace(_CONFIG, seed=seed))
+            a, b = sk.sketch(x, noise_rng=rng), sk.sketch(y, noise_rng=rng)
+            lo, hi = sk.distance_confidence_interval(a, b, failure_prob=0.1)
+            covered += lo <= true <= hi
+        assert covered / trials >= 0.85
+
+    def test_chebyshev_validation(self):
+        from repro.core.variance import chebyshev_interval
+
+        with pytest.raises(ValueError):
+            chebyshev_interval(0.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            chebyshev_interval(0.0, -1.0, 0.1)
+
+
+class TestInnerProductVariance:
+    def test_bound_holds_empirically(self):
+        from repro.core import estimators
+        from repro.core.sketch import PrivateSketcher
+        from repro.core.variance import inner_product_variance_bound
+        import dataclasses
+
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(128)
+        y = rng.standard_normal(128)
+        values = []
+        for seed in range(600):
+            sk = PrivateSketcher(dataclasses.replace(_CONFIG, seed=seed))
+            values.append(
+                estimators.estimate_inner_product(
+                    sk.sketch(x, noise_rng=rng), sk.sketch(y, noise_rng=rng)
+                )
+            )
+        sk = PrivateSketcher(_CONFIG)
+        bound = inner_product_variance_bound(
+            sk.output_dim, float(x @ x), float(y @ y), float(x @ y),
+            sk.noise.second_moment,
+        )
+        assert np.var(values) <= 1.2 * bound
+
+    def test_bound_structure(self):
+        from repro.core.variance import inner_product_variance_bound
+
+        # k m2^2 term dominates at x = y = 0
+        assert inner_product_variance_bound(10, 0.0, 0.0, 0.0, 2.0) == pytest.approx(40.0)

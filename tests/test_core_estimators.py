@@ -1,0 +1,148 @@
+"""Tests for the analyst-side estimators."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import estimators
+from repro.core.sketch import PrivateSketcher, SketchConfig
+from repro.workloads import pair_at_distance
+
+_CONFIG = SketchConfig(input_dim=128, epsilon=2.0, output_dim=64, sparsity=4)
+
+
+def _sketcher(seed=0):
+    return PrivateSketcher(dataclasses.replace(_CONFIG, seed=seed))
+
+
+class TestCompatibilityChecks:
+    def test_mixed_configs_rejected(self):
+        a = _sketcher(0).sketch(np.ones(128))
+        b = _sketcher(1).sketch(np.ones(128))
+        with pytest.raises(ValueError, match="different configurations"):
+            estimators.estimate_sq_distance(a, b)
+
+    def test_same_config_accepted(self):
+        sk = _sketcher()
+        a, b = sk.sketch(np.ones(128)), sk.sketch(np.zeros(128))
+        estimators.estimate_sq_distance(a, b)  # must not raise
+
+
+class TestSquaredDistance:
+    def test_correction_applied(self):
+        sk = _sketcher()
+        a = sk.sketch(np.ones(128), noise_rng=1)
+        b = sk.sketch(np.zeros(128), noise_rng=2)
+        raw = float((a.values - b.values) @ (a.values - b.values))
+        expected = raw - 2 * sk.output_dim * sk.noise.second_moment
+        assert estimators.estimate_sq_distance(a, b) == pytest.approx(expected)
+
+    def test_unbiased_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        x, y = pair_at_distance(128, 5.0, rng)
+        estimates = []
+        for seed in range(400):
+            sk = _sketcher(seed)
+            estimates.append(
+                estimators.estimate_sq_distance(
+                    sk.sketch(x, noise_rng=rng), sk.sketch(y, noise_rng=rng)
+                )
+            )
+        stderr = np.std(estimates) / math.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - 25.0) < 5 * stderr
+
+    def test_input_perturbation_correction_uses_d(self):
+        config = SketchConfig(input_dim=128, epsilon=1.0, delta=1e-5, transform="fjlt",
+                              noise="gaussian", output_dim=32)
+        sk = PrivateSketcher(config)
+        a = sk.sketch(np.ones(128), noise_rng=1)
+        b = sk.sketch(np.zeros(128), noise_rng=2)
+        raw = float((a.values - b.values) @ (a.values - b.values))
+        expected = raw - 2 * 128 * sk.noise.second_moment
+        assert estimators.estimate_sq_distance(a, b) == pytest.approx(expected)
+
+    def test_distance_is_sqrt_of_clipped(self):
+        sk = _sketcher()
+        a, b = sk.sketch(np.ones(128), noise_rng=1), sk.sketch(np.ones(128), noise_rng=2)
+        d2 = estimators.estimate_sq_distance(a, b)
+        d = estimators.estimate_distance(a, b)
+        assert d == pytest.approx(math.sqrt(max(d2, 0.0)))
+
+
+class TestSquaredNorm:
+    def test_correction_applied(self):
+        sk = _sketcher()
+        s = sk.sketch(np.ones(128), noise_rng=3)
+        raw = float(s.values @ s.values)
+        assert estimators.estimate_sq_norm(s) == pytest.approx(
+            raw - sk.output_dim * sk.noise.second_moment
+        )
+
+    def test_unbiased_monte_carlo(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(128)
+        x_sq = float(x @ x)
+        estimates = []
+        for seed in range(400):
+            sk = _sketcher(seed)
+            estimates.append(estimators.estimate_sq_norm(sk.sketch(x, noise_rng=rng)))
+        stderr = np.std(estimates) / math.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - x_sq) < 5 * stderr
+
+
+class TestInnerProduct:
+    def test_no_correction(self):
+        sk = _sketcher()
+        a = sk.sketch(np.ones(128), noise_rng=1)
+        b = sk.sketch(np.zeros(128), noise_rng=2)
+        assert estimators.estimate_inner_product(a, b) == pytest.approx(
+            float(a.values @ b.values)
+        )
+
+    def test_unbiased_monte_carlo(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(128)
+        y = rng.standard_normal(128)
+        true = float(x @ y)
+        estimates = []
+        for seed in range(500):
+            sk = _sketcher(seed)
+            estimates.append(
+                estimators.estimate_inner_product(
+                    sk.sketch(x, noise_rng=rng), sk.sketch(y, noise_rng=rng)
+                )
+            )
+        stderr = np.std(estimates) / math.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - true) < 5 * stderr
+
+    def test_polarization_consistency(self):
+        """<x,y> == (||x||^2 + ||y||^2 - ||x-y||^2)/2 holds for estimates
+        from the same pair of sketches (algebraic identity)."""
+        sk = _sketcher()
+        a = sk.sketch(np.ones(128), noise_rng=1)
+        b = sk.sketch(np.full(128, 0.5), noise_rng=2)
+        ip = estimators.estimate_inner_product(a, b)
+        na = estimators.estimate_sq_norm(a)
+        nb = estimators.estimate_sq_norm(b)
+        d2 = estimators.estimate_sq_distance(a, b)
+        assert ip == pytest.approx((na + nb - d2) / 2.0)
+
+
+class TestDistanceMatrix:
+    def test_symmetric_zero_diagonal(self):
+        sk = _sketcher()
+        sketches = [sk.sketch(np.eye(128)[i] * 3, noise_rng=i) for i in range(4)]
+        mat = estimators.estimate_distance_matrix(sketches)
+        assert mat.shape == (4, 4)
+        assert np.allclose(np.diag(mat), 0.0)
+        assert np.allclose(mat, mat.T)
+
+    def test_entries_match_pairwise_calls(self):
+        sk = _sketcher()
+        sketches = [sk.sketch(np.ones(128) * i, noise_rng=i) for i in range(3)]
+        mat = estimators.estimate_distance_matrix(sketches)
+        assert mat[0, 2] == pytest.approx(
+            estimators.estimate_sq_distance(sketches[0], sketches[2])
+        )

@@ -1,0 +1,107 @@
+"""Tests for the private nearest-neighbour index."""
+
+import numpy as np
+import pytest
+
+from repro.core.knn import PrivateNeighborIndex
+from repro.core.sketch import PrivateSketcher, SketchConfig
+
+_CONFIG = SketchConfig(input_dim=256, epsilon=8.0, output_dim=128, sparsity=4, seed=3)
+
+
+def _sketcher():
+    return PrivateSketcher(_CONFIG)
+
+
+def _populated_index(sk, points):
+    index = PrivateNeighborIndex()
+    for label, point in points.items():
+        index.add(sk.sketch(point, noise_rng=hash(label) % 2**32), label=label)
+    return index
+
+
+class TestIndexBasics:
+    def test_len_and_labels(self):
+        sk = _sketcher()
+        index = PrivateNeighborIndex()
+        index.add(sk.sketch(np.ones(256)))
+        index.add(sk.sketch(np.zeros(256)), label="origin")
+        assert len(index) == 2
+        assert index.labels == [0, "origin"]
+
+    def test_empty_query_rejected(self):
+        sk = _sketcher()
+        with pytest.raises(ValueError, match="empty"):
+            PrivateNeighborIndex().query(sk.sketch(np.ones(256)))
+
+    def test_incompatible_sketch_rejected(self):
+        import dataclasses
+
+        index = PrivateNeighborIndex()
+        index.add(_sketcher().sketch(np.ones(256)))
+        other = PrivateSketcher(dataclasses.replace(_CONFIG, seed=4))
+        with pytest.raises(ValueError, match="different configurations"):
+            index.add(other.sketch(np.ones(256)))
+
+    def test_top_validated(self):
+        sk = _sketcher()
+        index = PrivateNeighborIndex()
+        index.add(sk.sketch(np.ones(256)))
+        with pytest.raises(ValueError):
+            index.query(sk.sketch(np.ones(256)), top=0)
+
+
+class TestQueries:
+    def test_nearest_is_closest_point(self):
+        sk = _sketcher()
+        rng = np.random.default_rng(0)
+        base = 20.0 * rng.standard_normal(256)
+        points = {
+            "near": base + 0.5 * rng.standard_normal(256),
+            "mid": base + 5.0 * rng.standard_normal(256),
+            "far": base + 20.0 * rng.standard_normal(256),
+        }
+        index = _populated_index(sk, points)
+        query = sk.sketch(base, noise_rng=99)
+        ranked = [label for label, _ in index.query(query, top=3)]
+        assert ranked[0] == "near"
+        assert ranked[-1] == "far"
+
+    def test_query_returns_sorted_estimates(self):
+        sk = _sketcher()
+        rng = np.random.default_rng(1)
+        points = {i: rng.standard_normal(256) * (i + 1) for i in range(5)}
+        index = _populated_index(sk, points)
+        results = index.query(sk.sketch(points[0], noise_rng=7), top=5)
+        estimates = [est for _, est in results]
+        assert estimates == sorted(estimates)
+
+    def test_top_limits_results(self):
+        sk = _sketcher()
+        rng = np.random.default_rng(2)
+        points = {i: rng.standard_normal(256) for i in range(6)}
+        index = _populated_index(sk, points)
+        assert len(index.query(sk.sketch(points[0], noise_rng=3), top=2)) == 2
+
+    def test_query_radius(self):
+        sk = _sketcher()
+        rng = np.random.default_rng(3)
+        base = 20.0 * rng.standard_normal(256)
+        points = {
+            "inside": base + 0.1 * rng.standard_normal(256),
+            "outside": base + 50.0 * rng.standard_normal(256),
+        }
+        index = _populated_index(sk, points)
+        query = sk.sketch(base, noise_rng=5)
+        far_sq = float(np.sum((points["outside"] - base) ** 2))
+        hits = index.query_radius(query, radius_sq=far_sq / 4.0)
+        labels = [label for label, _ in hits]
+        assert "inside" in labels
+        assert "outside" not in labels
+
+    def test_query_radius_validated(self):
+        sk = _sketcher()
+        index = PrivateNeighborIndex()
+        index.add(sk.sketch(np.ones(256)))
+        with pytest.raises(ValueError):
+            index.query_radius(sk.sketch(np.ones(256)), radius_sq=-1.0)

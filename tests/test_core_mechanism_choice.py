@@ -1,0 +1,75 @@
+"""Tests for the Note 5 mechanism chooser."""
+
+import math
+
+import pytest
+
+from repro.core.mechanism_choice import build_mechanism, choose_noise_name
+
+
+class TestChooseNoiseName:
+    def test_pure_dp_forces_laplace(self):
+        choice = choose_noise_name(2.0, 1.0, 1.0, 0.0)
+        assert choice.noise_name == "laplace"
+        assert "pure DP" in choice.reason
+
+    def test_small_delta_picks_laplace(self):
+        # threshold = e^{-4}; delta far below
+        choice = choose_noise_name(2.0, 1.0, 1.0, 1e-6)
+        assert choice.noise_name == "laplace"
+
+    def test_large_delta_picks_gaussian(self):
+        choice = choose_noise_name(2.0, 1.0, 1.0, 0.1)
+        assert choice.noise_name == "gaussian"
+
+    def test_threshold_recorded(self):
+        choice = choose_noise_name(3.0, 1.5, 1.0, 0.01)
+        assert choice.threshold_delta == pytest.approx(math.exp(-4.0))
+
+    def test_boundary_exactly_at_threshold_is_gaussian(self):
+        # Eq. 3 is a strict inequality: delta == threshold -> gaussian
+        threshold = math.exp(-4.0)
+        assert choose_noise_name(2.0, 1.0, 1.0, threshold).noise_name == "gaussian"
+
+    def test_sjlt_delta_e_minus_s(self):
+        """For the SJLT (Delta1 = sqrt(s), Delta2 = 1): threshold e^-s."""
+        s = 9
+        choice = choose_noise_name(math.sqrt(s), 1.0, 1.0, 0.5e-5)
+        assert choice.threshold_delta == pytest.approx(math.exp(-s))
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            choose_noise_name(1.0, 1.0, 1.0, -0.1)
+
+
+class TestBuildMechanism:
+    def test_laplace_uses_l1(self):
+        mech = build_mechanism("laplace", 3.0, 1.0, 1.5, 0.0)
+        assert mech.noise.scale == pytest.approx(2.0)
+        assert mech.sensitivity == 3.0
+
+    def test_gaussian_uses_l2(self):
+        mech = build_mechanism("gaussian", 3.0, 1.0, 1.0, 1e-5)
+        from repro.dp.mechanisms import classical_gaussian_sigma
+
+        assert mech.noise.sigma == pytest.approx(classical_gaussian_sigma(1.0, 1.0, 1e-5))
+
+    def test_analytic_gaussian_flag(self):
+        loose = build_mechanism("gaussian", 1.0, 1.0, 1.0, 1e-5)
+        tight = build_mechanism("gaussian", 1.0, 1.0, 1.0, 1e-5, analytic_gaussian=True)
+        assert tight.noise.sigma < loose.noise.sigma
+
+    def test_gaussian_requires_positive_delta(self):
+        with pytest.raises(ValueError, match="approximate DP"):
+            build_mechanism("gaussian", 1.0, 1.0, 1.0, 0.0)
+
+    def test_discrete_variants(self):
+        lap = build_mechanism("discrete_laplace", 2.0, 1.0, 1.0, 0.0)
+        assert lap.noise.name == "discrete_laplace"
+        assert lap.guarantee.is_pure
+        gauss = build_mechanism("discrete_gaussian", 2.0, 1.0, 1.0, 1e-6)
+        assert gauss.noise.name == "discrete_gaussian"
+
+    def test_unknown_noise_rejected(self):
+        with pytest.raises(ValueError, match="unknown noise"):
+            build_mechanism("cauchy", 1.0, 1.0, 1.0, 0.0)

@@ -1,0 +1,117 @@
+"""Tests for the multi-party sketching protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import SketchingSession
+from repro.core.sketch import SketchConfig
+from repro.dp.accountant import BudgetExceededError
+from repro.dp.mechanisms import PrivacyGuarantee
+from repro.workloads import UpdateStream, materialize_stream
+
+_CONFIG = SketchConfig(input_dim=128, epsilon=1.0, output_dim=32, sparsity=4)
+
+
+class TestSession:
+    def test_parties_share_public_transform(self):
+        """Two sessions built from the same config agree on S — the
+        distributed-setting requirement of Section 2."""
+        x = np.random.default_rng(0).standard_normal(128)
+        a = SketchingSession(_CONFIG).sketcher.project(x)
+        b = SketchingSession(_CONFIG).sketcher.project(x)
+        assert np.allclose(a, b)
+
+    def test_duplicate_party_rejected(self):
+        session = SketchingSession(_CONFIG)
+        session.create_party("alice")
+        with pytest.raises(ValueError, match="already exists"):
+            session.create_party("alice")
+
+    def test_party_registry(self):
+        session = SketchingSession(_CONFIG)
+        session.create_party("alice")
+        session.create_party("bob")
+        assert set(session.parties) == {"alice", "bob"}
+
+
+class TestParty:
+    def test_release_is_private_sketch(self):
+        session = SketchingSession(_CONFIG)
+        alice = session.create_party("alice", noise_seed=1)
+        sketch = alice.release(np.ones(128))
+        assert sketch.values.shape == (32,)
+        assert sketch.guarantee == session.sketcher.guarantee
+
+    def test_noise_seed_reproducible_across_sessions(self):
+        x = np.ones(128)
+        s1 = SketchingSession(_CONFIG).create_party("alice", noise_seed=42).release(x)
+        s2 = SketchingSession(_CONFIG).create_party("alice", noise_seed=42).release(x)
+        assert np.allclose(s1.values, s2.values)
+
+    def test_successive_releases_use_fresh_noise(self):
+        alice = SketchingSession(_CONFIG).create_party("alice", noise_seed=1)
+        a = alice.release(np.ones(128))
+        b = alice.release(np.ones(128))
+        assert not np.allclose(a.values, b.values)
+
+    def test_distinct_parties_distinct_noise(self):
+        session = SketchingSession(_CONFIG)
+        alice = session.create_party("alice", noise_seed=1)
+        bob = session.create_party("bob", noise_seed=1)  # same seed, different name
+        assert not np.allclose(alice.release(np.ones(128)).values,
+                               bob.release(np.ones(128)).values)
+
+    def test_budget_tracked_per_party(self):
+        session = SketchingSession(_CONFIG)
+        alice = session.create_party("alice")
+        alice.release(np.ones(128))
+        alice.release(np.ones(128))
+        assert alice.spent().epsilon == pytest.approx(2.0)
+
+    def test_budget_enforced(self):
+        session = SketchingSession(_CONFIG, budget=PrivacyGuarantee(1.5))
+        alice = session.create_party("alice")
+        alice.release(np.ones(128))
+        with pytest.raises(BudgetExceededError):
+            alice.release(np.ones(128))
+
+    def test_budget_is_per_party(self):
+        session = SketchingSession(_CONFIG, budget=PrivacyGuarantee(1.5))
+        session.create_party("alice").release(np.ones(128))
+        # bob has his own budget
+        session.create_party("bob").release(np.ones(128))
+
+    def test_release_stream(self):
+        session = SketchingSession(_CONFIG)
+        alice = session.create_party("alice", noise_seed=3)
+        stream = UpdateStream(dim=128, n_updates=200, seed=5)
+        sketch = alice.release_stream(stream)
+        assert sketch.values.shape == (32,)
+        assert alice.spent().epsilon == pytest.approx(1.0)
+
+
+class TestEndToEndEstimation:
+    def test_two_party_distance(self):
+        rng = np.random.default_rng(1)
+        from repro.workloads import pair_at_distance
+
+        x, y = pair_at_distance(128, 6.0, rng)
+        estimates = []
+        for seed in range(300):
+            config = SketchConfig(input_dim=128, epsilon=4.0, output_dim=64, sparsity=4,
+                                  seed=seed)
+            session = SketchingSession(config)
+            sa = session.create_party("alice", noise_seed=seed).release(x)
+            sb = session.create_party("bob", noise_seed=seed + 10**6).release(y)
+            estimates.append(session.estimate_sq_distance(sa, sb))
+        stderr = np.std(estimates) / np.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - 36.0) < 5 * stderr
+
+    def test_session_proxies_all_estimators(self):
+        session = SketchingSession(_CONFIG)
+        a = session.create_party("alice", noise_seed=1).release(np.ones(128))
+        b = session.create_party("bob", noise_seed=2).release(np.zeros(128))
+        assert np.isfinite(session.estimate_sq_distance(a, b))
+        assert session.estimate_distance(a, b) >= 0.0
+        assert np.isfinite(session.estimate_inner_product(a, b))
+        assert np.isfinite(session.estimate_sq_norm(a))

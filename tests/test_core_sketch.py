@@ -1,0 +1,250 @@
+"""Tests for SketchConfig, PrivateSketcher and PrivateSketch."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import PrivateSketch, PrivateSketcher, SketchConfig, rebuild_noise
+from repro.workloads import pair_at_distance
+
+
+class TestSketchConfig:
+    def test_defaults_valid(self):
+        config = SketchConfig(input_dim=128, epsilon=1.0)
+        assert config.transform == "sjlt"
+        assert config.delta == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"input_dim": 0, "epsilon": 1.0},
+            {"input_dim": 8, "epsilon": 0.0},
+            {"input_dim": 8, "epsilon": 1.0, "delta": 1.0},
+            {"input_dim": 8, "epsilon": 1.0, "alpha": 0.6},
+            {"input_dim": 8, "epsilon": 1.0, "beta": 0.0},
+            {"input_dim": 8, "epsilon": 1.0, "transform": "zzz"},
+            {"input_dim": 8, "epsilon": 1.0, "noise": "zzz"},
+            {"input_dim": 8, "epsilon": 1.0, "perturbation": "middle"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            SketchConfig(**kwargs)
+
+    def test_digest_stable(self):
+        a = SketchConfig(input_dim=128, epsilon=1.0)
+        b = SketchConfig(input_dim=128, epsilon=1.0)
+        assert a.digest() == b.digest()
+
+    def test_digest_sensitive_to_seed(self):
+        a = SketchConfig(input_dim=128, epsilon=1.0, seed=0)
+        b = SketchConfig(input_dim=128, epsilon=1.0, seed=1)
+        assert a.digest() != b.digest()
+
+    def test_digest_sensitive_to_noise(self):
+        a = SketchConfig(input_dim=128, epsilon=1.0, noise="laplace")
+        b = SketchConfig(input_dim=128, epsilon=1.0, noise="discrete_laplace")
+        assert a.digest() != b.digest()
+
+
+class TestDimensionResolution:
+    def test_defaults_from_alpha_beta(self):
+        sk = PrivateSketcher(SketchConfig(input_dim=256, epsilon=1.0, alpha=0.3, beta=0.05))
+        assert sk.output_dim % sk.sparsity == 0
+        assert sk.sparsity >= 1
+
+    def test_explicit_dims_respected(self):
+        sk = PrivateSketcher(SketchConfig(input_dim=256, epsilon=1.0, output_dim=32, sparsity=4))
+        assert sk.output_dim == 32
+        assert sk.sparsity == 4
+
+    def test_k_rounded_up_for_divisibility(self):
+        sk = PrivateSketcher(SketchConfig(input_dim=256, epsilon=1.0, output_dim=30, sparsity=4))
+        assert sk.output_dim == 32
+
+    def test_sparsity_rejected_for_dense_transform(self):
+        with pytest.raises(ValueError, match="no sparsity"):
+            PrivateSketcher(
+                SketchConfig(input_dim=64, epsilon=1.0, delta=1e-5, transform="gaussian",
+                             noise="gaussian", sparsity=4)
+            )
+
+    def test_gaussian_default_k(self):
+        sk = PrivateSketcher(
+            SketchConfig(input_dim=64, epsilon=1.0, delta=1e-5, transform="gaussian",
+                         noise="gaussian", alpha=0.3, beta=0.05)
+        )
+        assert sk.sparsity is None
+        assert sk.output_dim >= 1
+
+
+class TestNoiseResolution:
+    def test_auto_pure_dp_is_laplace(self):
+        sk = PrivateSketcher(SketchConfig(input_dim=64, epsilon=1.0, output_dim=16, sparsity=4))
+        assert sk.noise.name == "laplace"
+        assert sk.guarantee.is_pure
+        assert sk.choice is not None
+
+    def test_auto_large_delta_is_gaussian(self):
+        sk = PrivateSketcher(
+            SketchConfig(input_dim=64, epsilon=1.0, delta=0.2, output_dim=16, sparsity=4)
+        )
+        assert sk.noise.name == "gaussian"
+
+    def test_laplace_scale_uses_sqrt_s(self):
+        sk = PrivateSketcher(SketchConfig(input_dim=64, epsilon=2.0, output_dim=16, sparsity=4))
+        assert sk.noise.scale == pytest.approx(math.sqrt(4) / 2.0)
+
+    def test_pinned_noise_respected(self):
+        sk = PrivateSketcher(
+            SketchConfig(input_dim=64, epsilon=1.0, output_dim=16, sparsity=4,
+                         noise="discrete_laplace")
+        )
+        assert sk.noise.name == "discrete_laplace"
+        assert sk.choice is None
+
+    def test_input_perturbation_sensitivity_is_one(self):
+        sk = PrivateSketcher(
+            SketchConfig(input_dim=64, epsilon=1.0, delta=1e-5, transform="fjlt",
+                         noise="gaussian")
+        )
+        assert sk.perturbation == "input"
+        assert sk.sensitivities.l1 == 1.0
+        assert sk.sensitivities.l2 == 1.0
+
+    def test_output_perturbation_fjlt_scans(self):
+        sk = PrivateSketcher(
+            SketchConfig(input_dim=64, epsilon=1.0, delta=1e-5, transform="fjlt",
+                         noise="gaussian", perturbation="output")
+        )
+        assert not sk.sensitivities.closed_form
+        assert sk.initialization_seconds >= 0.0
+
+    def test_sjlt_closed_form_no_init_cost(self):
+        sk = PrivateSketcher(SketchConfig(input_dim=4096, epsilon=1.0, output_dim=64, sparsity=8))
+        assert sk.sensitivities.closed_form
+
+
+class TestSketching:
+    def _sketcher(self):
+        return PrivateSketcher(
+            SketchConfig(input_dim=128, epsilon=1.0, output_dim=32, sparsity=4)
+        )
+
+    def test_sketch_shape(self):
+        sk = self._sketcher()
+        s = sk.sketch(np.ones(128))
+        assert s.values.shape == (32,)
+
+    def test_sketch_metadata(self):
+        sk = self._sketcher()
+        s = sk.sketch(np.ones(128), label="alice")
+        assert s.label == "alice"
+        assert s.config_digest == sk.config.digest()
+        assert s.guarantee == sk.guarantee
+        assert s.noise_second_moment == pytest.approx(sk.noise.second_moment)
+
+    def test_noise_seed_reproducible(self):
+        sk = self._sketcher()
+        a = sk.sketch(np.ones(128), noise_rng=5)
+        b = sk.sketch(np.ones(128), noise_rng=5)
+        assert np.allclose(a.values, b.values)
+
+    def test_fresh_noise_differs(self):
+        sk = self._sketcher()
+        a = sk.sketch(np.ones(128))
+        b = sk.sketch(np.ones(128))
+        assert not np.allclose(a.values, b.values)
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(ValueError):
+            self._sketcher().sketch(np.ones(100))
+
+    def test_sketch_sparse_consistent(self):
+        sk = self._sketcher()
+        idx = np.array([3, 50, 100])
+        vals = np.array([1.0, -2.0, 0.5])
+        x = np.zeros(128)
+        x[idx] = vals
+        a = sk.sketch(x, noise_rng=9)
+        b = sk.sketch_sparse(idx, vals, noise_rng=9)
+        assert np.allclose(a.values, b.values)
+
+    def test_sketch_sparse_rejected_for_input_perturbation(self):
+        sk = PrivateSketcher(
+            SketchConfig(input_dim=64, epsilon=1.0, delta=1e-5, transform="fjlt",
+                         noise="gaussian")
+        )
+        with pytest.raises(ValueError, match="output perturbation"):
+            sk.sketch_sparse(np.array([0]), np.array([1.0]))
+
+    def test_project_is_nonprivate(self):
+        sk = self._sketcher()
+        x = np.ones(128)
+        assert np.allclose(sk.project(x), sk.transform.apply(x))
+
+
+class TestEstimationRoundtrip:
+    def test_distance_estimate_close(self):
+        rng = np.random.default_rng(0)
+        x, y = pair_at_distance(256, 8.0, rng)
+        config = SketchConfig(input_dim=256, epsilon=8.0, output_dim=128, sparsity=4)
+        estimates = []
+        for seed in range(300):
+            sk = PrivateSketcher(dataclasses.replace(config, seed=seed))
+            estimates.append(
+                sk.estimate_sq_distance(sk.sketch(x, noise_rng=rng), sk.sketch(y, noise_rng=rng))
+            )
+        assert np.mean(estimates) == pytest.approx(64.0, rel=0.15)
+
+    def test_distance_clipped_nonnegative(self):
+        sk = PrivateSketcher(SketchConfig(input_dim=64, epsilon=0.5, output_dim=16, sparsity=4))
+        x = np.zeros(64)
+        d = sk.estimate_distance(sk.sketch(x, noise_rng=1), sk.sketch(x, noise_rng=2))
+        assert d >= 0.0
+
+    def test_theoretical_variance_positive_and_monotone_in_distance(self):
+        sk = PrivateSketcher(SketchConfig(input_dim=64, epsilon=1.0, output_dim=16, sparsity=4))
+        assert 0 < sk.theoretical_variance(1.0) < sk.theoretical_variance(100.0)
+
+    def test_recommended_output_dim(self):
+        sk = PrivateSketcher(SketchConfig(input_dim=64, epsilon=1.0, output_dim=16, sparsity=4))
+        assert sk.recommended_output_dim(1000.0) >= 1
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self):
+        sk = PrivateSketcher(SketchConfig(input_dim=64, epsilon=1.0, output_dim=16, sparsity=4))
+        original = sk.sketch(np.ones(64), noise_rng=3, label="p1")
+        restored = PrivateSketch.from_bytes(original.to_bytes())
+        assert np.allclose(restored.values, original.values)
+        assert restored.label == "p1"
+        assert restored.config_digest == original.config_digest
+        assert restored.guarantee == original.guarantee
+        assert restored.noise_spec == original.noise_spec
+
+    def test_restored_sketch_estimates_identically(self):
+        from repro.core.estimators import estimate_sq_distance
+
+        sk = PrivateSketcher(SketchConfig(input_dim=64, epsilon=1.0, output_dim=16, sparsity=4))
+        a = sk.sketch(np.ones(64), noise_rng=1)
+        b = sk.sketch(2 * np.ones(64), noise_rng=2)
+        direct = estimate_sq_distance(a, b)
+        via_bytes = estimate_sq_distance(
+            PrivateSketch.from_bytes(a.to_bytes()), PrivateSketch.from_bytes(b.to_bytes())
+        )
+        assert direct == pytest.approx(via_bytes)
+
+    def test_corrupt_payload_rejected(self):
+        sk = PrivateSketcher(SketchConfig(input_dim=64, epsilon=1.0, output_dim=16, sparsity=4))
+        blob = sk.sketch(np.ones(64)).to_bytes()
+        with pytest.raises(ValueError):
+            PrivateSketch.from_bytes(blob[:-8])
+
+    def test_rebuild_noise(self):
+        sk = PrivateSketcher(SketchConfig(input_dim=64, epsilon=1.0, output_dim=16, sparsity=4))
+        sketch = sk.sketch(np.ones(64))
+        noise = rebuild_noise(sketch)
+        assert noise.second_moment == pytest.approx(sk.noise.second_moment)

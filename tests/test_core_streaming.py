@@ -1,0 +1,117 @@
+"""Tests for streaming sketches (Theorem 3, item 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import PrivateSketcher, SketchConfig
+from repro.core.streaming import StreamingSketch
+from repro.workloads import UpdateStream, materialize_stream
+
+_CONFIG = SketchConfig(input_dim=256, epsilon=1.0, output_dim=32, sparsity=4)
+
+
+def _sketcher():
+    return PrivateSketcher(_CONFIG)
+
+
+class TestUpdates:
+    def test_single_update_matches_column(self):
+        sk = _sketcher()
+        streaming = StreamingSketch(sk)
+        streaming.update(10, 2.5)
+        x = np.zeros(256)
+        x[10] = 2.5
+        assert np.allclose(streaming.current_projection(), sk.project(x))
+
+    def test_updates_accumulate(self):
+        sk = _sketcher()
+        streaming = StreamingSketch(sk)
+        streaming.update(3, 1.0)
+        streaming.update(3, 1.0)
+        streaming.update(7, -0.5)
+        x = np.zeros(256)
+        x[3], x[7] = 2.0, -0.5
+        assert np.allclose(streaming.current_projection(), sk.project(x))
+
+    def test_deletion_cancels_insertion(self):
+        streaming = StreamingSketch(_sketcher())
+        streaming.update(5, 1.0)
+        streaming.update(5, -1.0)
+        assert np.allclose(streaming.current_projection(), 0.0)
+
+    def test_update_batch(self):
+        sk = _sketcher()
+        a = StreamingSketch(sk)
+        b = StreamingSketch(sk)
+        idx = np.array([1, 2, 3])
+        deltas = np.array([1.0, -1.0, 2.0])
+        a.update_batch(idx, deltas)
+        for i, d in zip(idx, deltas):
+            b.update(int(i), float(d))
+        assert np.allclose(a.current_projection(), b.current_projection())
+
+    def test_update_batch_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            StreamingSketch(_sketcher()).update_batch(np.array([1, 2]), np.array([1.0]))
+
+    def test_index_validated(self):
+        with pytest.raises(ValueError):
+            StreamingSketch(_sketcher()).update(256, 1.0)
+
+    def test_n_updates_counted(self):
+        streaming = StreamingSketch(_sketcher())
+        streaming.update(0, 1.0)
+        streaming.update(1, 1.0)
+        assert streaming.n_updates == 2
+
+    def test_update_cost_is_sparsity(self):
+        assert StreamingSketch(_sketcher()).update_cost == 4
+
+
+class TestStreamEquivalence:
+    def test_stream_equals_batch(self):
+        sk = _sketcher()
+        stream = UpdateStream(dim=256, n_updates=3000, seed=1, deletions=0.3)
+        streaming = StreamingSketch(sk)
+        streaming.consume(stream)
+        vec = materialize_stream(stream, 256)
+        assert np.allclose(streaming.current_projection(), sk.project(vec), atol=1e-9)
+
+    def test_replaying_stream_is_deterministic(self):
+        stream = UpdateStream(dim=256, n_updates=100, seed=3)
+        assert list(stream) == list(stream)
+
+
+class TestRelease:
+    def test_release_adds_noise(self):
+        streaming = StreamingSketch(_sketcher())
+        streaming.update(0, 1.0)
+        released = streaming.release(noise_rng=1)
+        assert not np.allclose(released.values, streaming.current_projection())
+
+    def test_release_estimates_against_batch_sketch(self):
+        sk = _sketcher()
+        stream = UpdateStream(dim=256, n_updates=500, seed=2)
+        streaming = StreamingSketch(sk)
+        streaming.consume(stream)
+        released = streaming.release(noise_rng=7)
+        batch = sk.sketch(materialize_stream(stream, 256), noise_rng=7)
+        assert np.allclose(released.values, batch.values)
+
+    def test_repeated_releases_fresh_noise(self):
+        streaming = StreamingSketch(_sketcher())
+        streaming.update(0, 1.0)
+        a = streaming.release()
+        b = streaming.release()
+        assert not np.allclose(a.values, b.values)
+
+    def test_release_carries_guarantee(self):
+        sk = _sketcher()
+        streaming = StreamingSketch(sk)
+        assert streaming.release().guarantee == sk.guarantee
+
+    def test_input_perturbation_unsupported(self):
+        config = SketchConfig(input_dim=64, epsilon=1.0, delta=1e-5, transform="fjlt",
+                              noise="gaussian")
+        with pytest.raises(ValueError, match="output perturbation"):
+            StreamingSketch(PrivateSketcher(config))

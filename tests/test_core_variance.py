@@ -1,0 +1,151 @@
+"""Tests for the theoretical variance formulas (Lemma 3 & friends)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.variance import (
+    fjlt_input_variance_bound,
+    fjlt_output_variance_bound,
+    fjlt_transform_variance_bound,
+    general_variance,
+    iid_gaussian_transform_variance,
+    kenthapadi_variance,
+    noise_variance,
+    sjlt_gaussian_variance_bound,
+    sjlt_laplace_variance_bound,
+    sjlt_transform_variance_bound,
+    sjlt_transform_variance_exact,
+)
+from repro.dp.noise import GaussianNoise, LaplaceNoise
+
+
+class TestGeneralVariance:
+    def test_lemma3_structure(self):
+        # Var = T + 8 m2 D + 2k m4 + 2k m2^2
+        out = general_variance(k=10, dist_sq=4.0, second_moment=2.0, fourth_moment=5.0,
+                               transform_variance=7.0)
+        assert out == pytest.approx(7.0 + 8 * 2 * 4 + 2 * 10 * 5 + 2 * 10 * 4)
+
+    def test_zero_noise_reduces_to_transform(self):
+        assert general_variance(5, 1.0, 0.0, 0.0, 3.3) == pytest.approx(3.3)
+
+    def test_noise_variance_helper(self):
+        noise = GaussianNoise(2.0)
+        expected = general_variance(8, 3.0, 4.0, 48.0, 0.0)
+        assert noise_variance(8, 3.0, noise) == pytest.approx(expected)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            general_variance(0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestTheorem2:
+    def test_formula(self):
+        k, sigma, d_sq = 16, 1.5, 9.0
+        expected = 2 / 16 * 81 + 8 * 2.25 * 9 + 8 * 1.5**4 * 16
+        assert kenthapadi_variance(k, sigma, d_sq) == pytest.approx(expected)
+
+    def test_is_general_variance_with_gaussian(self):
+        """Theorem 2 == Lemma 3 with N(0, sigma^2) moments."""
+        k, sigma, d_sq = 32, 0.7, 5.0
+        noise = GaussianNoise(sigma)
+        via_lemma3 = general_variance(
+            k, d_sq, noise.second_moment, noise.fourth_moment,
+            iid_gaussian_transform_variance(k, d_sq),
+        )
+        assert kenthapadi_variance(k, sigma, d_sq) == pytest.approx(via_lemma3)
+
+
+class TestTheorem3:
+    def test_constants(self):
+        # 2/k D^2 + 16 s/eps^2 D + 56 k s^2/eps^4
+        k, s, eps, d_sq = 64, 4, 2.0, 10.0
+        expected = 2 / 64 * 100 + 16 * 4 / 4 * 10 + 56 * 64 * 16 / 16
+        assert sjlt_laplace_variance_bound(k, s, eps, d_sq) == pytest.approx(expected)
+
+    def test_is_general_variance_with_laplace(self):
+        k, s, eps, d_sq = 32, 8, 1.0, 4.0
+        noise = LaplaceNoise(np.sqrt(s) / eps)
+        via_lemma3 = general_variance(
+            k, d_sq, noise.second_moment, noise.fourth_moment,
+            sjlt_transform_variance_bound(k, d_sq),
+        )
+        assert sjlt_laplace_variance_bound(k, s, eps, d_sq) == pytest.approx(via_lemma3)
+
+    def test_gaussian_variant_matches_kenthapadi_noise_terms(self):
+        """Section 6.2.3: SJLT+Gaussian == Kenthapadi terms with 2/k leading."""
+        k, sigma, d_sq = 16, 1.2, 9.0
+        diff = sjlt_gaussian_variance_bound(k, sigma, d_sq) - kenthapadi_variance(
+            k, sigma, d_sq
+        )
+        assert diff == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSJLTExactVariance:
+    def test_below_or_equal_bound(self):
+        z = np.array([1.0, 2.0, -1.0, 0.5])
+        k = 8
+        exact = sjlt_transform_variance_exact(k, z)
+        bound = sjlt_transform_variance_bound(k, float(z @ z))
+        assert exact <= bound
+
+    def test_zero_for_one_hot(self):
+        """A 1-sparse vector has ||z||_2^4 == ||z||_4^4: zero variance."""
+        z = np.zeros(8)
+        z[3] = 2.5
+        assert sjlt_transform_variance_exact(16, z) == pytest.approx(0.0)
+
+    def test_spread_vector_near_bound(self):
+        z = np.ones(100)
+        exact = sjlt_transform_variance_exact(10, z)
+        bound = sjlt_transform_variance_bound(10, 100.0)
+        assert exact / bound == pytest.approx(0.99, abs=0.01)
+
+
+class TestFJLTBounds:
+    def test_output_bound_structure(self):
+        k, sigma, d_sq = 16, 1.0, 4.0
+        expected = 3 / 16 * 16 + 8 * 4 + 8 * 16
+        assert fjlt_output_variance_bound(k, sigma, d_sq) == pytest.approx(expected)
+
+    def test_input_bound_dominates_output(self):
+        # the d factors make input perturbation worse whenever d >> k
+        k, d, sigma, d_sq = 16, 1024, 1.0, 4.0
+        assert fjlt_input_variance_bound(k, d, sigma, d_sq, 0.1) > fjlt_output_variance_bound(
+            k, sigma, d_sq
+        )
+
+    def test_input_bound_grows_quadratically_in_d(self):
+        # leading term is d^2 w2^2 / k; lower-order terms damp the ratio
+        small = fjlt_input_variance_bound(16, 1000, 1.0, 0.0, 1.0)
+        large = fjlt_input_variance_bound(16, 10000, 1.0, 0.0, 1.0)
+        assert large / small == pytest.approx(100.0, rel=0.1)
+
+    def test_input_bound_covers_conditional_decomposition(self):
+        """The bound equals coeff/k * E||z+w||^4 + Var_w(||z+w||^2) for
+        Gaussian w — verified against direct Monte-Carlo of those pieces."""
+        rng = np.random.default_rng(0)
+        k, d, sigma, q = 16, 64, 1.5, 0.5
+        z = np.zeros(d)
+        z[0] = 3.0
+        w2 = 2 * sigma**2
+        samples = rng.normal(0.0, math.sqrt(w2), size=(20000, d))
+        v = z[np.newaxis, :] + samples
+        norms_sq = (v**2).sum(axis=1)
+        coeff = 2.0 + 9.0 / d * (1.0 / q - 1.0)
+        direct = coeff / k * np.mean(norms_sq**2) + np.var(norms_sq)
+        bound = fjlt_input_variance_bound(k, d, sigma, float(z @ z), q)
+        assert bound == pytest.approx(direct, rel=0.05)
+
+    def test_transform_bound_is_3_over_k(self):
+        assert fjlt_transform_variance_bound(3, 2.0) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fjlt_input_variance_bound(16, 0, 1.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            fjlt_input_variance_bound(16, 10, 1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            kenthapadi_variance(16, -1.0, 1.0)

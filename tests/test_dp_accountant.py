@@ -1,0 +1,120 @@
+"""Tests for the privacy accountant (composition)."""
+
+import math
+
+import pytest
+
+from repro.dp.accountant import BudgetExceededError, PrivacyAccountant
+from repro.dp.mechanisms import PrivacyGuarantee
+
+
+class TestBasicComposition:
+    def test_epsilons_add(self):
+        acc = PrivacyAccountant()
+        acc.spend(PrivacyGuarantee(0.5))
+        acc.spend(PrivacyGuarantee(0.7))
+        assert acc.total_basic().epsilon == pytest.approx(1.2)
+
+    def test_deltas_add(self):
+        acc = PrivacyAccountant()
+        acc.spend(PrivacyGuarantee(0.5, 1e-6))
+        acc.spend(PrivacyGuarantee(0.5, 2e-6))
+        assert acc.total_basic().delta == pytest.approx(3e-6)
+
+    def test_empty_accountant_raises(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant().total_basic()
+
+    def test_n_releases(self):
+        acc = PrivacyAccountant()
+        assert acc.n_releases == 0
+        acc.spend(PrivacyGuarantee(0.1))
+        assert acc.n_releases == 1
+
+    def test_event_labels_recorded(self):
+        acc = PrivacyAccountant()
+        acc.spend(PrivacyGuarantee(0.1), label="alice:0")
+        assert acc.events[0].label == "alice:0"
+
+
+class TestAdvancedComposition:
+    def test_matches_homogeneous_formula(self):
+        acc = PrivacyAccountant()
+        eps, n, slack = 0.1, 50, 1e-6
+        for _ in range(n):
+            acc.spend(PrivacyGuarantee(eps))
+        total = acc.total_advanced(slack)
+        expected = math.sqrt(2 * math.log(1 / slack) * n * eps**2) + n * eps * (
+            math.exp(eps) - 1
+        )
+        assert total.epsilon == pytest.approx(expected)
+        assert total.delta == pytest.approx(slack)
+
+    def test_beats_basic_for_many_small_releases(self):
+        acc = PrivacyAccountant()
+        for _ in range(100):
+            acc.spend(PrivacyGuarantee(0.05))
+        assert acc.total_advanced(1e-6).epsilon < acc.total_basic().epsilon
+
+    def test_best_total_picks_tighter(self):
+        acc = PrivacyAccountant()
+        for _ in range(100):
+            acc.spend(PrivacyGuarantee(0.05))
+        best = acc.best_total(1e-6)
+        assert best.epsilon == min(
+            acc.total_basic().epsilon, acc.total_advanced(1e-6).epsilon
+        )
+
+    def test_best_total_zero_slack_is_basic(self):
+        acc = PrivacyAccountant()
+        acc.spend(PrivacyGuarantee(0.3))
+        assert acc.best_total(0.0).epsilon == acc.total_basic().epsilon
+
+    def test_slack_validated(self):
+        acc = PrivacyAccountant()
+        acc.spend(PrivacyGuarantee(0.3))
+        with pytest.raises(ValueError):
+            acc.total_advanced(0.0)
+
+
+class TestBudget:
+    def test_spend_within_budget(self):
+        acc = PrivacyAccountant(budget=PrivacyGuarantee(1.0))
+        acc.spend(PrivacyGuarantee(0.4))
+        acc.spend(PrivacyGuarantee(0.6))
+        assert acc.total_basic().epsilon == pytest.approx(1.0)
+
+    def test_overspend_rejected(self):
+        acc = PrivacyAccountant(budget=PrivacyGuarantee(1.0))
+        acc.spend(PrivacyGuarantee(0.9))
+        with pytest.raises(BudgetExceededError):
+            acc.spend(PrivacyGuarantee(0.2))
+
+    def test_rejected_spend_not_recorded(self):
+        acc = PrivacyAccountant(budget=PrivacyGuarantee(1.0))
+        acc.spend(PrivacyGuarantee(0.9))
+        try:
+            acc.spend(PrivacyGuarantee(0.2))
+        except BudgetExceededError:
+            pass
+        assert acc.n_releases == 1
+
+    def test_delta_budget_enforced(self):
+        acc = PrivacyAccountant(budget=PrivacyGuarantee(10.0, 1e-6))
+        acc.spend(PrivacyGuarantee(0.1, 9e-7))
+        with pytest.raises(BudgetExceededError):
+            acc.spend(PrivacyGuarantee(0.1, 2e-7))
+
+    def test_remaining(self):
+        acc = PrivacyAccountant(budget=PrivacyGuarantee(1.0, 1e-6))
+        acc.spend(PrivacyGuarantee(0.4, 4e-7))
+        left = acc.remaining()
+        assert left.epsilon == pytest.approx(0.6)
+        assert left.delta == pytest.approx(6e-7)
+
+    def test_remaining_unlimited_is_none(self):
+        assert PrivacyAccountant().remaining() is None
+
+    def test_remaining_before_any_spend(self):
+        acc = PrivacyAccountant(budget=PrivacyGuarantee(2.0))
+        assert acc.remaining().epsilon == 2.0

@@ -1,0 +1,106 @@
+"""Tests for the white-box privacy audit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.audit import audit_mechanism, delta_at_epsilon, privacy_loss_samples
+from repro.dp.noise import GaussianNoise, LaplaceNoise
+
+
+class TestPrivacyLossSamples:
+    def test_laplace_loss_bounded_by_l1_over_scale(self):
+        noise = LaplaceNoise(2.0)
+        shift = np.array([0.5, -0.5, 1.0])
+        losses = privacy_loss_samples(noise, shift, 20000, rng=np.random.default_rng(0))
+        bound = np.abs(shift).sum() / 2.0
+        assert losses.max() <= bound + 1e-12
+        assert losses.min() >= -bound - 1e-12
+
+    def test_laplace_loss_attains_bound(self):
+        noise = LaplaceNoise(1.0)
+        shift = np.array([1.0])
+        losses = privacy_loss_samples(noise, shift, 50000, rng=np.random.default_rng(1))
+        # loss = 1 whenever eta <= -1 (prob ~ e^-1/2 = 0.18): should be hit
+        assert losses.max() == pytest.approx(1.0, abs=1e-9)
+
+    def test_gaussian_loss_is_gaussian_with_known_moments(self):
+        sigma = 2.0
+        noise = GaussianNoise(sigma)
+        shift = np.array([1.0, 1.0])
+        losses = privacy_loss_samples(noise, shift, 200000, rng=np.random.default_rng(2))
+        # L = (2<eta,c> + ||c||^2) / (2 sigma^2): mean ||c||^2/(2s^2), var ||c||^2/s^2
+        c_sq = 2.0
+        assert np.mean(losses) == pytest.approx(c_sq / (2 * sigma**2), abs=0.01)
+        assert np.var(losses) == pytest.approx(c_sq / sigma**2, rel=0.05)
+
+    def test_zero_shift_zero_loss(self):
+        losses = privacy_loss_samples(
+            LaplaceNoise(1.0), np.zeros(3), 100, rng=np.random.default_rng(3)
+        )
+        assert np.allclose(losses, 0.0)
+
+    def test_sample_count_validated(self):
+        with pytest.raises(ValueError):
+            privacy_loss_samples(LaplaceNoise(1.0), np.ones(2), 0)
+
+
+class TestDeltaAtEpsilon:
+    def test_zero_when_losses_below_epsilon(self):
+        assert delta_at_epsilon(np.array([0.1, 0.5, 0.9]), 1.0) == 0.0
+
+    def test_positive_when_losses_exceed(self):
+        assert delta_at_epsilon(np.array([2.0, 0.0]), 1.0) > 0.0
+
+    def test_monotone_decreasing_in_epsilon(self):
+        losses = np.random.default_rng(4).normal(0.5, 1.0, 10000)
+        d1 = delta_at_epsilon(losses, 0.5)
+        d2 = delta_at_epsilon(losses, 1.5)
+        assert d2 < d1
+
+    def test_matches_gaussian_closed_form(self):
+        """For the Gaussian mechanism, delta(eps) has a closed form."""
+        from repro.dp.mechanisms import _gaussian_delta
+
+        sigma, eps = 1.5, 0.7
+        noise = GaussianNoise(sigma)
+        shift = np.array([1.0])  # sensitivity-1 worst case
+        losses = privacy_loss_samples(noise, shift, 400000, rng=np.random.default_rng(5))
+        expected = _gaussian_delta(sigma, 1.0, eps)
+        assert delta_at_epsilon(losses, eps) == pytest.approx(expected, rel=0.05)
+
+
+class TestAuditMechanism:
+    def test_correctly_calibrated_laplace_passes(self):
+        noise = LaplaceNoise(1.0)  # sensitivity 1 at eps 1
+        res = audit_mechanism(noise, np.array([1.0]), epsilon=1.0, n_samples=20000,
+                              rng=np.random.default_rng(6))
+        assert res.passed
+        assert res.max_loss <= 1.0 + 1e-9
+
+    def test_undercalibrated_laplace_fails(self):
+        noise = LaplaceNoise(0.4)  # too little noise for eps=1 at sensitivity 1
+        res = audit_mechanism(noise, np.array([1.0]), epsilon=1.0, n_samples=20000,
+                              rng=np.random.default_rng(7))
+        assert not res.passed
+
+    def test_gaussian_passes_at_claimed_delta(self):
+        from repro.dp.mechanisms import classical_gaussian_sigma
+
+        sigma = classical_gaussian_sigma(1.0, 1.0, 1e-4)
+        res = audit_mechanism(GaussianNoise(sigma), np.array([1.0]), epsilon=1.0,
+                              delta=1e-4, n_samples=50000, rng=np.random.default_rng(8))
+        assert res.passed
+
+    def test_gaussian_fails_pure_dp_claim(self):
+        """Gaussian noise can never deliver pure DP (unbounded loss)."""
+        res = audit_mechanism(GaussianNoise(1.0), np.array([3.0]), epsilon=1.0,
+                              delta=0.0, n_samples=50000, rng=np.random.default_rng(9))
+        assert not res.passed
+
+    def test_result_records_inputs(self):
+        res = audit_mechanism(LaplaceNoise(1.0), np.array([0.5]), epsilon=1.0,
+                              n_samples=1000, rng=np.random.default_rng(10))
+        assert res.epsilon_claimed == 1.0
+        assert res.n_samples == 1000

@@ -1,0 +1,160 @@
+"""Tests for mechanism calibration (Lemmas 1-2 and extensions)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.mechanisms import (
+    PrivacyGuarantee,
+    SnappingMechanism,
+    analytic_gaussian_sigma,
+    classical_gaussian_sigma,
+    discrete_gaussian_mechanism,
+    discrete_laplace_mechanism,
+    gaussian_mechanism,
+    laplace_mechanism,
+)
+
+
+class TestPrivacyGuarantee:
+    def test_pure_flag(self):
+        assert PrivacyGuarantee(1.0).is_pure
+        assert not PrivacyGuarantee(1.0, 1e-6).is_pure
+
+    def test_compose_adds(self):
+        total = PrivacyGuarantee(1.0, 1e-6).compose(PrivacyGuarantee(0.5, 1e-7))
+        assert total.epsilon == pytest.approx(1.5)
+        assert total.delta == pytest.approx(1.1e-6)
+
+    def test_str_forms(self):
+        assert "DP" in str(PrivacyGuarantee(1.0))
+        assert "," in str(PrivacyGuarantee(1.0, 1e-5))
+
+    @pytest.mark.parametrize("eps,delta", [(0.0, 0.0), (-1.0, 0.0), (1.0, 1.0), (1.0, -0.1)])
+    def test_validation(self, eps, delta):
+        with pytest.raises(ValueError):
+            PrivacyGuarantee(eps, delta)
+
+
+class TestLaplaceMechanism:
+    def test_scale_is_sensitivity_over_epsilon(self):
+        mech = laplace_mechanism(2.0, 0.5)
+        assert mech.noise.scale == pytest.approx(4.0)
+
+    def test_guarantee_is_pure(self):
+        assert laplace_mechanism(1.0, 1.0).guarantee.is_pure
+
+    def test_randomize_shape_preserved(self):
+        mech = laplace_mechanism(1.0, 1.0)
+        out = mech.randomize(np.zeros(7), rng=np.random.default_rng(0))
+        assert out.shape == (7,)
+
+    def test_randomize_deterministic_given_rng(self):
+        mech = laplace_mechanism(1.0, 1.0)
+        a = mech.randomize(np.ones(5), rng=np.random.default_rng(1))
+        b = mech.randomize(np.ones(5), rng=np.random.default_rng(1))
+        assert np.allclose(a, b)
+
+    def test_randomize_centers_on_input(self):
+        mech = laplace_mechanism(1.0, 2.0)
+        rng = np.random.default_rng(2)
+        outs = np.array([mech.randomize(np.array([5.0]), rng)[0] for _ in range(20000)])
+        assert np.mean(outs) == pytest.approx(5.0, abs=0.05)
+
+
+class TestGaussianCalibration:
+    def test_classical_formula(self):
+        sigma = classical_gaussian_sigma(2.0, 0.5, 1e-5)
+        assert sigma == pytest.approx(2.0 / 0.5 * math.sqrt(2 * math.log(1.25e5)))
+
+    def test_analytic_tighter_than_classical(self):
+        for eps in (0.1, 0.5, 1.0):
+            for delta in (1e-4, 1e-8):
+                assert analytic_gaussian_sigma(1.0, eps, delta) < classical_gaussian_sigma(
+                    1.0, eps, delta
+                )
+
+    def test_analytic_valid_for_large_epsilon(self):
+        # classical analysis breaks for eps > 1; analytic must still work
+        sigma = analytic_gaussian_sigma(1.0, 5.0, 1e-6)
+        assert 0 < sigma < classical_gaussian_sigma(1.0, 1.0, 1e-6)
+
+    def test_analytic_achieves_target_delta(self):
+        from repro.dp.mechanisms import _gaussian_delta
+
+        eps, delta = 0.8, 1e-6
+        sigma = analytic_gaussian_sigma(1.0, eps, delta)
+        assert _gaussian_delta(sigma, 1.0, eps) == pytest.approx(delta, rel=1e-6)
+
+    def test_sigma_monotone_in_delta(self):
+        s1 = analytic_gaussian_sigma(1.0, 1.0, 1e-4)
+        s2 = analytic_gaussian_sigma(1.0, 1.0, 1e-8)
+        assert s2 > s1
+
+    def test_mechanism_objects(self):
+        mech = gaussian_mechanism(1.0, 1.0, 1e-5)
+        assert mech.noise.name == "gaussian"
+        assert not mech.guarantee.is_pure
+        tight = gaussian_mechanism(1.0, 1.0, 1e-5, analytic=True)
+        assert tight.noise.sigma < mech.noise.sigma
+
+
+class TestDiscreteMechanisms:
+    def test_discrete_laplace_pure(self):
+        mech = discrete_laplace_mechanism(2.0, 1.0)
+        assert mech.guarantee.is_pure
+        assert mech.noise.name == "discrete_laplace"
+        assert mech.noise.scale == pytest.approx(2.0)
+
+    def test_discrete_gaussian_sigma_matches_analytic(self):
+        mech = discrete_gaussian_mechanism(1.0, 1.0, 1e-5)
+        assert mech.noise.sigma == pytest.approx(analytic_gaussian_sigma(1.0, 1.0, 1e-5))
+
+    def test_integer_outputs_on_integer_inputs(self):
+        mech = discrete_laplace_mechanism(1.0, 1.0)
+        out = mech.randomize(np.arange(5, dtype=float), rng=np.random.default_rng(0))
+        assert np.array_equal(out, np.round(out))
+
+
+class TestSnappingMechanism:
+    def test_lattice_is_power_of_two_at_least_scale(self):
+        snap = SnappingMechanism(1.0, 0.5, bound=100.0)
+        assert snap.lattice >= snap.scale
+        assert math.log2(snap.lattice) == int(math.log2(snap.lattice))
+
+    def test_outputs_on_lattice_within_bound(self):
+        snap = SnappingMechanism(1.0, 1.0, bound=8.0)
+        rng = np.random.default_rng(1)
+        out = snap.randomize(np.linspace(-20, 20, 50), rng)
+        assert np.all(np.abs(out) <= 8.0)
+        interior = out[np.abs(out) < 8.0]
+        assert np.allclose(interior / snap.lattice, np.round(interior / snap.lattice))
+
+    def test_effective_epsilon_slightly_above_nominal(self):
+        snap = SnappingMechanism(1.0, 1.0, bound=100.0)
+        assert snap.effective_epsilon >= 1.0
+        assert snap.effective_epsilon < 1.01
+
+    def test_rounding_error_bounded_by_lattice(self):
+        """The 2.3.1 claim: snapping adds ~Delta_1/eps extra error."""
+        snap = SnappingMechanism(1.0, 1.0, bound=1000.0)
+        rng = np.random.default_rng(2)
+        x = np.full(20000, 3.7)
+        out = snap.randomize(x, rng)
+        # centered within Laplace noise + half-lattice rounding
+        assert abs(np.mean(out) - 3.7) < 3 * snap.scale / np.sqrt(20000) + snap.lattice / 2
+
+
+class TestValidation:
+    def test_laplace_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            laplace_mechanism(0.0, 1.0)
+        with pytest.raises(ValueError):
+            laplace_mechanism(1.0, -1.0)
+
+    def test_gaussian_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            classical_gaussian_sigma(1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            classical_gaussian_sigma(1.0, 1.0, 1.0)

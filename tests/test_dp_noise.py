@@ -1,0 +1,144 @@
+"""Tests for the noise distributions and their exact moments."""
+
+import numpy as np
+import pytest
+
+from repro.dp.noise import (
+    NOISE_DISTRIBUTIONS,
+    DiscreteGaussianNoise,
+    DiscreteLaplaceNoise,
+    GaussianNoise,
+    LaplaceNoise,
+    noise_from_spec,
+)
+
+ALL_NOISES = [
+    LaplaceNoise(0.8),
+    GaussianNoise(1.3),
+    DiscreteLaplaceNoise(2.5),
+    DiscreteGaussianNoise(1.7),
+]
+
+
+@pytest.mark.parametrize("noise", ALL_NOISES, ids=lambda n: n.name)
+class TestMomentContract:
+    def test_sampled_second_moment(self, noise):
+        rng = np.random.default_rng(0)
+        samples = noise.sample(300000, rng)
+        assert np.mean(samples**2) == pytest.approx(noise.second_moment, rel=0.03)
+
+    def test_sampled_fourth_moment(self, noise):
+        rng = np.random.default_rng(1)
+        samples = noise.sample(300000, rng)
+        assert np.mean(samples**4) == pytest.approx(noise.fourth_moment, rel=0.12)
+
+    def test_zero_mean(self, noise):
+        rng = np.random.default_rng(2)
+        samples = noise.sample(200000, rng)
+        assert abs(np.mean(samples)) < 4 * np.sqrt(noise.second_moment / 200000)
+
+    def test_variance_alias(self, noise):
+        assert noise.variance == noise.second_moment
+
+    def test_noise_variance_term(self, noise):
+        k = 10
+        expected = 2 * k * (noise.fourth_moment + noise.second_moment**2)
+        assert noise.noise_variance_term(k) == pytest.approx(expected)
+
+    def test_spec_roundtrip(self, noise):
+        rebuilt = noise_from_spec(noise.spec())
+        assert type(rebuilt) is type(noise)
+        assert rebuilt.second_moment == pytest.approx(noise.second_moment)
+
+    def test_log_density_normalised(self, noise):
+        """Density integrates (pmf sums) to ~1."""
+        if noise.name.startswith("discrete"):
+            z = np.arange(-500, 501).astype(float)
+            total = np.exp(noise.log_density(z)).sum()
+        else:
+            z = np.linspace(-60, 60, 200001)
+            total = np.trapezoid(np.exp(noise.log_density(z)), z)
+        assert total == pytest.approx(1.0, rel=1e-4)
+
+    def test_log_density_symmetric(self, noise):
+        values = np.array([1.0, 2.0, 5.0])
+        assert np.allclose(noise.log_density(values), noise.log_density(-values))
+
+
+class TestLaplace:
+    def test_moments_closed_form(self):
+        n = LaplaceNoise(2.0)
+        assert n.second_moment == pytest.approx(8.0)
+        assert n.fourth_moment == pytest.approx(24 * 16.0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            LaplaceNoise(0.0)
+
+
+class TestGaussian:
+    def test_moments_closed_form(self):
+        n = GaussianNoise(2.0)
+        assert n.second_moment == pytest.approx(4.0)
+        assert n.fourth_moment == pytest.approx(48.0)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-1.0)
+
+
+class TestDiscreteLaplace:
+    def test_integer_support(self):
+        rng = np.random.default_rng(3)
+        samples = DiscreteLaplaceNoise(3.0).sample(10000, rng)
+        assert np.array_equal(samples, np.round(samples))
+
+    def test_ratio(self):
+        n = DiscreteLaplaceNoise(2.0)
+        assert n.ratio == pytest.approx(np.exp(-0.5))
+
+    def test_log_density_rejects_non_integers(self):
+        with pytest.raises(ValueError):
+            DiscreteLaplaceNoise(1.0).log_density(np.array([0.5]))
+
+    def test_pmf_ratio_is_epsilon_per_step(self):
+        """log p(z)/p(z+1) = 1/scale for z >= 0 — pure DP per unit shift."""
+        n = DiscreteLaplaceNoise(4.0)
+        lp = n.log_density(np.array([0.0, 1.0, 2.0, 3.0]))
+        steps = lp[:-1] - lp[1:]
+        assert np.allclose(steps, 0.25)
+
+
+class TestDiscreteGaussian:
+    def test_integer_support(self):
+        rng = np.random.default_rng(4)
+        samples = DiscreteGaussianNoise(2.2).sample(5000, rng)
+        assert np.array_equal(samples, np.round(samples))
+
+    def test_variance_at_most_continuous(self):
+        """Canonne et al.: Var[N_Z(sigma^2)] <= sigma^2."""
+        for sigma in (0.5, 1.0, 2.0, 7.0):
+            assert DiscreteGaussianNoise(sigma).second_moment <= sigma**2 + 1e-12
+
+    def test_variance_approaches_continuous(self):
+        n = DiscreteGaussianNoise(10.0)
+        assert n.second_moment == pytest.approx(100.0, rel=0.01)
+
+    def test_sample_requests_exact_count(self):
+        rng = np.random.default_rng(5)
+        assert DiscreteGaussianNoise(1.0).sample(777, rng).shape == (777,)
+
+    def test_log_density_rejects_non_integers(self):
+        with pytest.raises(ValueError):
+            DiscreteGaussianNoise(1.0).log_density(np.array([1.5]))
+
+
+class TestRegistry:
+    def test_all_names_registered(self):
+        assert set(NOISE_DISTRIBUTIONS) == {
+            "laplace", "gaussian", "discrete_laplace", "discrete_gaussian",
+        }
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown noise"):
+            noise_from_spec({"name": "cauchy", "scale": 1.0})

@@ -1,0 +1,92 @@
+"""Tests for the Warner randomized-response baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.randomized_response import RandomizedResponse
+
+
+class TestCalibration:
+    def test_keep_probability_formula(self):
+        rr = RandomizedResponse(math.log(3.0))
+        assert rr.keep_probability == pytest.approx(0.75)
+
+    def test_flip_plus_keep_is_one(self):
+        rr = RandomizedResponse(1.5)
+        assert rr.keep_probability + rr.flip_probability == pytest.approx(1.0)
+
+    def test_guarantee_pure(self):
+        assert RandomizedResponse(1.0).guarantee.is_pure
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            RandomizedResponse(0.0)
+
+
+class TestRandomize:
+    def test_output_binary(self):
+        rr = RandomizedResponse(1.0)
+        rng = np.random.default_rng(0)
+        out = rr.randomize(np.array([0.0, 1.0, 1.0, 0.0]), rng)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_empirical_flip_rate(self):
+        rr = RandomizedResponse(2.0)
+        rng = np.random.default_rng(1)
+        bits = np.zeros(100000)
+        flipped = rr.randomize(bits, rng)
+        assert flipped.mean() == pytest.approx(rr.flip_probability, abs=0.01)
+
+    def test_rejects_non_binary(self):
+        rr = RandomizedResponse(1.0)
+        with pytest.raises(ValueError, match="binary"):
+            rr.randomize(np.array([0.0, 2.0]))
+
+    def test_privacy_loss_per_bit_is_epsilon(self):
+        """log(P[keep]/P[flip]) == epsilon — Warner's guarantee."""
+        eps = 1.3
+        rr = RandomizedResponse(eps)
+        assert math.log(rr.keep_probability / rr.flip_probability) == pytest.approx(eps)
+
+
+class TestHammingEstimator:
+    def test_unbiased(self):
+        rr = RandomizedResponse(1.5)
+        rng = np.random.default_rng(2)
+        d, h = 400, 60
+        x = np.zeros(d)
+        y = x.copy()
+        y[:h] = 1.0
+        estimates = [
+            rr.estimate_hamming(rr.randomize(x, rng), rr.randomize(y, rng))
+            for _ in range(2000)
+        ]
+        stderr = np.std(estimates) / math.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - h) < 5 * stderr
+
+    def test_error_scale_sqrt_d(self):
+        rr = RandomizedResponse(2.0)
+        assert rr.estimator_standard_error(400) == pytest.approx(
+            2 * rr.estimator_standard_error(100)
+        )
+
+    def test_error_decreases_with_epsilon(self):
+        small = RandomizedResponse(0.5).estimator_standard_error(100)
+        large = RandomizedResponse(4.0).estimator_standard_error(100)
+        assert large < small
+
+    def test_dimension_mismatch_rejected(self):
+        rr = RandomizedResponse(1.0)
+        with pytest.raises(ValueError):
+            rr.estimate_hamming(np.zeros(3), np.zeros(4))
+
+    def test_exact_on_identical_releases(self):
+        rr = RandomizedResponse(1.0)
+        a = np.array([0.0, 1.0, 0.0])
+        # same released vectors: observed hamming 0 -> estimate is the
+        # (negative) debiasing constant, deterministically
+        est = rr.estimate_hamming(a, a)
+        f = rr.flip_probability
+        assert est == pytest.approx(-2 * f * (1 - f) * 3 / (1 - 2 * f) ** 2)

@@ -1,0 +1,146 @@
+"""Tests for the Blocki et al. secret projection and the Upadhyay attack."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.audit import delta_at_epsilon
+from repro.dp.secret_projection import (
+    SecretGaussianProjection,
+    attack_advantage,
+    privacy_loss_samples_secret,
+    secret_projection_epsilon,
+    sparsity_attack,
+)
+from repro.transforms.sjlt import SJLT
+
+
+class TestRelease:
+    def test_norm_floor_enforced(self):
+        mech = SecretGaussianProjection(32, norm_floor=10.0, delta=1e-6)
+        with pytest.raises(ValueError, match="norm floor"):
+            mech.release(np.ones(64))  # ||x|| = 8 < 10
+
+    def test_release_shape(self):
+        mech = SecretGaussianProjection(32, norm_floor=1.0, delta=1e-6)
+        out = mech.release(np.ones(64), rng=np.random.default_rng(0))
+        assert out.values.shape == (32,)
+
+    def test_fresh_matrix_per_release(self):
+        mech = SecretGaussianProjection(32, norm_floor=1.0, delta=1e-6)
+        rng = np.random.default_rng(1)
+        a = mech.release(np.ones(64), rng)
+        b = mech.release(np.ones(64), rng)
+        assert not np.allclose(a.values, b.values)
+
+    def test_norm_estimator_unbiased_with_jl_variance(self):
+        mech = SecretGaussianProjection(64, norm_floor=1.0, delta=1e-6)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(128)
+        x_sq = float(x @ x)
+        estimates = np.array(
+            [mech.release(x, rng).estimate_sq_norm() for _ in range(2000)]
+        )
+        assert estimates.mean() == pytest.approx(x_sq, rel=0.05)
+        assert estimates.var() == pytest.approx(2.0 / 64 * x_sq**2, rel=0.15)
+
+
+class TestEpsilonFormula:
+    def test_monotone_in_k(self):
+        assert secret_projection_epsilon(128, 10.0, 1e-6) > secret_projection_epsilon(
+            32, 10.0, 1e-6
+        )
+
+    def test_monotone_decreasing_in_floor(self):
+        assert secret_projection_epsilon(64, 4.0, 1e-6) > secret_projection_epsilon(
+            64, 40.0, 1e-6
+        )
+
+    def test_large_floor_gives_small_epsilon(self):
+        # ratio -> 1 as w -> infinity: near-perfect privacy
+        assert secret_projection_epsilon(64, 1e4, 1e-6) < 0.1
+
+    def test_guarantee_attached(self):
+        mech = SecretGaussianProjection(64, norm_floor=20.0, delta=1e-6)
+        assert mech.guarantee.delta == 1e-6
+        assert mech.guarantee.epsilon == pytest.approx(
+            secret_projection_epsilon(64, 20.0, 1e-6)
+        )
+
+    def test_audit_validates_formula_both_directions(self):
+        """delta(eps_claimed) at the worst-case neighbour stays below delta
+        in both loss directions (the Gaussian scale mixture is asymmetric)."""
+        k, w, delta = 64, 16.0, 1e-4
+        eps = secret_projection_epsilon(k, w, delta)
+        rng = np.random.default_rng(3)
+        for norms in ((w, w + 1.0), (w + 1.0, w)):
+            losses = privacy_loss_samples_secret(k, norms[0], norms[1], 200000, rng)
+            assert delta_at_epsilon(losses, eps) <= delta * 5
+
+    def test_formula_not_vacuously_loose(self):
+        """At a quarter of the claimed epsilon the heavy-tail direction
+        must show real loss mass — the bound is constant-factor tight."""
+        k, w, delta = 64, 16.0, 1e-4
+        eps = secret_projection_epsilon(k, w, delta)
+        losses = privacy_loss_samples_secret(k, w + 1.0, w, 200000, np.random.default_rng(4))
+        assert delta_at_epsilon(losses, eps / 4.0) > delta
+
+
+class TestUpadhyayAttack:
+    def test_sparsity_attack_counts(self):
+        assert sparsity_attack(np.array([0.0, 1.0, 2.0]), baseline_nnz=1)
+        assert not sparsity_attack(np.array([0.0, 1.0, 0.0]), baseline_nnz=1)
+
+    def test_attack_breaks_secret_sjlt(self):
+        d, k, s = 128, 64, 4
+        x_small = np.zeros(d)
+        x_small[0] = 10.0
+        x_large = x_small.copy()
+        x_large[1] = 1.0
+
+        def release(vec, rng):
+            return SJLT(d, k, s, seed=int(rng.integers(0, 2**62))).apply(vec)
+
+        advantage = attack_advantage(
+            release, x_small, x_large, s, trials=300, rng=np.random.default_rng(5)
+        )
+        assert advantage > 0.8
+
+    def test_attack_blind_against_gaussian(self):
+        d, k = 128, 64
+        mech = SecretGaussianProjection(k, norm_floor=1.0, delta=1e-6)
+        x_small = np.zeros(d)
+        x_small[0] = 10.0
+        x_large = x_small.copy()
+        x_large[1] = 1.0
+
+        def release(vec, rng):
+            return mech.release(vec, rng).values
+
+        advantage = attack_advantage(
+            release, x_small, x_large, k - 1, trials=300, rng=np.random.default_rng(6)
+        )
+        assert abs(advantage) < 0.15
+
+    def test_attack_trials_validated(self):
+        with pytest.raises(ValueError):
+            attack_advantage(lambda v, r: v, np.ones(2), np.ones(2), 1, trials=0)
+
+
+class TestValidation:
+    def test_bad_output_dim(self):
+        with pytest.raises(ValueError):
+            SecretGaussianProjection(0, 1.0, 1e-6)
+
+    def test_bad_floor(self):
+        with pytest.raises(ValueError):
+            SecretGaussianProjection(8, 0.0, 1e-6)
+
+    def test_bad_delta(self):
+        with pytest.raises(ValueError):
+            SecretGaussianProjection(8, 1.0, 0.0)
+
+    def test_loss_samples_validated(self):
+        with pytest.raises(ValueError):
+            privacy_loss_samples_secret(8, 1.0, 2.0, 0)

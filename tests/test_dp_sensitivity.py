@@ -1,0 +1,85 @@
+"""Tests for sensitivity analysis (Definition 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.sensitivity import (
+    is_neighboring,
+    sensitivity_profile,
+    worst_case_neighbors,
+)
+from repro.transforms import create_transform
+
+
+class TestIsNeighboring:
+    def test_identical_vectors(self):
+        x = np.ones(4)
+        assert is_neighboring(x, x)
+
+    def test_unit_l1_shift(self):
+        x = np.zeros(4)
+        y = x.copy()
+        y[2] = 1.0
+        assert is_neighboring(x, y)
+
+    def test_split_shift_still_neighboring(self):
+        x = np.zeros(4)
+        y = np.array([0.5, -0.5, 0.0, 0.0])
+        assert is_neighboring(x, y)
+
+    def test_beyond_unit_rejected(self):
+        x = np.zeros(4)
+        y = np.array([1.0, 0.5, 0.0, 0.0])
+        assert not is_neighboring(x, y)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            is_neighboring(np.zeros(3), np.zeros(4))
+
+
+class TestSensitivityProfile:
+    def test_sjlt_closed_form(self):
+        t = create_transform("sjlt", 64, 32, seed=0, sparsity=4)
+        profile = sensitivity_profile(t)
+        assert profile.closed_form
+        assert profile.l1 == pytest.approx(math.sqrt(4))
+        assert profile.l2 == pytest.approx(1.0)
+
+    def test_gaussian_scan(self):
+        t = create_transform("gaussian", 64, 32, seed=0)
+        profile = sensitivity_profile(t)
+        assert not profile.closed_form
+        dense = t.to_dense()
+        assert profile.l2 == pytest.approx(np.linalg.norm(dense, axis=0).max())
+        assert profile.l1 == pytest.approx(np.abs(dense).sum(axis=0).max())
+
+    def test_for_order_accessor(self):
+        t = create_transform("sjlt", 64, 32, seed=0, sparsity=4)
+        profile = sensitivity_profile(t)
+        assert profile.for_order(1) == profile.l1
+        assert profile.for_order(2) == profile.l2
+        with pytest.raises(ValueError):
+            profile.for_order(3)
+
+
+class TestWorstCaseNeighbors:
+    @pytest.mark.parametrize("p", [1, 2])
+    def test_pair_achieves_sensitivity(self, p):
+        t = create_transform("gaussian", 48, 16, seed=3)
+        x, x_prime = worst_case_neighbors(t, p=p)
+        shift = t.apply(x_prime) - t.apply(x)
+        norm = float(np.sum(np.abs(shift) ** p) ** (1.0 / p))
+        assert norm == pytest.approx(t.sensitivity(p))
+
+    def test_pair_is_neighboring(self):
+        t = create_transform("sjlt", 48, 16, seed=1, sparsity=4)
+        x, x_prime = worst_case_neighbors(t)
+        assert is_neighboring(x, x_prime)
+
+    def test_blocked_scan_matches_unblocked(self):
+        t = create_transform("gaussian", 50, 16, seed=2)
+        a = worst_case_neighbors(t, p=2, block_size=7)
+        b = worst_case_neighbors(t, p=2, block_size=1000)
+        assert np.array_equal(a[1], b[1])

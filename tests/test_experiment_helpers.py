@@ -1,0 +1,99 @@
+"""Unit tests for experiment-internal helper functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.exp_crossover_note5 import (
+    _delta_grid,
+    _gaussian_variance,
+    _laplace_variance,
+    variance_crossover_delta,
+)
+from repro.experiments.exp_inner_product import _orthogonal_to
+from repro.experiments.exp_lower_bound import _loglog_slope
+from repro.experiments.exp_sensitivity import _tail_bound
+
+
+class TestCrossoverHelpers:
+    def test_laplace_variance_independent_of_delta(self):
+        assert _laplace_variance(64, 8) == _laplace_variance(64, 8)
+
+    def test_gaussian_variance_decreasing_in_delta(self):
+        assert _gaussian_variance(64, 1e-3) < _gaussian_variance(64, 1e-9)
+
+    def test_crossover_is_a_tie_point(self):
+        k, s = 128, 8
+        delta_star = variance_crossover_delta(k, s)
+        lap = _laplace_variance(k, s)
+        assert _gaussian_variance(k, delta_star) == pytest.approx(lap, rel=1e-3)
+
+    def test_crossover_moves_with_sparsity(self):
+        # larger s -> more Laplace noise -> Gaussian competitive at
+        # smaller sigma -> crossover at larger ln(1/delta)
+        assert variance_crossover_delta(256, 16) < variance_crossover_delta(64, 4)
+
+    def test_delta_grid_spans_threshold(self):
+        s = 8
+        grid = _delta_grid(s)
+        center = math.exp(-s)
+        assert min(grid) < center < max(grid)
+        assert all(0 < g < 0.5 for g in grid)
+
+
+class TestMiscHelpers:
+    def test_loglog_slope_of_power_law(self):
+        xs = [10, 100, 1000]
+        ys = [2 * math.sqrt(x) for x in xs]
+        assert _loglog_slope(xs, ys) == pytest.approx(0.5, abs=1e-9)
+
+    def test_loglog_slope_of_linear(self):
+        xs = [10, 100, 1000]
+        assert _loglog_slope(xs, xs) == pytest.approx(1.0, abs=1e-9)
+
+    def test_orthogonal_to_is_orthogonal_unit(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(64)
+        v = _orthogonal_to(x, rng)
+        assert abs(float(v @ x)) < 1e-9
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_sensitivity_tail_bound_is_probability(self):
+        assert 0.0 <= _tail_bound() <= 1.0
+
+
+class TestClusteredPointsWorkload:
+    def test_shapes_and_labels(self):
+        from repro.workloads import clustered_points
+
+        rng = np.random.default_rng(1)
+        points, labels, centers = clustered_points(32, 50, 3, rng)
+        assert points.shape == (50, 32)
+        assert labels.shape == (50,)
+        assert centers.shape == (3, 32)
+        assert set(np.unique(labels)) <= {0, 1, 2}
+
+    def test_points_near_their_centers(self):
+        from repro.workloads import clustered_points
+
+        rng = np.random.default_rng(2)
+        points, labels, centers = clustered_points(
+            32, 60, 3, rng, separation=50.0, spread=1.0
+        )
+        for point, label in zip(points, labels):
+            own = float(np.sum((point - centers[label]) ** 2))
+            others = [
+                float(np.sum((point - centers[c]) ** 2))
+                for c in range(3) if c != label
+            ]
+            assert own < min(others)
+
+    def test_validation(self):
+        from repro.workloads import clustered_points
+
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            clustered_points(32, 0, 3, rng)
+        with pytest.raises(ValueError):
+            clustered_points(32, 10, 3, rng, separation=0.0)

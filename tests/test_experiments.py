@@ -1,0 +1,112 @@
+"""Tests for the experiment harness and registry."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import ExperimentResult, summarize, trials_for, unbiased
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.utils.tables import Table
+
+
+class TestHarnessHelpers:
+    def test_trials_for_scales(self):
+        assert trials_for("smoke", 10, 100) == 10
+        assert trials_for("full", 10, 100) == 100
+
+    def test_trials_for_validates(self):
+        with pytest.raises(ValueError):
+            trials_for("medium", 10, 100)
+
+    def test_summarize_fields(self):
+        summary = summarize([1.0, 2.0, 3.0], true_value=2.0)
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["z_bias"] == pytest.approx(0.0)
+        assert summary["var"] == pytest.approx(1.0)
+
+    def test_summarize_needs_two(self):
+        with pytest.raises(ValueError):
+            summarize([1.0], 1.0)
+
+    def test_unbiased_threshold(self):
+        biased = summarize(np.full(100, 5.0) + np.random.default_rng(0).normal(0, 0.1, 100), 0.0)
+        assert not unbiased(biased)
+        centered = summarize(np.random.default_rng(1).normal(0, 1, 100), 0.0)
+        assert unbiased(centered)
+
+
+class TestExperimentResult:
+    def _result(self, checks):
+        table = Table(headers=["a"])
+        table.add_row(a=1)
+        return ExperimentResult("EXP-X", "title", "ref", table, checks=checks)
+
+    def test_passed_requires_all(self):
+        assert self._result({"x": True, "y": True}).passed
+        assert not self._result({"x": True, "y": False}).passed
+
+    def test_render_contains_pass_fail(self):
+        text = self._result({"good": True, "bad": False}).render()
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+
+    def test_render_contains_metadata(self):
+        text = self._result({}).render()
+        assert "EXP-X" in text and "ref" in text
+
+
+class TestRegistry:
+    def test_all_design_ids_registered(self):
+        expected = {
+            "EXP-T2", "EXP-T3", "EXP-L8", "EXP-N5", "EXP-S7-VAR", "EXP-S7-TIME",
+            "EXP-UPD", "EXP-JL", "EXP-SENS", "EXP-LB", "EXP-DISC", "EXP-AUDIT",
+            "EXP-OPTK", "EXP-SECRET", "EXP-IP",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("exp-t2").id == "EXP-T2"
+
+    def test_unknown_id(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiment("EXP-404")
+
+    def test_metadata_populated(self):
+        for eid, cls in EXPERIMENTS.items():
+            assert cls.id == eid
+            assert cls.title
+            assert cls.paper_reference
+
+
+class TestSmokeRuns:
+    """Run the cheapest experiments end to end at smoke scale."""
+
+    @pytest.mark.parametrize("eid", ["EXP-T2", "EXP-N5", "EXP-DISC", "EXP-SENS"])
+    def test_experiment_reproduces_claim(self, eid):
+        result = run_experiment(eid, scale="smoke", seed=0)
+        failing = [name for name, ok in result.checks.items() if not ok]
+        assert result.passed, f"{eid} failed checks: {failing}"
+
+    def test_result_table_nonempty(self):
+        result = run_experiment("EXP-T2", scale="smoke", seed=0)
+        assert len(result.table.rows) > 0
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            run_experiment("EXP-T2", scale="enormous")
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-T3" in out
+
+    def test_run_command(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["run", "EXP-DISC", "--scale", "smoke"])
+        out = capsys.readouterr().out
+        assert "EXP-DISC" in out
+        assert code == 0

@@ -1,0 +1,162 @@
+"""Failure-injection tests: the library must fail loudly, not wrongly.
+
+A DP library's worst bug is a silent one — an estimate computed from
+incompatible sketches, noise calibrated against the wrong sensitivity,
+or corrupted payloads parsed into plausible numbers.  These tests
+inject each failure and assert a loud error (or a documented,
+well-defined behaviour).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import estimate_sq_distance
+from repro.core.sketch import PrivateSketch, PrivateSketcher, SketchConfig
+from repro.core.streaming import StreamingSketch
+
+_CONFIG = SketchConfig(input_dim=64, epsilon=1.0, output_dim=16, sparsity=4, seed=1)
+
+
+def _sketcher(**overrides):
+    import dataclasses
+
+    return PrivateSketcher(dataclasses.replace(_CONFIG, **overrides))
+
+
+class TestCorruptedSketches:
+    def _blob(self):
+        return _sketcher().sketch(np.ones(64), noise_rng=0).to_bytes()
+
+    def test_truncated_payload(self):
+        with pytest.raises(ValueError):
+            PrivateSketch.from_bytes(self._blob()[:-16])
+
+    def test_extended_payload(self):
+        with pytest.raises(ValueError):
+            PrivateSketch.from_bytes(self._blob() + b"\x00" * 8)
+
+    def test_garbage_header(self):
+        blob = self._blob()
+        newline = blob.index(b"\n")
+        with pytest.raises(json.JSONDecodeError):
+            PrivateSketch.from_bytes(b"{not json" + blob[newline:])
+
+    def test_header_payload_mismatch(self):
+        blob = self._blob()
+        newline = blob.index(b"\n")
+        header = json.loads(blob[:newline])
+        header["output_dim"] = 999
+        forged = json.dumps(header).encode() + blob[newline:]
+        with pytest.raises(ValueError, match="header says"):
+            PrivateSketch.from_bytes(forged)
+
+    def test_tampered_noise_spec_changes_digest_protection(self):
+        """Even if an attacker edits a sketch's noise spec, estimation
+        against an honest sketch is blocked only by the digest — so the
+        digest must differ whenever the config differs."""
+        honest = _sketcher().sketch(np.ones(64), noise_rng=0)
+        other = _sketcher(epsilon=2.0).sketch(np.ones(64), noise_rng=0)
+        assert honest.config_digest != other.config_digest
+        with pytest.raises(ValueError):
+            estimate_sq_distance(honest, other)
+
+
+class TestBadInputs:
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_vectors_rejected_everywhere(self, bad):
+        sk = _sketcher()
+        x = np.ones(64)
+        x[3] = bad
+        with pytest.raises(ValueError):
+            sk.sketch(x)
+        with pytest.raises(ValueError):
+            sk.project(x)
+
+    def test_streaming_rejects_bad_index_types(self):
+        streaming = StreamingSketch(_sketcher())
+        with pytest.raises(TypeError):
+            streaming.update("seven", 1.0)
+
+    def test_object_array_rejected(self):
+        sk = _sketcher()
+        with pytest.raises((ValueError, TypeError)):
+            sk.sketch(np.array([object()] * 64))
+
+    def test_config_rejects_conflicting_noise_delta(self):
+        # gaussian noise demands delta > 0 — must fail at build time,
+        # not silently release unprotected data
+        with pytest.raises(ValueError, match="approximate DP"):
+            PrivateSketcher(
+                SketchConfig(input_dim=64, epsilon=1.0, delta=0.0, output_dim=16,
+                             sparsity=4, noise="gaussian")
+            )
+
+
+class TestMisuseResistance:
+    def test_estimating_across_perturbation_modes_blocked(self):
+        output_mode = _sketcher().sketch(np.ones(64), noise_rng=0)
+        input_mode = PrivateSketcher(
+            SketchConfig(input_dim=64, epsilon=1.0, delta=1e-5, transform="fjlt",
+                         noise="gaussian", output_dim=16, seed=1)
+        ).sketch(np.ones(64), noise_rng=0)
+        with pytest.raises(ValueError):
+            estimate_sq_distance(output_mode, input_mode)
+
+    def test_streaming_continues_after_release(self):
+        """Releasing must not freeze or reset the accumulator."""
+        streaming = StreamingSketch(_sketcher())
+        streaming.update(0, 1.0)
+        streaming.release(noise_rng=1)
+        streaming.update(1, 1.0)
+        assert streaming.n_updates == 2
+        projection = streaming.current_projection()
+        assert np.any(projection != 0)
+
+    def test_release_noise_is_fresh_not_cached(self):
+        """Two releases of the same state must never share noise — reuse
+        would leak the exact projection difference."""
+        streaming = StreamingSketch(_sketcher())
+        streaming.update(0, 1.0)
+        a = streaming.release()
+        b = streaming.release()
+        assert not np.allclose(a.values, b.values)
+
+    def test_hash_keys_reduced_modulo_prime(self):
+        """Keys are hashed modulo 2^31 - 1: two keys congruent mod p
+        collide by construction — documented, and irrelevant for any
+        realistic input dimension (d << 2^31)."""
+        from repro.hashing.kwise import MERSENNE_PRIME_31, KWiseHash
+
+        h = KWiseHash(4, 1000, rng=0)
+        assert h(5) == h(5 + MERSENNE_PRIME_31)
+
+    def test_party_noise_stream_not_reused_across_releases(self):
+        from repro.core.protocol import SketchingSession
+
+        session = SketchingSession(_CONFIG)
+        alice = session.create_party("alice", noise_seed=7)
+        x = np.ones(64)
+        first = alice.release(x)
+        second = alice.release(x)
+        assert not np.allclose(first.values, second.values)
+
+    def test_zero_vector_sketches_cleanly(self):
+        sk = _sketcher()
+        sketch = sk.sketch(np.zeros(64), noise_rng=0)
+        assert np.isfinite(sketch.values).all()
+
+    def test_estimate_of_identical_inputs_centers_at_zero(self):
+        import dataclasses
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(64)
+        estimates = []
+        for seed in range(300):
+            sk = PrivateSketcher(dataclasses.replace(_CONFIG, seed=seed))
+            estimates.append(
+                estimate_sq_distance(sk.sketch(x, noise_rng=rng), sk.sketch(x, noise_rng=rng))
+            )
+        stderr = np.std(estimates) / np.sqrt(len(estimates))
+        assert abs(np.mean(estimates)) < 5 * stderr

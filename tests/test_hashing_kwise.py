@@ -1,0 +1,115 @@
+"""Unit tests for the k-wise independent hash families."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.kwise import (
+    MERSENNE_PRIME_31,
+    KWiseHash,
+    SignHash,
+    hash_family,
+    sign_family,
+)
+
+
+class TestKWiseHash:
+    def test_range_respected(self):
+        h = KWiseHash(4, 10, rng=0)
+        out = h(np.arange(5000))
+        assert out.min() >= 0 and out.max() < 10
+
+    def test_deterministic_given_rng_seed(self):
+        a = KWiseHash(4, 100, rng=3)(np.arange(100))
+        b = KWiseHash(4, 100, rng=3)(np.arange(100))
+        assert (a == b).all()
+
+    def test_scalar_input_returns_int(self):
+        h = KWiseHash(3, 7, rng=1)
+        value = h(5)
+        assert isinstance(value, int)
+        assert 0 <= value < 7
+
+    def test_scalar_matches_vector(self):
+        h = KWiseHash(3, 7, rng=1)
+        vec = h(np.arange(20))
+        for j in range(20):
+            assert h(j) == vec[j]
+
+    def test_roughly_uniform(self):
+        h = KWiseHash(4, 8, rng=2)
+        out = h(np.arange(80000))
+        counts = np.bincount(out, minlength=8)
+        # each bucket expects 10000; allow 5% deviation
+        assert np.all(np.abs(counts - 10000) < 500)
+
+    def test_pairwise_collision_rate(self):
+        h = KWiseHash(2, 64, rng=5)
+        out = h(np.arange(2000))
+        collisions = 0
+        pairs = 0
+        for i in range(0, 2000, 40):
+            for j in range(i + 1, 2000, 40):
+                pairs += 1
+                collisions += out[i] == out[j]
+        rate = collisions / pairs
+        assert rate < 3.0 / 64  # ~1/64 expected
+
+    def test_rejects_negative_keys(self):
+        h = KWiseHash(2, 4, rng=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            h(np.array([-1]))
+
+    def test_rejects_float_keys(self):
+        h = KWiseHash(2, 4, rng=0)
+        with pytest.raises(TypeError):
+            h(np.array([1.5]))
+
+    def test_invalid_independence(self):
+        with pytest.raises(ValueError):
+            KWiseHash(0, 4, rng=0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            KWiseHash(2, 0, rng=0)
+        with pytest.raises(ValueError):
+            KWiseHash(2, MERSENNE_PRIME_31 + 1, rng=0)
+
+    def test_independent_functions_differ(self):
+        fam = hash_family(4, 3, 1000, rng=7)
+        outs = [h(np.arange(200)) for h in fam]
+        for i in range(len(outs)):
+            for j in range(i + 1, len(outs)):
+                assert not (outs[i] == outs[j]).all()
+
+
+class TestSignHash:
+    def test_values_are_pm_one(self):
+        s = SignHash(4, rng=0)
+        out = s(np.arange(1000))
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_scalar_sign(self):
+        s = SignHash(4, rng=0)
+        assert s(3) in (-1, 1)
+
+    def test_balanced(self):
+        s = SignHash(4, rng=1)
+        out = s(np.arange(40000))
+        assert abs(out.mean()) < 0.02
+
+    def test_independence_property_exposed(self):
+        s = SignHash(6, rng=0)
+        assert s.independence == 6
+
+    def test_family_members_distinct(self):
+        fam = sign_family(3, 4, rng=9)
+        outs = [f(np.arange(500)) for f in fam]
+        assert not (outs[0] == outs[1]).all()
+        assert not (outs[1] == outs[2]).all()
+
+    def test_pairwise_products_near_zero_mean(self):
+        # 4-wise independence implies pairwise independence of signs.
+        s = SignHash(4, rng=3)
+        out = s(np.arange(20000))
+        prod = out[:-1] * out[1:]
+        assert abs(prod.mean()) < 0.03

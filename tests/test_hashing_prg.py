@@ -1,0 +1,70 @@
+"""Unit tests for repro.hashing.prg (seed derivation)."""
+
+import numpy as np
+
+from repro.hashing.prg import as_generator, child_seed, derive_rng, fresh_seed
+
+
+class TestDeriveRng:
+    def test_deterministic_for_same_context(self):
+        a = derive_rng(7, "transform", 3).integers(0, 1 << 30, 8)
+        b = derive_rng(7, "transform", 3).integers(0, 1 << 30, 8)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(7, "x").integers(0, 1 << 30, 8)
+        b = derive_rng(8, "x").integers(0, 1 << 30, 8)
+        assert not (a == b).all()
+
+    def test_different_context_differs(self):
+        a = derive_rng(7, "x").integers(0, 1 << 30, 8)
+        b = derive_rng(7, "y").integers(0, 1 << 30, 8)
+        assert not (a == b).all()
+
+    def test_context_concatenation_not_ambiguous(self):
+        a = derive_rng(7, "ab").integers(0, 1 << 30, 8)
+        b = derive_rng(7, "a", "b").integers(0, 1 << 30, 8)
+        assert not (a == b).all()
+
+    def test_integer_context_supported(self):
+        a = derive_rng(7, 12).integers(0, 1 << 30, 4)
+        b = derive_rng(7, 12).integers(0, 1 << 30, 4)
+        assert (a == b).all()
+
+
+class TestChildSeed:
+    def test_deterministic(self):
+        assert child_seed(1, "a") == child_seed(1, "a")
+
+    def test_in_63_bit_range(self):
+        for ctx in range(20):
+            seed = child_seed(99, ctx)
+            assert 0 <= seed < (1 << 63)
+
+    def test_distinct_across_context(self):
+        seeds = {child_seed(5, i) for i in range(100)}
+        assert len(seeds) == 100
+
+
+class TestFreshSeed:
+    def test_distinct_draws(self):
+        assert fresh_seed() != fresh_seed()
+
+    def test_in_range(self):
+        assert 0 <= fresh_seed() < (1 << 63)
+
+
+class TestAsGenerator:
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(5).integers(0, 1 << 30, 4)
+        b = as_generator(5).integers(0, 1 << 30, 4)
+        assert (a == b).all()
+
+    def test_none_gives_fresh_stream(self):
+        a = as_generator(None).integers(0, 1 << 30, 8)
+        b = as_generator(None).integers(0, 1 << 30, 8)
+        assert not (a == b).all()

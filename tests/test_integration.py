@@ -1,0 +1,174 @@
+"""Cross-module integration tests: realistic end-to-end flows."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    PrivacyGuarantee,
+    PrivateSketch,
+    PrivateSketcher,
+    SketchConfig,
+    SketchingSession,
+    StreamingSketch,
+    estimate_distance_matrix,
+    estimate_sq_distance,
+)
+from repro.dp.audit import audit_mechanism
+from repro.dp.sensitivity import worst_case_neighbors
+from repro.workloads import UpdateStream, make_corpus, materialize_stream, pair_at_distance
+
+
+class TestTwoPartyScenario:
+    """The paper's headline scenario: two parties, one public transform."""
+
+    def test_full_protocol_roundtrip_through_bytes(self):
+        rng = np.random.default_rng(0)
+        x, y = pair_at_distance(512, 10.0, rng)
+        config = SketchConfig(input_dim=512, epsilon=4.0, output_dim=128, sparsity=4, seed=11)
+
+        # party A sketches and serializes
+        session_a = SketchingSession(config)
+        blob_a = session_a.create_party("a", noise_seed=1).release(x).to_bytes()
+        # party B independently builds the same session from the config
+        session_b = SketchingSession(config)
+        blob_b = session_b.create_party("b", noise_seed=2).release(y).to_bytes()
+
+        # an analyst with only the blobs estimates the distance
+        est = estimate_sq_distance(PrivateSketch.from_bytes(blob_a),
+                                   PrivateSketch.from_bytes(blob_b))
+        assert np.isfinite(est)
+
+    def test_estimate_statistics_over_many_runs(self):
+        rng = np.random.default_rng(1)
+        x, y = pair_at_distance(512, 10.0, rng)
+        estimates = []
+        for seed in range(200):
+            config = SketchConfig(input_dim=512, epsilon=4.0, output_dim=128, sparsity=4,
+                                  seed=seed)
+            sk = PrivateSketcher(config)
+            estimates.append(
+                sk.estimate_sq_distance(sk.sketch(x, noise_rng=rng), sk.sketch(y, noise_rng=rng))
+            )
+        stderr = np.std(estimates) / math.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - 100.0) < 5 * stderr
+        # the theoretical bound covers the empirical variance
+        sk = PrivateSketcher(SketchConfig(input_dim=512, epsilon=4.0, output_dim=128, sparsity=4))
+        assert np.var(estimates) < 1.5 * sk.theoretical_variance(100.0)
+
+
+class TestStreamingScenario:
+    def test_histogram_stream_release_and_compare(self):
+        config = SketchConfig(input_dim=1024, epsilon=2.0, output_dim=64, sparsity=4, seed=3)
+        session = SketchingSession(config, budget=PrivacyGuarantee(4.0))
+        alice = session.create_party("alice", noise_seed=1)
+        bob = session.create_party("bob", noise_seed=2)
+
+        stream_a = UpdateStream(dim=1024, n_updates=4000, seed=10)
+        stream_b = UpdateStream(dim=1024, n_updates=4000, seed=20)
+        sk_a = alice.release_stream(stream_a)
+        sk_b = bob.release_stream(stream_b)
+
+        true = float(np.sum((materialize_stream(stream_a, 1024)
+                             - materialize_stream(stream_b, 1024)) ** 2))
+        est = session.estimate_sq_distance(sk_a, sk_b)
+        # single-shot estimate: only check it is in the right ballpark
+        spread = 6 * math.sqrt(session.sketcher.theoretical_variance(true))
+        assert abs(est - true) < spread
+
+    def test_incremental_matches_batch_after_interleaved_ops(self):
+        config = SketchConfig(input_dim=128, epsilon=1.0, output_dim=32, sparsity=4)
+        sk = PrivateSketcher(config)
+        streaming = StreamingSketch(sk)
+        x = np.zeros(128)
+        rng = np.random.default_rng(4)
+        for _ in range(500):
+            i = int(rng.integers(0, 128))
+            delta = float(rng.normal())
+            streaming.update(i, delta)
+            x[i] += delta
+        assert np.allclose(streaming.current_projection(), sk.project(x), atol=1e-9)
+
+
+class TestDocumentScenario:
+    def test_private_nearest_neighbor_mostly_same_topic(self):
+        """Sketch a corpus; nearest sketched neighbour should usually share
+        the query's topic (the intro's motivating application)."""
+        rng = np.random.default_rng(5)
+        corpus = make_corpus(n_docs=30, vocab_size=512, doc_length=2000, rng=rng, n_topics=2)
+        config = SketchConfig(input_dim=512, epsilon=8.0, output_dim=256, sparsity=4, seed=9)
+        sk = PrivateSketcher(config)
+        sketches = [sk.sketch(doc, noise_rng=i) for i, doc in enumerate(corpus.counts)]
+        est = estimate_distance_matrix(sketches)
+        np.fill_diagonal(est, np.inf)
+        nearest = est.argmin(axis=1)
+        agreement = float(np.mean(corpus.topics[nearest] == corpus.topics))
+        assert agreement > 0.6
+
+    def test_sketching_is_oblivious_to_corpus(self):
+        """The transform is data-independent: sketching doc i never looks at
+        doc j (verified by sketching in different orders)."""
+        rng = np.random.default_rng(6)
+        corpus = make_corpus(n_docs=5, vocab_size=64, doc_length=100, rng=rng)
+        config = SketchConfig(input_dim=64, epsilon=1.0, output_dim=16, sparsity=4, seed=1)
+        sk = PrivateSketcher(config)
+        forward = [sk.sketch(doc, noise_rng=i).values for i, doc in enumerate(corpus.counts)]
+        backward = [
+            sk.sketch(corpus.counts[i], noise_rng=i).values for i in reversed(range(5))
+        ][::-1]
+        for f, b in zip(forward, backward):
+            assert np.allclose(f, b)
+
+
+class TestPrivacyIntegration:
+    def test_sketcher_noise_survives_worst_case_audit(self):
+        """End to end: the PrivateSketcher's own calibrated noise passes the
+        audit at the transform's true worst-case neighbour."""
+        config = SketchConfig(input_dim=128, epsilon=1.0, output_dim=32, sparsity=4, seed=7)
+        sk = PrivateSketcher(config)
+        x, x_prime = worst_case_neighbors(sk.transform, p=1)
+        shift = sk.project(x_prime) - sk.project(x)
+        result = audit_mechanism(sk.noise, shift, sk.guarantee.epsilon,
+                                 sk.guarantee.delta, n_samples=30000,
+                                 rng=np.random.default_rng(8))
+        assert result.passed
+
+    def test_budget_spans_streaming_and_batch(self):
+        config = SketchConfig(input_dim=64, epsilon=1.0, output_dim=16, sparsity=4)
+        session = SketchingSession(config, budget=PrivacyGuarantee(2.5))
+        alice = session.create_party("alice")
+        alice.release(np.ones(64))
+        alice.release_stream([(0, 1.0)])
+        assert alice.spent().epsilon == pytest.approx(2.0)
+        from repro.dp.accountant import BudgetExceededError
+
+        with pytest.raises(BudgetExceededError):
+            alice.release(np.ones(64))
+
+
+class TestMixedTransformsIntegration:
+    @pytest.mark.parametrize(
+        "transform,kwargs",
+        [
+            ("sjlt", {"sparsity": 4}),
+            ("dks", {"sparsity": 4}),
+            ("gaussian", {}),
+            ("achlioptas", {}),
+            ("fjlt", {}),
+        ],
+    )
+    def test_every_transform_through_full_pipeline(self, transform, kwargs):
+        delta = 0.0 if transform in ("sjlt", "dks") else 1e-5
+        noise = "auto" if delta == 0.0 else "gaussian"
+        config = SketchConfig(
+            input_dim=128, epsilon=2.0, delta=delta, transform=transform, noise=noise,
+            output_dim=32, seed=2, **({"sparsity": 4} if "sparsity" in kwargs else {}),
+        )
+        sk = PrivateSketcher(config)
+        rng = np.random.default_rng(9)
+        x, y = pair_at_distance(128, 3.0, rng)
+        est = sk.estimate_sq_distance(sk.sketch(x, noise_rng=1), sk.sketch(y, noise_rng=2))
+        assert np.isfinite(est)
+        assert sk.guarantee.epsilon == 2.0

@@ -1,0 +1,267 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These check *algebraic* invariants that must hold for every input, not
+just statistical ones: linearity, exactness of closed forms, streaming
+== batch, serialization roundtrips, FWHT structure, estimator algebra.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.estimators import (
+    estimate_inner_product,
+    estimate_sq_distance,
+    estimate_sq_norm,
+)
+from repro.core.sketch import PrivateSketch, PrivateSketcher, SketchConfig
+from repro.core.streaming import StreamingSketch
+from repro.dp.noise import DiscreteLaplaceNoise, GaussianNoise, LaplaceNoise
+from repro.theory.moments import gaussian_moment, laplace_moment
+from repro.transforms import create_transform, exact_sensitivity
+from repro.transforms.hadamard import fwht, hadamard_matrix
+
+DIM = 32
+OUT = 16
+
+finite_vectors = arrays(
+    np.float64,
+    DIM,
+    elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, width=64),
+)
+
+transform_names = st.sampled_from(["sjlt", "gaussian", "achlioptas", "dks", "fjlt"])
+
+
+def _make(name, seed):
+    kwargs = {"sparsity": 4} if name in ("sjlt", "dks") else {}
+    return create_transform(name, DIM, OUT, seed=seed, **kwargs)
+
+
+class TestTransformProperties:
+    @given(x=finite_vectors, y=finite_vectors, name=transform_names, seed=st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_linearity(self, x, y, name, seed):
+        t = _make(name, seed)
+        lhs = t.apply(x + y)
+        rhs = t.apply(x) + t.apply(y)
+        assert np.allclose(lhs, rhs, atol=1e-6)
+
+    @given(x=finite_vectors, c=st.floats(-50, 50), name=transform_names, seed=st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_homogeneity(self, x, c, name, seed):
+        t = _make(name, seed)
+        assert np.allclose(t.apply(c * x), c * t.apply(x), atol=1e-6)
+
+    @given(name=transform_names, seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_sensitivity_closed_form_never_below_scan(self, name, seed):
+        t = _make(name, seed)
+        for p in (1, 2):
+            scan = exact_sensitivity(t, p)
+            assert t.sensitivity(p) >= scan - 1e-9
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_sjlt_column_structure_invariant(self, seed):
+        t = _make("sjlt", seed)
+        dense = t.to_dense()
+        nnz = (dense != 0).sum(axis=0)
+        assert (nnz == 4).all()
+        assert np.allclose(np.abs(dense[dense != 0]), 0.5)
+
+    @given(x=finite_vectors, seed=st.integers(0, 50), name=transform_names)
+    @settings(max_examples=40, deadline=None)
+    def test_dense_matrix_agrees_with_apply(self, x, seed, name):
+        t = _make(name, seed)
+        assert np.allclose(t.to_dense() @ x, t.apply(x), atol=1e-6)
+
+
+class TestFWHTProperties:
+    lengths = st.sampled_from([2, 4, 8, 16, 64])
+
+    @given(n=lengths, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_parseval(self, n, data):
+        x = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(-100, 100, allow_nan=False, width=64), min_size=n, max_size=n
+                )
+            )
+        )
+        y = fwht(x, normalized=True)
+        assert np.linalg.norm(y) == pytest.approx(np.linalg.norm(x), abs=1e-6)
+
+    @given(n=lengths, data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_involution(self, n, data):
+        x = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(-100, 100, allow_nan=False, width=64), min_size=n, max_size=n
+                )
+            )
+        )
+        assert np.allclose(fwht(fwht(x, normalized=True), normalized=True), x, atol=1e-8)
+
+    @given(n=st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=10, deadline=None)
+    def test_matrix_symmetric(self, n):
+        h = hadamard_matrix(n)
+        assert np.array_equal(h, h.T)
+
+
+class TestEstimatorAlgebra:
+    @given(
+        noise_seed_a=st.integers(0, 10**6),
+        noise_seed_b=st.integers(0, 10**6),
+        scale=st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_distance_estimator_formula(self, noise_seed_a, noise_seed_b, scale):
+        """estimate == ||u - v||^2 - 2 k m2, always."""
+        sk = PrivateSketcher(SketchConfig(input_dim=DIM, epsilon=1.0, output_dim=OUT, sparsity=4))
+        a = sk.sketch(np.full(DIM, scale), noise_rng=noise_seed_a)
+        b = sk.sketch(np.full(DIM, -scale), noise_rng=noise_seed_b)
+        manual = float((a.values - b.values) @ (a.values - b.values)) - 2 * OUT * sk.noise.second_moment
+        assert estimate_sq_distance(a, b) == pytest.approx(manual)
+
+    @given(noise_seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_polarization_identity(self, noise_seed):
+        sk = PrivateSketcher(SketchConfig(input_dim=DIM, epsilon=1.0, output_dim=OUT, sparsity=4))
+        a = sk.sketch(np.arange(DIM, dtype=float), noise_rng=noise_seed)
+        b = sk.sketch(np.ones(DIM), noise_rng=noise_seed + 1)
+        lhs = estimate_inner_product(a, b)
+        rhs = (estimate_sq_norm(a) + estimate_sq_norm(b) - estimate_sq_distance(a, b)) / 2.0
+        assert lhs == pytest.approx(rhs, abs=1e-6)
+
+    @given(x=finite_vectors, noise_seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_serialization_roundtrip(self, x, noise_seed):
+        sk = PrivateSketcher(SketchConfig(input_dim=DIM, epsilon=1.0, output_dim=OUT, sparsity=4))
+        original = sk.sketch(x, noise_rng=noise_seed)
+        restored = PrivateSketch.from_bytes(original.to_bytes())
+        assert np.array_equal(restored.values, original.values)
+        assert restored.config_digest == original.config_digest
+
+
+class TestStreamingProperties:
+    @given(
+        updates=st.lists(
+            st.tuples(st.integers(0, DIM - 1), st.floats(-10, 10, allow_nan=False)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_equals_batch(self, updates):
+        sk = PrivateSketcher(SketchConfig(input_dim=DIM, epsilon=1.0, output_dim=OUT, sparsity=4))
+        streaming = StreamingSketch(sk)
+        x = np.zeros(DIM)
+        for index, delta in updates:
+            streaming.update(index, delta)
+            x[index] += delta
+        assert np.allclose(streaming.current_projection(), sk.project(x), atol=1e-8)
+
+    @given(
+        updates=st.lists(
+            st.tuples(st.integers(0, DIM - 1), st.floats(-10, 10, allow_nan=False)),
+            min_size=2,
+            max_size=30,
+        ),
+        order_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_update_order_irrelevant(self, updates, order_seed):
+        sk = PrivateSketcher(SketchConfig(input_dim=DIM, epsilon=1.0, output_dim=OUT, sparsity=4))
+        forward = StreamingSketch(sk)
+        shuffled = StreamingSketch(sk)
+        for index, delta in updates:
+            forward.update(index, delta)
+        perm = np.random.default_rng(order_seed).permutation(len(updates))
+        for i in perm:
+            shuffled.update(updates[i][0], updates[i][1])
+        assert np.allclose(forward.current_projection(), shuffled.current_projection(), atol=1e-8)
+
+
+class TestNoiseProperties:
+    @given(scale=st.floats(0.05, 50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_laplace_moments_match_note4(self, scale):
+        noise = LaplaceNoise(scale)
+        assert noise.second_moment == pytest.approx(laplace_moment(2, scale))
+        assert noise.fourth_moment == pytest.approx(laplace_moment(4, scale))
+
+    @given(sigma=st.floats(0.05, 50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_gaussian_moments_match_note4(self, sigma):
+        noise = GaussianNoise(sigma)
+        assert noise.second_moment == pytest.approx(gaussian_moment(2, sigma))
+        assert noise.fourth_moment == pytest.approx(gaussian_moment(4, sigma))
+
+    @given(scale=st.floats(0.2, 30.0))
+    @settings(max_examples=30, deadline=None)
+    def test_discrete_laplace_moment_consistency(self, scale):
+        """m4 >= m2^2 (Jensen) and both positive."""
+        noise = DiscreteLaplaceNoise(scale)
+        assert noise.second_moment > 0
+        assert noise.fourth_moment >= noise.second_moment**2
+
+    @given(scale=st.floats(0.1, 20.0), eps=st.floats(0.1, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_laplace_loss_never_exceeds_l1_over_scale(self, scale, eps):
+        from repro.dp.audit import privacy_loss_samples
+
+        noise = LaplaceNoise(scale)
+        shift = np.array([eps * scale / 2.0, -eps * scale / 2.0])
+        losses = privacy_loss_samples(noise, shift, 200, rng=np.random.default_rng(0))
+        assert losses.max() <= np.abs(shift).sum() / scale + 1e-9
+
+
+class TestTheoryProperties:
+    @given(
+        k=st.integers(1, 500),
+        dist_sq=st.floats(0.0, 1e4),
+        m2=st.floats(0.0, 100.0),
+        m4=st.floats(0.0, 1e4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_general_variance_nonnegative_monotone(self, k, dist_sq, m2, m4):
+        from repro.core.variance import general_variance
+
+        base = general_variance(k, dist_sq, m2, m4, 0.0)
+        assert base >= 0.0
+        assert general_variance(k, dist_sq + 1.0, m2, m4, 0.0) >= base
+
+    @given(z=arrays(np.float64, 16, elements=st.floats(-50, 50, allow_nan=False, width=64)))
+    @settings(max_examples=60, deadline=None)
+    def test_sjlt_exact_variance_below_bound(self, z):
+        from repro.core.variance import (
+            sjlt_transform_variance_bound,
+            sjlt_transform_variance_exact,
+        )
+
+        exact = sjlt_transform_variance_exact(8, z)
+        bound = sjlt_transform_variance_bound(8, float(z @ z))
+        assert exact <= bound + 1e-9
+        assert exact >= -1e-9
+
+    @given(delta1=st.floats(0.1, 10.0), delta2=st.floats(0.1, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_note5_threshold_consistent_with_rule(self, delta1, delta2):
+        from repro.core.mechanism_choice import choose_noise_name
+        from repro.theory.bounds import laplace_beats_gaussian_threshold
+
+        threshold = laplace_beats_gaussian_threshold(delta1, delta2)
+        below = max(threshold * 0.5, 1e-300)
+        if 0 < below < threshold:
+            assert choose_noise_name(delta1, delta2, 1.0, below).noise_name == "laplace"
+        above = min(threshold * 2.0, 0.99)
+        if threshold < above < 1:  # strict: threshold may underflow to 0.0
+            assert choose_noise_name(delta1, delta2, 1.0, above).noise_name == "gaussian"

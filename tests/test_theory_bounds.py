@@ -1,0 +1,146 @@
+"""Unit tests for repro.theory.bounds (dimensions and crossovers)."""
+
+import math
+
+import pytest
+
+from repro.theory.bounds import (
+    fjlt_density,
+    fjlt_speed_window,
+    fjlt_time,
+    jl_output_dimension,
+    laplace_beats_gaussian,
+    laplace_beats_gaussian_threshold,
+    optimal_output_dimension,
+    sjlt_beats_fjlt_threshold,
+    sjlt_beats_iid_threshold,
+    sjlt_dimensions,
+    sjlt_sparsity,
+    sjlt_time,
+)
+
+
+class TestDimensions:
+    def test_k_scales_inverse_alpha_squared(self):
+        k1 = jl_output_dimension(0.2, 0.05)
+        k2 = jl_output_dimension(0.1, 0.05)
+        assert k2 == pytest.approx(4 * k1, rel=0.05)
+
+    def test_k_scales_log_beta(self):
+        k1 = jl_output_dimension(0.2, 0.1)
+        k2 = jl_output_dimension(0.2, 0.01)
+        assert k2 == pytest.approx(2 * k1, rel=0.05)
+
+    def test_k_independent_of_d(self):
+        # the Jayram-Nelson optimality: no d anywhere in the signature
+        assert jl_output_dimension(0.2, 0.05) == jl_output_dimension(0.2, 0.05)
+
+    def test_s_scales_inverse_alpha(self):
+        s1 = sjlt_sparsity(0.2, 0.05)
+        s2 = sjlt_sparsity(0.1, 0.05)
+        assert s2 == pytest.approx(2 * s1, rel=0.1)
+
+    def test_s_below_k(self):
+        k, s = sjlt_dimensions(0.25, 0.05)
+        assert 1 <= s <= k
+
+    def test_block_divisibility(self):
+        for alpha in (0.1, 0.2, 0.3, 0.45):
+            for beta in (0.01, 0.05, 0.2):
+                k, s = sjlt_dimensions(alpha, beta)
+                assert k % s == 0
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            jl_output_dimension(0.6, 0.05)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            sjlt_sparsity(0.2, 0.0)
+
+
+class TestFJLTDensity:
+    def test_capped_at_one(self):
+        assert fjlt_density(2, 0.05) == 1.0
+
+    def test_decays_with_d(self):
+        assert fjlt_density(10000, 0.05) < fjlt_density(1000, 0.05)
+
+    def test_scales_log_squared(self):
+        q1 = fjlt_density(100000, 0.1)
+        q2 = fjlt_density(100000, 0.01)
+        assert q2 / q1 == pytest.approx(4.0, rel=0.01)
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            fjlt_density(0, 0.05)
+
+
+class TestCrossovers:
+    def test_note5_threshold_formula(self):
+        # delta* = exp(-Delta1^2/Delta2^2)
+        assert laplace_beats_gaussian_threshold(2.0, 1.0) == pytest.approx(math.exp(-4.0))
+
+    def test_note5_rule_below_threshold(self):
+        assert laplace_beats_gaussian(1e-10, 2.0, 1.0)
+
+    def test_note5_rule_above_threshold(self):
+        assert not laplace_beats_gaussian(0.1, 2.0, 1.0)
+
+    def test_note5_pure_dp_forces_laplace(self):
+        assert laplace_beats_gaussian(0.0, 100.0, 1.0)
+
+    def test_sjlt_beats_iid_is_exp_minus_s(self):
+        assert sjlt_beats_iid_threshold(8) == pytest.approx(math.exp(-8.0))
+
+    def test_sjlt_beats_fjlt_scales_with_sk_over_d(self):
+        t1 = sjlt_beats_fjlt_threshold(8, 64, 256)
+        t2 = sjlt_beats_fjlt_threshold(8, 64, 512)
+        assert t2 > t1  # larger d -> easier for SJLT
+
+    def test_threshold_input_validation(self):
+        with pytest.raises(ValueError):
+            sjlt_beats_iid_threshold(0)
+        with pytest.raises(ValueError):
+            sjlt_beats_fjlt_threshold(1, 0, 1)
+
+
+class TestSpeedWindow:
+    def test_window_ordering(self):
+        low, high = fjlt_speed_window(0.1, 0.05)
+        assert low < high
+
+    def test_low_end_formula(self):
+        low, _ = fjlt_speed_window(0.1, 0.05)
+        assert low == pytest.approx(math.log(20.0) ** 2 / 0.1)
+
+    def test_high_end_grows_with_smaller_alpha(self):
+        _, h1 = fjlt_speed_window(0.2, 0.05)
+        _, h2 = fjlt_speed_window(0.1, 0.05)
+        assert h2 > h1
+
+    def test_time_models_cross(self):
+        # inside the window the FJLT model cost is below the SJLT's
+        alpha, beta = 0.05, 0.01
+        low, high = fjlt_speed_window(alpha, beta)
+        mid = int(math.sqrt(low * high))
+        assert fjlt_time(mid, alpha, beta) < sjlt_time(mid, alpha, beta)
+
+
+class TestOptimalK:
+    def test_formula(self):
+        # k* = nu / sqrt(m4 + m2^2)
+        assert optimal_output_dimension(100.0, 2.0, 12.0) == round(100.0 / 4.0)
+
+    def test_at_least_one(self):
+        assert optimal_output_dimension(1e-6, 10.0, 10.0) == 1
+
+    def test_grows_with_distance(self):
+        small = optimal_output_dimension(10.0, 1.0, 1.0)
+        large = optimal_output_dimension(1000.0, 1.0, 1.0)
+        assert large > small
+
+    def test_shrinks_with_noise(self):
+        quiet = optimal_output_dimension(100.0, 0.5, 0.5)
+        loud = optimal_output_dimension(100.0, 5.0, 50.0)
+        assert loud < quiet

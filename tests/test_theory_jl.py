@@ -1,0 +1,66 @@
+"""Unit tests for repro.theory.jl (distortion helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.theory.jl import distortion, distortion_samples, empirical_failure_rate
+from repro.transforms import create_transform
+
+
+class TestDistortion:
+    def test_identity_is_one(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert distortion(x, x) == pytest.approx(1.0)
+
+    def test_scaling_squares(self):
+        x = np.array([1.0, 0.0])
+        assert distortion(x, 2.0 * x) == pytest.approx(4.0)
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            distortion(np.zeros(3), np.ones(3))
+
+
+class TestEmpiricalFailureRate:
+    def _factory(self, seed):
+        return create_transform("achlioptas", 64, 128, seed=seed)
+
+    def test_large_k_rarely_fails(self):
+        x = np.random.default_rng(0).standard_normal(64)
+        rate = empirical_failure_rate(self._factory, x, alpha=0.45, trials=60)
+        assert rate <= 0.1
+
+    def test_tiny_k_fails_often(self):
+        def tiny(seed):
+            return create_transform("gaussian", 64, 2, seed=seed)
+
+        x = np.random.default_rng(0).standard_normal(64)
+        rate = empirical_failure_rate(tiny, x, alpha=0.05, trials=60)
+        assert rate > 0.5
+
+    def test_trials_validated(self):
+        x = np.ones(64)
+        with pytest.raises(ValueError):
+            empirical_failure_rate(self._factory, x, alpha=0.2, trials=0)
+
+
+class TestDistortionSamples:
+    def test_sample_count(self):
+        x = np.random.default_rng(1).standard_normal(64)
+        samples = distortion_samples(self._factory, x, trials=10)
+        assert samples.shape == (10,)
+
+    def test_samples_depend_on_seed_offset(self):
+        x = np.random.default_rng(1).standard_normal(64)
+        a = distortion_samples(self._factory, x, trials=5, seed=0)
+        b = distortion_samples(self._factory, x, trials=5, seed=100)
+        assert not np.allclose(a, b)
+
+    def test_samples_reproducible(self):
+        x = np.random.default_rng(1).standard_normal(64)
+        a = distortion_samples(self._factory, x, trials=5, seed=3)
+        b = distortion_samples(self._factory, x, trials=5, seed=3)
+        assert np.allclose(a, b)
+
+    def _factory(self, seed):
+        return create_transform("achlioptas", 64, 128, seed=seed)

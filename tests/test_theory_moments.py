@@ -1,0 +1,119 @@
+"""Unit tests for repro.theory.moments (Note 4 formulas)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.moments import (
+    double_factorial,
+    gaussian_moment,
+    laplace_moment,
+    two_sided_geometric_fourth_moment,
+    two_sided_geometric_second_moment,
+)
+
+
+class TestDoubleFactorial:
+    @pytest.mark.parametrize(
+        "n,expected", [(-1, 1), (0, 1), (1, 1), (2, 2), (3, 3), (4, 8), (5, 15), (7, 105)]
+    )
+    def test_known_values(self, n, expected):
+        assert double_factorial(n) == expected
+
+    def test_rejects_below_minus_one(self):
+        with pytest.raises(ValueError):
+            double_factorial(-2)
+
+
+class TestLaplaceMoments:
+    def test_second_moment(self):
+        # E[L^2] = 2 b^2
+        assert laplace_moment(2, 3.0) == pytest.approx(18.0)
+
+    def test_fourth_moment(self):
+        # E[L^4] = 24 b^4
+        assert laplace_moment(4, 2.0) == pytest.approx(24.0 * 16.0)
+
+    def test_odd_moments_vanish(self):
+        assert laplace_moment(1, 1.0) == 0.0
+        assert laplace_moment(3, 1.0) == 0.0
+
+    def test_zeroth_moment(self):
+        assert laplace_moment(0, 5.0) == 1.0
+
+    def test_matches_sampling(self):
+        rng = np.random.default_rng(0)
+        samples = rng.laplace(0, 1.7, 400000)
+        assert laplace_moment(2, 1.7) == pytest.approx(np.mean(samples**2), rel=0.03)
+        assert laplace_moment(4, 1.7) == pytest.approx(np.mean(samples**4), rel=0.1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            laplace_moment(-1, 1.0)
+        with pytest.raises(ValueError):
+            laplace_moment(2, 0.0)
+
+
+class TestGaussianMoments:
+    def test_second_moment(self):
+        assert gaussian_moment(2, 2.0) == pytest.approx(4.0)
+
+    def test_fourth_moment(self):
+        # (4-1)!! = 3
+        assert gaussian_moment(4, 2.0) == pytest.approx(3.0 * 16.0)
+
+    def test_sixth_moment(self):
+        # 5!! = 15
+        assert gaussian_moment(6, 1.0) == pytest.approx(15.0)
+
+    def test_odd_moments_vanish(self):
+        assert gaussian_moment(3, 2.0) == 0.0
+
+    def test_matches_sampling(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(0, 0.9, 400000)
+        assert gaussian_moment(4, 0.9) == pytest.approx(np.mean(samples**4), rel=0.05)
+
+
+class TestGeometricMoments:
+    def _sample(self, q, n=500000, seed=2):
+        rng = np.random.default_rng(seed)
+        p = 1.0 - q
+        return (rng.geometric(p, n) - 1) - (rng.geometric(p, n) - 1)
+
+    @pytest.mark.parametrize("q", [0.3, 0.6, 0.9])
+    def test_second_moment_matches_sampling(self, q):
+        samples = self._sample(q)
+        assert two_sided_geometric_second_moment(q) == pytest.approx(
+            np.mean(samples.astype(float) ** 2), rel=0.03
+        )
+
+    @pytest.mark.parametrize("q", [0.3, 0.6])
+    def test_fourth_moment_matches_sampling(self, q):
+        samples = self._sample(q)
+        assert two_sided_geometric_fourth_moment(q) == pytest.approx(
+            np.mean(samples.astype(float) ** 4), rel=0.08
+        )
+
+    def test_moments_match_series_summation(self):
+        q = 0.75
+        z = np.arange(-4000, 4001)
+        pmf = (1 - q) / (1 + q) * q ** np.abs(z)
+        assert two_sided_geometric_second_moment(q) == pytest.approx(float((z**2 * pmf).sum()))
+        assert two_sided_geometric_fourth_moment(q) == pytest.approx(float((z**4 * pmf).sum()))
+
+    def test_approaches_laplace_for_large_scale(self):
+        # scale b -> q = e^{-1/b}; for large b the discrete and continuous
+        # second moments converge (2q/(1-q)^2 ~ 2b^2).
+        b = 50.0
+        q = math.exp(-1.0 / b)
+        ratio = two_sided_geometric_second_moment(q) / laplace_moment(2, b)
+        assert ratio == pytest.approx(1.0, abs=0.02)
+
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_invalid_ratio(self, q):
+        with pytest.raises(ValueError):
+            two_sided_geometric_second_moment(q)
+        with pytest.raises(ValueError):
+            two_sided_geometric_fourth_moment(q)

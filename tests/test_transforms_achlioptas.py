@@ -1,0 +1,73 @@
+"""Tests specific to the Achlioptas binary-coin transforms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.transforms.achlioptas import AchlioptasTransform
+
+
+class TestDenseMode:
+    def test_entries_are_pm_inv_sqrt_k(self):
+        t = AchlioptasTransform(64, 16, seed=0)
+        dense = t.to_dense()
+        assert set(np.round(np.unique(dense) * 4.0, 9)) == {-1.0, 1.0}
+
+    def test_column_norms_exactly_one(self):
+        t = AchlioptasTransform(64, 16, seed=1)
+        norms = np.linalg.norm(t.to_dense(), axis=0)
+        assert np.allclose(norms, 1.0)
+
+    def test_closed_form_sensitivity_l1(self):
+        t = AchlioptasTransform(64, 16, seed=2)
+        # all k entries of magnitude 1/sqrt(k): Delta_1 = sqrt(k)
+        assert t.sensitivity(1) == pytest.approx(math.sqrt(16))
+
+    def test_closed_form_sensitivity_l2(self):
+        t = AchlioptasTransform(64, 16, seed=2)
+        assert t.sensitivity(2) == pytest.approx(1.0)
+
+    def test_closed_form_sensitivity_linf(self):
+        t = AchlioptasTransform(64, 16, seed=2)
+        assert t.sensitivity(np.inf) == pytest.approx(0.25)
+
+    def test_closed_form_matches_scan(self):
+        from repro.transforms import exact_sensitivity
+
+        t = AchlioptasTransform(48, 16, seed=3)
+        for p in (1, 2):
+            assert t.sensitivity(p) == pytest.approx(exact_sensitivity(t, p))
+
+    def test_has_closed_form_flag(self):
+        assert AchlioptasTransform(8, 4, seed=0).has_closed_form_sensitivity
+
+
+class TestSparseMode:
+    def test_two_thirds_zeros(self):
+        t = AchlioptasTransform(300, 90, seed=0, sparse=True)
+        dense = t.to_dense()
+        zero_fraction = float((dense == 0).mean())
+        assert zero_fraction == pytest.approx(2.0 / 3.0, abs=0.02)
+
+    def test_nonzero_magnitude(self):
+        t = AchlioptasTransform(64, 27, seed=1, sparse=True)
+        dense = t.to_dense()
+        nonzero = np.abs(dense[dense != 0])
+        assert np.allclose(nonzero, math.sqrt(3.0 / 27))
+
+    def test_sparse_sensitivity_uses_scan(self):
+        t = AchlioptasTransform(32, 16, seed=2, sparse=True)
+        from repro.transforms import exact_sensitivity
+
+        assert t.sensitivity(2) == pytest.approx(exact_sensitivity(t, 2))
+
+    def test_lpp_in_expectation(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(48)
+        ratios = []
+        for seed in range(400):
+            t = AchlioptasTransform(48, 24, seed=seed, sparse=True)
+            y = t.apply(x)
+            ratios.append(float(y @ y) / float(x @ x))
+        assert np.mean(ratios) == pytest.approx(1.0, abs=0.06)

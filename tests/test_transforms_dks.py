@@ -1,0 +1,68 @@
+"""Tests specific to the DKS with-replacement sparse transform."""
+
+import numpy as np
+import pytest
+
+from repro.transforms.dks import DKSTransform
+
+
+class TestStructure:
+    def test_at_most_s_nonzeros_per_column(self):
+        t = DKSTransform(64, 32, sparsity=4, seed=0)
+        dense = t.to_dense()
+        nnz = (dense != 0).sum(axis=0)
+        assert (nnz <= 4).all()
+        assert nnz.max() > 0
+
+    def test_collisions_can_reduce_nonzeros(self):
+        # with replacement, some column across many draws must collide
+        found_collision = False
+        for seed in range(40):
+            t = DKSTransform(128, 8, sparsity=4, seed=seed)
+            nnz = (t.to_dense() != 0).sum(axis=0)
+            if (nnz < 4).any():
+                found_collision = True
+                break
+        assert found_collision
+
+    def test_update_cost_is_sparsity(self):
+        t = DKSTransform(64, 32, sparsity=5, seed=0)
+        assert t.update_cost == 5
+
+    def test_sparsity_validated(self):
+        with pytest.raises(ValueError):
+            DKSTransform(64, 32, sparsity=0, seed=0)
+        with pytest.raises(ValueError):
+            DKSTransform(64, 32, sparsity=33, seed=0)
+
+    def test_no_closed_form_sensitivity(self):
+        # collisions make column norms random: must scan
+        assert not DKSTransform(64, 32, sparsity=4, seed=0).has_closed_form_sensitivity
+
+    def test_sensitivity_varies_across_draws(self):
+        values = {round(DKSTransform(64, 8, 4, seed=s).sensitivity(2), 6) for s in range(25)}
+        assert len(values) > 1
+
+
+class TestApplyPaths:
+    def test_sparse_apply_matches_dense(self):
+        t = DKSTransform(100, 32, sparsity=4, seed=1)
+        idx = np.array([0, 10, 99])
+        vals = np.array([2.0, -1.0, 0.5])
+        x = np.zeros(100)
+        x[idx] = vals
+        assert np.allclose(t.apply_sparse(idx, vals), t.apply(x))
+
+    def test_sparse_apply_validates_indices(self):
+        t = DKSTransform(10, 8, sparsity=2, seed=0)
+        with pytest.raises(ValueError):
+            t.apply_sparse(np.array([10]), np.array([1.0]))
+
+    def test_lpp(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(64)
+        ratios = []
+        for seed in range(400):
+            y = DKSTransform(64, 32, sparsity=4, seed=seed).apply(x)
+            ratios.append(float(y @ y) / float(x @ x))
+        assert np.mean(ratios) == pytest.approx(1.0, abs=0.08)

@@ -1,0 +1,113 @@
+"""Tests for the Fast Johnson-Lindenstrauss Transform."""
+
+import numpy as np
+import pytest
+
+from repro.transforms.fjlt import FJLT
+
+
+class TestConstruction:
+    def test_padding_to_power_of_two(self):
+        t = FJLT(100, 16, seed=0)
+        assert t.padded_dim == 128
+
+    def test_no_padding_when_power(self):
+        t = FJLT(64, 16, seed=0)
+        assert t.padded_dim == 64
+
+    def test_density_default_from_theory(self):
+        t = FJLT(4096, 16, seed=0, beta=0.05)
+        assert 0 < t.density < 0.01
+
+    def test_density_override(self):
+        t = FJLT(64, 16, seed=0, density=0.5)
+        assert t.density == 0.5
+
+    def test_density_validated(self):
+        with pytest.raises(ValueError):
+            FJLT(64, 16, seed=0, density=0.0)
+        with pytest.raises(ValueError):
+            FJLT(64, 16, seed=0, density=1.5)
+
+    def test_nnz_close_to_expectation(self):
+        t = FJLT(256, 64, seed=0, density=0.2)
+        expected = 0.2 * 256 * 64
+        assert abs(t.nnz - expected) < 4 * np.sqrt(expected)
+
+    def test_theoretical_cost_positive(self):
+        assert FJLT(128, 16, seed=0).theoretical_apply_cost() > 0
+
+
+class TestProjection:
+    def test_lpp_normalized(self):
+        x = np.random.default_rng(0).standard_normal(96)
+        ratios = []
+        for seed in range(400):
+            y = FJLT(96, 32, seed=seed).apply(x)
+            ratios.append(float(y @ y) / float(x @ x))
+        assert np.mean(ratios) == pytest.approx(1.0, abs=0.08)
+
+    def test_unnormalized_scales_by_k(self):
+        x = np.random.default_rng(1).standard_normal(64)
+        k = 32
+        ratios = []
+        for seed in range(400):
+            y = FJLT(64, k, seed=seed, normalized=False).apply(x)
+            ratios.append(float(y @ y) / float(x @ x))
+        assert np.mean(ratios) == pytest.approx(k, rel=0.1)
+
+    def test_normalized_is_unnormalized_over_sqrt_k(self):
+        x = np.random.default_rng(2).standard_normal(64)
+        a = FJLT(64, 16, seed=5, normalized=True).apply(x)
+        b = FJLT(64, 16, seed=5, normalized=False).apply(x)
+        assert np.allclose(a, b / 4.0)
+
+    def test_padding_invisible_to_caller(self):
+        """A d=100 input uses only its own 100 coordinates."""
+        t = FJLT(100, 16, seed=0)
+        x = np.random.default_rng(3).standard_normal(100)
+        assert t.apply(x).shape == (16,)
+        dense = t.to_dense()
+        assert dense.shape == (16, 100)
+        assert np.allclose(dense @ x, t.apply(x))
+
+    def test_matches_explicit_phd_product(self):
+        """Phi = P H D reproduced entry by entry from the stages."""
+        from repro.transforms.hadamard import hadamard_matrix
+
+        d, k = 32, 8
+        t = FJLT(d, k, seed=7, normalized=False)
+        p = np.zeros((k, d))
+        np.add.at(p, (t._p_rows, t._p_cols), t._p_values)
+        h = hadamard_matrix(d, normalized=True)
+        diag = np.diag(t._diagonal_signs)
+        phi = p @ h @ diag
+        x = np.random.default_rng(4).standard_normal(d)
+        assert np.allclose(phi @ x, t.apply(x), atol=1e-9)
+
+
+class TestVarianceBound:
+    def test_lemma7_bound(self):
+        """Var[1/k ||Phi x||^2] <= 3/k ||x||^4 (Lemma 7)."""
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(128)
+        k = 64
+        values = []
+        for seed in range(1200):
+            y = FJLT(128, k, seed=seed).apply(x)
+            values.append(float(y @ y))
+        x_sq = float(x @ x)
+        assert np.var(values) <= 1.15 * 3.0 / k * x_sq**2
+
+
+class TestSensitivity:
+    def test_l2_sensitivity_concentrates_near_one(self):
+        values = [FJLT(128, 64, seed=s).sensitivity(2) for s in range(20)]
+        assert 0.7 < float(np.mean(values)) < 1.6
+
+    def test_sensitivity_random_across_seeds(self):
+        values = {round(FJLT(64, 32, seed=s).sensitivity(2), 8) for s in range(10)}
+        assert len(values) > 1
+
+    def test_no_closed_form(self):
+        assert not FJLT(64, 32, seed=0).has_closed_form_sensitivity

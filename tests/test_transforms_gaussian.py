@@ -1,0 +1,77 @@
+"""Tests specific to the i.i.d. Gaussian transform (Kenthapadi's P)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.transforms.gaussian import GaussianTransform
+
+
+class TestEntries:
+    def test_entry_variance_is_one_over_k(self):
+        t = GaussianTransform(400, 100, seed=0)
+        m = t.to_dense()
+        assert m.var() == pytest.approx(1.0 / 100, rel=0.05)
+
+    def test_entries_zero_mean(self):
+        t = GaussianTransform(400, 100, seed=1)
+        assert abs(t.to_dense().mean()) < 0.002
+
+    def test_to_dense_returns_copy(self):
+        t = GaussianTransform(16, 8, seed=0)
+        dense = t.to_dense()
+        dense[0, 0] = 999.0
+        assert t.to_dense()[0, 0] != 999.0
+
+
+class TestVariance:
+    def test_transform_variance_matches_chi_square(self):
+        """Var[||Pz||^2] = 2/k ||z||^4 — the Theorem 2 leading term."""
+        rng = np.random.default_rng(0)
+        z = rng.standard_normal(64)
+        z_sq = float(z @ z)
+        k = 32
+        samples = []
+        for seed in range(1500):
+            y = GaussianTransform(64, k, seed=seed).apply(z)
+            samples.append(float(y @ y))
+        assert np.mean(samples) == pytest.approx(z_sq, rel=0.05)
+        assert np.var(samples) == pytest.approx(2.0 / k * z_sq**2, rel=0.15)
+
+
+class TestSensitivity:
+    def test_l2_sensitivity_concentrates_near_one(self):
+        values = [GaussianTransform(256, 128, seed=s).sensitivity(2) for s in range(30)]
+        assert 0.9 < np.mean(values) < 1.5
+
+    def test_sensitivity_is_max_column_norm(self):
+        t = GaussianTransform(32, 16, seed=5)
+        dense = t.to_dense()
+        assert t.sensitivity(2) == pytest.approx(np.linalg.norm(dense, axis=0).max())
+
+    def test_no_closed_form_flag(self):
+        t = GaussianTransform(32, 16, seed=0)
+        assert not t.has_closed_form_sensitivity
+
+
+class TestTailBound:
+    def test_bound_is_probability(self):
+        t = GaussianTransform(256, 64, seed=0)
+        assert 0.0 <= t.sensitivity_tail_bound(2.0) <= 1.0
+
+    def test_bound_decreases_in_threshold(self):
+        t = GaussianTransform(256, 64, seed=0)
+        assert t.sensitivity_tail_bound(3.0) < t.sensitivity_tail_bound(2.0)
+
+    def test_bound_validates_threshold(self):
+        t = GaussianTransform(16, 8, seed=0)
+        with pytest.raises(ValueError):
+            t.sensitivity_tail_bound(1.0)
+
+    def test_note1_regime(self):
+        """For k > 2 ln d + 2 ln(1/delta'), Pr[Delta_2 > 2] <= delta'."""
+        d, delta_prime = 256, 1e-3
+        k = math.ceil(2 * math.log(d) + 2 * math.log(1 / delta_prime)) + 1
+        t = GaussianTransform(d, k, seed=0)
+        assert t.sensitivity_tail_bound(2.0) <= delta_prime * 10  # constant slack

@@ -1,0 +1,160 @@
+"""Tests for the Sparser JL transform — the paper's central substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.variance import sjlt_transform_variance_exact
+from repro.transforms import exact_sensitivity
+from repro.transforms.sjlt import SJLT
+
+
+class TestBlockStructure:
+    def test_exactly_s_nonzeros_per_column(self):
+        t = SJLT(100, 32, 4, seed=0)
+        dense = t.to_dense()
+        assert ((dense != 0).sum(axis=0) == 4).all()
+
+    def test_one_nonzero_per_block(self):
+        k, s = 32, 4
+        t = SJLT(50, k, s, seed=1)
+        dense = t.to_dense()
+        block = k // s
+        for r in range(s):
+            rows = dense[r * block : (r + 1) * block]
+            assert ((rows != 0).sum(axis=0) == 1).all()
+
+    def test_entry_magnitude(self):
+        t = SJLT(50, 32, 4, seed=2)
+        dense = t.to_dense()
+        nonzero = np.abs(dense[dense != 0])
+        assert np.allclose(nonzero, 1.0 / math.sqrt(4))
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ValueError, match="sparsity | output_dim"):
+            SJLT(10, 30, 4, seed=0)
+
+    def test_sparsity_bounds(self):
+        with pytest.raises(ValueError):
+            SJLT(10, 8, 0, seed=0)
+        with pytest.raises(ValueError):
+            SJLT(10, 8, 9, seed=0)
+
+    def test_invalid_construction_name(self):
+        with pytest.raises(ValueError, match="construction"):
+            SJLT(10, 8, 2, seed=0, construction="banana")
+
+    def test_invalid_independence(self):
+        with pytest.raises(ValueError):
+            SJLT(10, 8, 2, seed=0, independence=1)
+
+
+class TestGraphStructure:
+    def test_exactly_s_distinct_rows_per_column(self):
+        t = SJLT(100, 32, 4, seed=0, construction="graph")
+        dense = t.to_dense()
+        assert ((dense != 0).sum(axis=0) == 4).all()
+
+    def test_entry_magnitude(self):
+        t = SJLT(50, 32, 4, seed=1, construction="graph")
+        nonzero = np.abs(t.to_dense()[t.to_dense() != 0])
+        assert np.allclose(nonzero, 0.5)
+
+    def test_rows_not_confined_to_blocks(self):
+        # across many columns, some column must have two entries in the
+        # same k/s block (impossible for the block construction)
+        t = SJLT(200, 32, 4, seed=2, construction="graph")
+        dense = t.to_dense()
+        block = 32 // 4
+        blocks_hit = (dense != 0).reshape(4, block, 200).sum(axis=1)
+        assert (blocks_hit > 1).any()
+
+
+class TestSensitivities:
+    @pytest.mark.parametrize("construction", ["block", "graph"])
+    def test_closed_forms_deterministic(self, construction):
+        for seed in range(5):
+            t = SJLT(64, 32, 4, seed=seed, construction=construction)
+            assert t.sensitivity(1) == pytest.approx(math.sqrt(4))
+            assert t.sensitivity(2) == pytest.approx(1.0)
+            assert t.sensitivity(np.inf) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("construction", ["block", "graph"])
+    def test_closed_form_matches_exact_scan(self, construction):
+        t = SJLT(64, 32, 4, seed=3, construction=construction)
+        for p in (1, 2, 3):
+            assert t.sensitivity(p) == pytest.approx(exact_sensitivity(t, p))
+
+    def test_general_p_formula(self):
+        t = SJLT(64, 32, 4, seed=0)
+        # Delta_p = s^(1/p - 1/2)
+        assert t.sensitivity(3) == pytest.approx(4.0 ** (1 / 3 - 0.5))
+
+    def test_has_closed_form(self):
+        assert SJLT(64, 32, 4, seed=0).has_closed_form_sensitivity
+
+    def test_p_validated(self):
+        with pytest.raises(ValueError):
+            SJLT(64, 32, 4, seed=0).sensitivity(0.5)
+
+
+class TestLazyVsPrecomputed:
+    def test_same_projection(self):
+        x = np.random.default_rng(0).standard_normal(128)
+        eager = SJLT(128, 32, 4, seed=9, precompute=True)
+        lazy = SJLT(128, 32, 4, seed=9, precompute=False)
+        assert np.allclose(eager.apply(x), lazy.apply(x))
+
+    def test_lazy_has_no_tables(self):
+        lazy = SJLT(128, 32, 4, seed=9, precompute=False)
+        assert lazy._rows is None
+
+    def test_lazy_sparse_apply(self):
+        lazy = SJLT(128, 32, 4, seed=9, precompute=False)
+        eager = SJLT(128, 32, 4, seed=9, precompute=True)
+        idx = np.array([3, 77])
+        vals = np.array([1.0, -2.0])
+        assert np.allclose(lazy.apply_sparse(idx, vals), eager.apply_sparse(idx, vals))
+
+    def test_lazy_coordinate_embedding(self):
+        lazy = SJLT(128, 32, 4, seed=9, precompute=False)
+        eager = SJLT(128, 32, 4, seed=9, precompute=True)
+        lr, lv = lazy.coordinate_embedding(17)
+        er, ev = eager.coordinate_embedding(17)
+        assert np.array_equal(lr, er)
+        assert np.allclose(lv, ev)
+
+
+class TestStatistics:
+    def test_update_cost(self):
+        assert SJLT(64, 32, 8, seed=0).update_cost == 8
+
+    def test_lpp(self):
+        x = np.random.default_rng(1).standard_normal(96)
+        ratios = []
+        for seed in range(400):
+            y = SJLT(96, 32, 4, seed=seed).apply(x)
+            ratios.append(float(y @ y) / float(x @ x))
+        assert np.mean(ratios) == pytest.approx(1.0, abs=0.06)
+
+    def test_lemma10_exact_variance(self):
+        """Var[||Sx||^2] = 2/k (||x||_2^4 - ||x||_4^4) — Lemma 10's proof."""
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(96)
+        k = 48
+        values = []
+        for seed in range(3000):
+            y = SJLT(96, k, 4, seed=seed).apply(x)
+            values.append(float(y @ y))
+        expected = sjlt_transform_variance_exact(k, x)
+        assert np.var(values) == pytest.approx(expected, rel=0.12)
+
+    def test_sparse_input_speed_path_consistent(self):
+        t = SJLT(4096, 64, 8, seed=0, precompute=False)
+        rng = np.random.default_rng(3)
+        idx = rng.choice(4096, 16, replace=False)
+        vals = rng.standard_normal(16)
+        x = np.zeros(4096)
+        x[idx] = vals
+        assert np.allclose(t.apply_sparse(idx, vals), t.apply(x))

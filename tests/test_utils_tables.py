@@ -1,0 +1,68 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import Table, format_table
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table(headers=["a", "b"])
+        table.add_row(a=1, b="x")
+        rendered = table.render()
+        assert "a" in rendered and "b" in rendered
+        assert "1" in rendered and "x" in rendered
+
+    def test_unknown_column_rejected(self):
+        table = Table(headers=["a"])
+        with pytest.raises(KeyError, match="unknown columns"):
+            table.add_row(c=1)
+
+    def test_column_extraction(self):
+        table = Table(headers=["a", "b"])
+        table.add_row(a=1, b=2)
+        table.add_row(a=3, b=4)
+        assert table.column("a") == [1, 3]
+
+    def test_column_missing_header(self):
+        table = Table(headers=["a"])
+        with pytest.raises(KeyError):
+            table.column("zzz")
+
+    def test_missing_cell_renders_empty(self):
+        table = Table(headers=["a", "b"])
+        table.add_row(a=1)
+        assert table.column("b") == [None]
+        assert "1" in table.render()
+
+    def test_title_included(self):
+        table = Table(headers=["a"], title="My Table")
+        table.add_row(a=1)
+        assert table.render().startswith("My Table")
+
+
+class TestFormatting:
+    def test_scientific_for_extreme_floats(self):
+        out = format_table(["v"], [{"v": 1.23456e8}])
+        assert "e+" in out
+
+    def test_small_floats_scientific(self):
+        out = format_table(["v"], [{"v": 1.2e-7}])
+        assert "e-" in out
+
+    def test_plain_floats_compact(self):
+        out = format_table(["v"], [{"v": 3.14159}])
+        assert "3.142" in out
+
+    def test_bool_rendered_as_yes_no(self):
+        out = format_table(["v"], [{"v": True}, {"v": False}])
+        assert "yes" in out and "no" in out
+
+    def test_zero_rendered_plainly(self):
+        out = format_table(["v"], [{"v": 0.0}])
+        assert " 0" in out or out.endswith("0")
+
+    def test_alignment_consistent(self):
+        out = format_table(["col"], [{"col": 1}, {"col": 100}])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines}) == 1

@@ -1,0 +1,41 @@
+"""Unit tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import Timer, median_runtime
+
+
+class TestTimer:
+    def test_measures_nonnegative_time(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            sum(range(10000))
+        assert t.elapsed >= 0.0
+        assert t.elapsed != first or t.elapsed >= 0
+
+
+class TestMedianRuntime:
+    def test_returns_positive_for_real_work(self):
+        assert median_runtime(lambda: sum(range(5000)), repeats=3) > 0.0
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            median_runtime(lambda: None, repeats=0)
+
+    def test_runs_function_expected_times(self):
+        calls = []
+        median_runtime(lambda: calls.append(1), repeats=4, warmup=2)
+        assert len(calls) == 6
+
+    def test_even_repeats_average(self):
+        # just exercises the even-length median branch
+        value = median_runtime(lambda: None, repeats=4)
+        assert value >= 0.0

@@ -1,0 +1,112 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    as_batch,
+    as_float_vector,
+    check_index,
+    check_positive,
+    check_probability,
+    check_unit_range,
+)
+
+
+class TestAsFloatVector:
+    def test_list_coerced_to_float64(self):
+        out = as_float_vector([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            as_float_vector(np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            as_float_vector([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_float_vector([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_float_vector([np.inf, 1.0])
+
+    def test_name_appears_in_error(self):
+        with pytest.raises(ValueError, match="myvec"):
+            as_float_vector([], name="myvec")
+
+
+class TestAsBatch:
+    def test_single_vector_flagged(self):
+        batch, single = as_batch(np.ones(4), dim=4)
+        assert single
+        assert batch.shape == (1, 4)
+
+    def test_batch_passthrough(self):
+        batch, single = as_batch(np.ones((3, 4)), dim=4)
+        assert not single
+        assert batch.shape == (3, 4)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension 5, expected 4"):
+            as_batch(np.ones(5), dim=4)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            as_batch(np.ones((2, 2, 2)), dim=2)
+
+    def test_rejects_non_finite_batch(self):
+        bad = np.ones((2, 3))
+        bad[1, 2] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            as_batch(bad, dim=3)
+
+
+class TestScalarChecks:
+    def test_check_positive_accepts(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad, "x")
+
+    def test_check_positive_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_check_positive_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("1.0", "x")
+
+    def test_check_probability_open_interval(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(0.0, "p")
+        with pytest.raises(ValueError):
+            check_probability(1.0, "p")
+
+    def test_check_probability_allow_zero(self):
+        assert check_probability(0.0, "p", allow_zero=True) == 0.0
+
+    def test_check_unit_range_rejects_half(self):
+        with pytest.raises(ValueError, match="1/2"):
+            check_unit_range(0.5, "alpha")
+
+    def test_check_unit_range_accepts_jl_regime(self):
+        assert check_unit_range(0.25, "alpha") == 0.25
+
+    def test_check_index_bounds(self):
+        assert check_index(3, 4) == 3
+        with pytest.raises(ValueError):
+            check_index(4, 4)
+        with pytest.raises(ValueError):
+            check_index(-1, 4)
+
+    def test_check_index_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_index(1.5, 4)

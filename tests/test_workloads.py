@@ -1,0 +1,167 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.dp.sensitivity import is_neighboring
+from repro.workloads import (
+    DocumentCorpus,
+    UpdateStream,
+    binary_pair,
+    gaussian_vector,
+    histogram_vector,
+    make_corpus,
+    materialize_stream,
+    neighboring_pair,
+    pair_at_distance,
+    sparse_vector,
+    unit_vector,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestVectors:
+    def test_unit_vector_norm(self, rng):
+        assert np.linalg.norm(unit_vector(64, rng)) == pytest.approx(1.0)
+
+    def test_gaussian_vector_scale(self, rng):
+        x = gaussian_vector(20000, rng, scale=3.0)
+        assert np.std(x) == pytest.approx(3.0, rel=0.05)
+
+    def test_pair_at_exact_distance(self, rng):
+        x, y = pair_at_distance(64, 7.5, rng)
+        assert np.linalg.norm(x - y) == pytest.approx(7.5)
+
+    def test_pair_distance_validated(self, rng):
+        with pytest.raises(ValueError):
+            pair_at_distance(64, 0.0, rng)
+
+    def test_sparse_vector_support(self, rng):
+        x = sparse_vector(100, 7, rng)
+        assert int((x != 0).sum()) == 7
+
+    def test_sparse_vector_nnz_validated(self, rng):
+        with pytest.raises(ValueError):
+            sparse_vector(10, 11, rng)
+
+    def test_binary_pair_hamming(self, rng):
+        x, y = binary_pair(128, 17, rng)
+        assert int((x != y).sum()) == 17
+        assert float((x - y) @ (x - y)) == pytest.approx(17.0)
+
+    def test_binary_pair_values(self, rng):
+        x, _ = binary_pair(64, 5, rng)
+        assert set(np.unique(x)) <= {0.0, 1.0}
+
+    def test_histogram_total_mass(self, rng):
+        h = histogram_vector(50, 1000, rng)
+        assert h.sum() == pytest.approx(1000.0)
+        assert (h >= 0).all()
+
+    def test_histogram_skewed(self, rng):
+        h = histogram_vector(50, 5000, rng, zipf_a=1.5)
+        assert h.max() > h.mean() * 3
+
+
+class TestNeighboringPairs:
+    def test_unit_l1_mode(self, rng):
+        for _ in range(10):
+            x, y = neighboring_pair(32, rng, mode="unit_l1")
+            assert is_neighboring(x, y)
+
+    def test_bit_flip_mode(self, rng):
+        x, y = neighboring_pair(32, rng, mode="bit_flip")
+        assert int((x != y).sum()) == 1
+        assert is_neighboring(x, y)
+
+    def test_unknown_mode(self, rng):
+        with pytest.raises(ValueError, match="unknown mode"):
+            neighboring_pair(32, rng, mode="gradient")
+
+
+class TestStreams:
+    def test_length(self):
+        assert len(UpdateStream(dim=10, n_updates=55, seed=0)) == 55
+
+    def test_replayable(self):
+        stream = UpdateStream(dim=10, n_updates=100, seed=1)
+        assert list(stream) == list(stream)
+
+    def test_deletions_fraction(self):
+        stream = UpdateStream(dim=10, n_updates=5000, seed=2, deletions=0.25)
+        negatives = sum(1 for _, delta in stream if delta < 0)
+        assert negatives / 5000 == pytest.approx(0.25, abs=0.03)
+
+    def test_indices_in_range(self):
+        stream = UpdateStream(dim=7, n_updates=1000, seed=3)
+        assert all(0 <= i < 7 for i, _ in stream)
+
+    def test_materialize(self):
+        events = [(0, 1.0), (0, 1.0), (3, -1.0)]
+        vec = materialize_stream(events, 5)
+        assert vec.tolist() == [2.0, 0.0, 0.0, -1.0, 0.0]
+
+    def test_materialize_validates_indices(self):
+        with pytest.raises(ValueError):
+            materialize_stream([(9, 1.0)], 5)
+
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            UpdateStream(dim=0, n_updates=5)
+        with pytest.raises(ValueError):
+            UpdateStream(dim=5, n_updates=5, zipf_a=1.0)
+        with pytest.raises(ValueError):
+            UpdateStream(dim=5, n_updates=5, deletions=1.5)
+
+
+class TestCorpus:
+    def _corpus(self, rng):
+        return make_corpus(n_docs=40, vocab_size=300, doc_length=120, rng=rng, n_topics=3)
+
+    def test_shapes(self, rng):
+        corpus = self._corpus(rng)
+        assert corpus.counts.shape == (40, 300)
+        assert corpus.topics.shape == (40,)
+        assert corpus.n_docs == 40
+        assert corpus.vocab_size == 300
+
+    def test_doc_lengths(self, rng):
+        corpus = self._corpus(rng)
+        assert np.allclose(corpus.counts.sum(axis=1), 120.0)
+
+    def test_topics_in_range(self, rng):
+        corpus = self._corpus(rng)
+        assert set(np.unique(corpus.topics)) <= set(range(3))
+
+    def test_pairwise_distances_match_direct(self, rng):
+        corpus = self._corpus(rng)
+        mat = corpus.pairwise_sq_distances()
+        i, j = 3, 17
+        direct = float(np.sum((corpus.counts[i] - corpus.counts[j]) ** 2))
+        assert mat[i, j] == pytest.approx(direct)
+        assert np.allclose(np.diag(mat), 0.0)
+
+    def test_same_topic_closer_on_average(self, rng):
+        corpus = make_corpus(n_docs=60, vocab_size=200, doc_length=400, rng=rng, n_topics=2)
+        mat = corpus.pairwise_sq_distances()
+        same, cross = [], []
+        for i in range(corpus.n_docs):
+            for j in range(i + 1, corpus.n_docs):
+                (same if corpus.topics[i] == corpus.topics[j] else cross).append(mat[i, j])
+        assert np.mean(same) < np.mean(cross)
+
+    def test_tfidf_shape_and_nonnegative(self, rng):
+        corpus = self._corpus(rng)
+        weights = corpus.tfidf()
+        assert weights.shape == corpus.counts.shape
+        assert (weights >= 0).all()
+
+    def test_params_validated(self, rng):
+        with pytest.raises(ValueError):
+            make_corpus(0, 10, 5, rng)
+        with pytest.raises(ValueError):
+            make_corpus(5, 10, 5, rng, zipf_a=0.9)
