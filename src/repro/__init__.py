@@ -29,15 +29,19 @@ from repro.core import (
     PrivateNeighborIndex,
     PrivateSketch,
     PrivateSketcher,
+    SketchBatch,
     SketchConfig,
     SketchingSession,
     StreamingSketch,
     choose_noise_name,
+    cross_sq_distances,
     estimate_distance,
     estimate_distance_matrix,
     estimate_inner_product,
     estimate_sq_distance,
     estimate_sq_norm,
+    pairwise_sq_distances,
+    sq_norms,
 )
 from repro.dp import PrivacyAccountant, PrivacyGuarantee
 from repro.transforms import create_transform
@@ -54,15 +58,19 @@ __all__ = [
     "PrivacyGuarantee",
     "PrivateSketch",
     "PrivateSketcher",
+    "SketchBatch",
     "SketchConfig",
     "SketchingSession",
     "StreamingSketch",
     "__version__",
     "choose_noise_name",
     "create_transform",
+    "cross_sq_distances",
     "estimate_distance",
     "estimate_distance_matrix",
     "estimate_inner_product",
     "estimate_sq_distance",
     "estimate_sq_norm",
+    "pairwise_sq_distances",
+    "sq_norms",
 ]

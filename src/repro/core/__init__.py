@@ -10,15 +10,24 @@ variance formulas; :mod:`repro.core.streaming` and
 from repro.core.ensemble import EnsembleSketch, EnsembleSketcher
 from repro.core.knn import PrivateNeighborIndex
 from repro.core.estimators import (
+    cross_sq_distances,
     estimate_distance,
     estimate_distance_matrix,
     estimate_inner_product,
     estimate_sq_distance,
     estimate_sq_norm,
+    pairwise_sq_distances,
+    sq_norms,
 )
 from repro.core.mechanism_choice import MechanismChoice, build_mechanism, choose_noise_name
 from repro.core.protocol import Party, SketchingSession
-from repro.core.sketch import PrivateSketch, PrivateSketcher, SketchConfig, rebuild_noise
+from repro.core.sketch import (
+    PrivateSketch,
+    PrivateSketcher,
+    SketchBatch,
+    SketchConfig,
+    rebuild_noise,
+)
 from repro.core.streaming import StreamingSketch
 from repro.core import variance
 
@@ -30,16 +39,20 @@ __all__ = [
     "PrivateNeighborIndex",
     "PrivateSketch",
     "PrivateSketcher",
+    "SketchBatch",
     "SketchConfig",
     "SketchingSession",
     "StreamingSketch",
     "build_mechanism",
     "choose_noise_name",
+    "cross_sq_distances",
     "estimate_distance",
     "estimate_distance_matrix",
     "estimate_inner_product",
     "estimate_sq_distance",
     "estimate_sq_norm",
+    "pairwise_sq_distances",
     "rebuild_noise",
+    "sq_norms",
     "variance",
 ]

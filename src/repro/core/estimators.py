@@ -1,9 +1,9 @@
 """Estimators over released sketches (the analyst side of the protocol).
 
-All estimators are pure functions of :class:`PrivateSketch` objects —
-they need no access to the sketcher, the transform or the data, which is
-the whole point of the distributed setting: anyone can estimate from
-published sketches.
+All estimators are pure functions of :class:`PrivateSketch` /
+:class:`SketchBatch` objects — they need no access to the sketcher, the
+transform or the data, which is the whole point of the distributed
+setting: anyone can estimate from published sketches.
 
 * squared distance: ``||u - v||^2 - 2 * m * E[eta^2]`` where ``m`` is
   the number of noisy coordinates (``k`` for output perturbation, ``d``
@@ -12,6 +12,13 @@ published sketches.
   argument with a single noise vector;
 * inner product: ``<u, v>`` — already unbiased because the transform
   satisfies ``E[S^T S] = I`` and the noise is independent and zero-mean.
+
+The matrix-shaped variants (:func:`pairwise_sq_distances`,
+:func:`cross_sq_distances`, :func:`sq_norms`) apply the same debiasing
+entry-wise but compute every pair through one Gram matrix (a single
+BLAS call) instead of a Python loop over pairs.  They accept either a
+:class:`~repro.core.sketch.SketchBatch` or a single sketch (treated as
+a one-row batch).
 """
 
 from __future__ import annotations
@@ -20,16 +27,28 @@ import math
 
 import numpy as np
 
+try:  # BLAS syrk computes the Gram matrix in half the flops of gemm
+    from scipy.linalg.blas import dsyrk as _dsyrk
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _dsyrk = None
+
 
 def check_compatible(a, b) -> None:
-    """Ensure two sketches came from the same public configuration."""
+    """Ensure two releases (sketches or batches) share a public config.
+
+    Compares the sketch dimension — the *last* axis of ``values`` — so a
+    1-D sketch and a 2-D batch (or two batches with different row
+    counts) are judged on the same quantity.
+    """
     if a.config_digest != b.config_digest:
         raise ValueError(
             "sketches come from different configurations "
             f"({a.config_digest} vs {b.config_digest}); estimates would be meaningless"
         )
-    if a.values.size != b.values.size:
-        raise ValueError(f"sketch sizes differ: {a.values.size} vs {b.values.size}")
+    if a.values.shape[-1] != b.values.shape[-1]:
+        raise ValueError(
+            f"sketch dimensions differ: {a.values.shape[-1]} vs {b.values.shape[-1]}"
+        )
 
 
 def noise_coordinates(sketch) -> int:
@@ -71,17 +90,87 @@ def estimate_inner_product(a, b) -> float:
     return float(np.dot(a.values, b.values))
 
 
+# -- matrix-shaped estimators -------------------------------------------------
+
+
+def _as_rows(sketch_or_batch) -> np.ndarray:
+    """View a release's payload as an ``(n, k)`` matrix (1-row for sketches)."""
+    values = np.asarray(sketch_or_batch.values, dtype=np.float64)
+    return values[np.newaxis, :] if values.ndim == 1 else values
+
+
+def _pairwise_from_values(values: np.ndarray, correction: float) -> np.ndarray:
+    if _dsyrk is not None and values.shape[0] > 1:
+        upper = _dsyrk(1.0, np.ascontiguousarray(values), trans=0, lower=0)
+        gram = upper + upper.T  # syrk leaves the other triangle zero...
+        np.fill_diagonal(gram, np.diagonal(upper))  # ...but doubles the diagonal
+    else:
+        gram = values @ values.T
+        gram = 0.5 * (gram + gram.T)  # plain matmul is only symmetric up to fp
+    norms = np.diagonal(gram)
+    out = norms[:, np.newaxis] + norms[np.newaxis, :] - 2.0 * gram - correction
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def sq_norms(batch) -> np.ndarray:
+    """Unbiased squared-norm estimates for every row of a batch."""
+    values = _as_rows(batch)
+    correction = noise_coordinates(batch) * batch.noise_second_moment
+    return np.einsum("ij,ij->i", values, values) - correction
+
+
+def pairwise_sq_distances(batch) -> np.ndarray:
+    """All-pairs unbiased squared-distance estimates within one batch.
+
+    Entry ``(i, j)`` is debiased exactly like
+    :func:`estimate_sq_distance` on rows ``i`` and ``j``; the diagonal
+    is zero by convention (a row paired with itself carries no
+    independent noise, so the off-diagonal correction would not apply).
+    Entries can be negative — the unbiased correction may overshoot at
+    tiny distances.
+    """
+    values = _as_rows(batch)
+    correction = 2.0 * noise_coordinates(batch) * batch.noise_second_moment
+    return _pairwise_from_values(values, correction)
+
+
+def cross_sq_distances(batch_a, batch_b) -> np.ndarray:
+    """Unbiased squared-distance estimates between two batches.
+
+    Entry ``(i, j)`` estimates the distance between the vector behind
+    row ``i`` of ``batch_a`` and row ``j`` of ``batch_b``.  Every entry
+    is corrected (the two batches carry independent noise draws) — so
+    ``cross_sq_distances(A, A)`` matches ``pairwise_sq_distances(A)``
+    only off the diagonal, where the independence assumption holds.
+    """
+    check_compatible(batch_a, batch_b)
+    a, b = _as_rows(batch_a), _as_rows(batch_b)
+    correction = 2.0 * noise_coordinates(batch_a) * batch_a.noise_second_moment
+    sq_a = np.einsum("ij,ij->i", a, a)
+    sq_b = np.einsum("ij,ij->i", b, b)
+    return sq_a[:, np.newaxis] + sq_b[np.newaxis, :] - 2.0 * (a @ b.T) - correction
+
+
 def estimate_distance_matrix(sketches) -> np.ndarray:
-    """All-pairs squared-distance estimates for a list of sketches.
+    """All-pairs squared-distance estimates for sketches or a batch.
 
     Entry ``(i, j)`` is the unbiased estimate between sketches ``i`` and
-    ``j``; the diagonal is zero by convention.
+    ``j``; the diagonal is zero by convention.  Accepts a
+    :class:`~repro.core.sketch.SketchBatch` or any iterable of
+    compatible :class:`~repro.core.sketch.PrivateSketch` objects.
     """
+    values = getattr(sketches, "values", None)
+    if values is not None and np.ndim(values) == 2:  # a SketchBatch (duck-typed)
+        return pairwise_sq_distances(sketches)
+    # a single PrivateSketch falls through and fails below like any
+    # other non-iterable — a 1x1 zero "matrix" would hide the mistake
     sketches = list(sketches)
-    n = len(sketches)
-    out = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            est = estimate_sq_distance(sketches[i], sketches[j])
-            out[i, j] = out[j, i] = est
-    return out
+    if not sketches:
+        return np.zeros((0, 0))
+    first = sketches[0]
+    for other in sketches[1:]:
+        check_compatible(first, other)
+    values = np.stack([np.asarray(s.values, dtype=np.float64) for s in sketches])
+    correction = 2.0 * noise_coordinates(first) * first.noise_second_moment
+    return _pairwise_from_values(values, correction)

@@ -12,12 +12,15 @@ release is recorded against the party's privacy budget.
 
 from __future__ import annotations
 
-from repro.core.sketch import PrivateSketch, PrivateSketcher, SketchConfig
+import numpy as np
+
+from repro.core.sketch import PrivateSketch, PrivateSketcher, SketchBatch, SketchConfig
 from repro.core.streaming import StreamingSketch
 from repro.core import estimators
-from repro.dp.accountant import PrivacyAccountant
+from repro.dp.accountant import BudgetExceededError, PrivacyAccountant
 from repro.dp.mechanisms import PrivacyGuarantee
 from repro.hashing import prg
+from repro.utils.validation import as_float_matrix
 
 
 class Party:
@@ -37,6 +40,31 @@ class Party:
         rng = prg.derive_rng(self._noise_seed, "party-noise", self.name, self._release_counter)
         self._release_counter += 1
         return sketcher.sketch(x, noise_rng=rng, label=label or self.name)
+
+    def release_batch(self, X, labels=None) -> SketchBatch:
+        """Sketch and publish every row of ``X``, spending budget per row.
+
+        Each row is one release under basic composition, so ``n`` rows
+        cost ``n`` times the per-release guarantee.  Spending is atomic:
+        an over-budget batch records no events and publishes nothing.
+        """
+        sketcher = self._session.sketcher
+        X = as_float_matrix(X, sketcher.config.input_dim, "X")
+        start = self._release_counter
+        if labels is None:
+            labels = tuple(f"{self.name}:{start + i}" for i in range(X.shape[0]))
+        elif len(labels) != X.shape[0]:
+            raise ValueError(f"got {len(labels)} labels for {X.shape[0]} rows")
+        checkpoint = len(self.accountant.events)
+        try:
+            for label in labels:
+                self.accountant.spend(sketcher.guarantee, str(label))
+        except BudgetExceededError:
+            del self.accountant.events[checkpoint:]
+            raise
+        rng = prg.derive_rng(self._noise_seed, "party-noise-batch", self.name, start)
+        self._release_counter += X.shape[0]
+        return sketcher.sketch_batch(X, noise_rng=rng, labels=tuple(labels))
 
     def release_stream(self, stream, label: str = "") -> PrivateSketch:
         """Consume a ``(index, delta)`` stream and publish one sketch."""
@@ -84,3 +112,12 @@ class SketchingSession:
 
     def estimate_sq_norm(self, sketch: PrivateSketch) -> float:
         return estimators.estimate_sq_norm(sketch)
+
+    def pairwise_sq_distances(self, batch: SketchBatch) -> np.ndarray:
+        return estimators.pairwise_sq_distances(batch)
+
+    def cross_sq_distances(self, batch_a: SketchBatch, batch_b: SketchBatch) -> np.ndarray:
+        return estimators.cross_sq_distances(batch_a, batch_b)
+
+    def sq_norms(self, batch: SketchBatch) -> np.ndarray:
+        return estimators.sq_norms(batch)

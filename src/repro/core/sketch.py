@@ -14,10 +14,24 @@ Typical use::
     sketch_x = sketcher.sketch(x)        # done by the party holding x
     sketch_y = sketcher.sketch(y)        # done by the party holding y
     d2 = sketcher.estimate_sq_distance(sketch_x, sketch_y)
+
+Batch use — the matrix-shaped workload of all-pairs distance release.
+:meth:`PrivateSketcher.sketch_batch` sketches every row of a matrix in
+one vectorised pass (one independent noise draw per row, one shared
+config digest) and returns a :class:`SketchBatch`, from which the
+analyst-side matrix estimators answer whole query workloads at once::
+
+    batch = sketcher.sketch_batch(X)               # X is (n, d)
+    d2_matrix = sketcher.pairwise_sq_distances(batch)   # (n, n)
+    norms = sketcher.sq_norms(batch)                    # (n,)
+
+Row ``i`` of a batch equals ``sketcher.sketch(X[i])`` with the same
+noise stream, so the scalar and batch paths are interchangeable.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 from dataclasses import asdict, dataclass
@@ -51,7 +65,12 @@ from repro.theory.bounds import (
 )
 from repro.transforms import TRANSFORMS, create_transform
 from repro.utils.timing import Timer
-from repro.utils.validation import as_float_vector, check_positive, check_unit_range
+from repro.utils.validation import (
+    as_float_matrix,
+    as_float_vector,
+    check_positive,
+    check_unit_range,
+)
 
 _PERTURBATIONS = ("auto", "output", "input")
 
@@ -185,6 +204,138 @@ class PrivateSketch:
         )
 
 
+@dataclass(frozen=True, eq=False)
+class SketchBatch:
+    """A stack of released private sketches sharing one configuration.
+
+    ``values`` has shape ``(n, k)`` — row ``i`` is the published sketch
+    of input row ``i``, carrying its own independent noise draw.  The
+    metadata (noise spec, second moment, guarantee, config digest) is
+    shared across rows, which is what makes the vectorised estimators
+    in :mod:`repro.core.estimators` valid on whole batches at once.
+
+    Indexing with an ``int`` materialises that row as a standalone
+    :class:`PrivateSketch`; indexing with a slice or index array yields
+    a sub-batch.  Iteration yields rows as sketches.
+    """
+
+    values: np.ndarray
+    input_dim: int
+    output_dim: int
+    perturbation: str
+    noise_spec: dict
+    noise_second_moment: float
+    guarantee: PrivacyGuarantee
+    config_digest: str
+    labels: tuple = ()
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-dimensional, got shape {values.shape}")
+        if values.shape[1] != self.output_dim:
+            raise ValueError(
+                f"values have sketch dimension {values.shape[1]}, "
+                f"expected output_dim={self.output_dim}"
+            )
+        object.__setattr__(self, "values", values)
+        labels = tuple(self.labels)
+        if labels and len(labels) != values.shape[0]:
+            raise ValueError(
+                f"got {len(labels)} labels for {values.shape[0]} rows"
+            )
+        object.__setattr__(self, "labels", labels)
+
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+    def __iter__(self):
+        return (self.row(i) for i in range(len(self)))
+
+    def __getitem__(self, item):
+        if isinstance(item, (int, np.integer)):
+            return self.row(int(item))
+        values = self.values[item]
+        labels = tuple(np.array(self.labels, dtype=object)[item]) if self.labels else ()
+        return dataclasses.replace(self, values=values, labels=labels)
+
+    def row(self, i: int) -> PrivateSketch:
+        """Row ``i`` as a standalone :class:`PrivateSketch`."""
+        n = len(self)
+        if not -n <= i < n:
+            raise IndexError(f"row index {i} out of range for batch of {n}")
+        i %= n
+        return PrivateSketch(
+            values=self.values[i].copy(),
+            input_dim=self.input_dim,
+            output_dim=self.output_dim,
+            perturbation=self.perturbation,
+            noise_spec=self.noise_spec,
+            noise_second_moment=self.noise_second_moment,
+            guarantee=self.guarantee,
+            config_digest=self.config_digest,
+            label=str(self.labels[i]) if self.labels else "",
+        )
+
+    @classmethod
+    def from_sketches(cls, sketches) -> "SketchBatch":
+        """Stack compatible :class:`PrivateSketch` objects into a batch."""
+        sketches = list(sketches)
+        if not sketches:
+            raise ValueError("cannot build a batch from zero sketches")
+        first = sketches[0]
+        for other in sketches[1:]:
+            estimators.check_compatible(first, other)
+        return cls(
+            values=np.stack([np.asarray(s.values, dtype=np.float64) for s in sketches]),
+            input_dim=first.input_dim,
+            output_dim=first.output_dim,
+            perturbation=first.perturbation,
+            noise_spec=first.noise_spec,
+            noise_second_moment=first.noise_second_moment,
+            guarantee=first.guarantee,
+            config_digest=first.config_digest,
+            labels=tuple(s.label for s in sketches),
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a self-describing byte string."""
+        header = {
+            "n_rows": len(self),
+            "input_dim": self.input_dim,
+            "output_dim": self.output_dim,
+            "perturbation": self.perturbation,
+            "noise_spec": self.noise_spec,
+            "noise_second_moment": self.noise_second_moment,
+            "epsilon": self.guarantee.epsilon,
+            "delta": self.guarantee.delta,
+            "config_digest": self.config_digest,
+            "labels": [str(label) for label in self.labels],
+        }
+        return json.dumps(header).encode("utf-8") + b"\n" + self.values.tobytes()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SketchBatch":
+        """Inverse of :meth:`to_bytes`."""
+        newline = blob.index(b"\n")
+        header = json.loads(blob[:newline].decode("utf-8"))
+        flat = np.frombuffer(blob[newline + 1 :], dtype=np.float64)
+        n, k = header["n_rows"], header["output_dim"]
+        if flat.size != n * k:
+            raise ValueError(f"payload has {flat.size} values, header says {n} x {k}")
+        return cls(
+            values=flat.copy().reshape(n, k),
+            input_dim=header["input_dim"],
+            output_dim=k,
+            perturbation=header["perturbation"],
+            noise_spec=header["noise_spec"],
+            noise_second_moment=header["noise_second_moment"],
+            guarantee=PrivacyGuarantee(header["epsilon"], header["delta"]),
+            config_digest=header["config_digest"],
+            labels=tuple(header.get("labels", ())),
+        )
+
+
 class PrivateSketcher:
     """Builds private sketches and estimates distances between them."""
 
@@ -267,6 +418,39 @@ class PrivateSketcher:
             values = self.transform.apply(x) + self.noise.sample(self.output_dim, generator)
         return self._wrap(values, label)
 
+    def sketch_batch(self, X, noise_rng=None, labels=()) -> SketchBatch:
+        """Release private sketches of every row of ``X`` in one pass.
+
+        The projection runs as a single matrix operation
+        (:meth:`LinearTransform.apply_batch`) and each row receives its
+        own independent noise draw, taken from ``noise_rng`` in row
+        order — so a batch release matches sketching the rows one at a
+        time with the same generator to machine precision (identical
+        noise, identical projection up to BLAS summation order).
+        ``labels`` may be empty or one label per row.
+        """
+        generator = prg.as_generator(noise_rng)
+        if self.perturbation == "input":
+            X = as_float_matrix(X, self.config.input_dim, "X")
+            values = self.transform.apply_batch(
+                X + self.noise.sample_rows(X.shape[0], X.shape[1], generator)
+            )
+        else:
+            # apply_batch validates, so the common path checks X once
+            values = self.transform.apply_batch(X)
+            values += self.noise.sample_rows(values.shape[0], self.output_dim, generator)
+        return SketchBatch(
+            values=values,
+            input_dim=self.config.input_dim,
+            output_dim=self.output_dim,
+            perturbation=self.perturbation,
+            noise_spec=self.noise.spec(),
+            noise_second_moment=self.noise.second_moment,
+            guarantee=self.guarantee,
+            config_digest=self.config.digest(),
+            labels=tuple(labels),
+        )
+
     def sketch_sparse(self, indices, values, noise_rng=None, label: str = "") -> PrivateSketch:
         """Release a sketch of a sparse vector in ``O(s * nnz + k)``.
 
@@ -314,6 +498,18 @@ class PrivateSketcher:
     def estimate_inner_product(self, a: PrivateSketch, b: PrivateSketch) -> float:
         """Unbiased estimate of ``<x, y>`` (no correction needed)."""
         return estimators.estimate_inner_product(a, b)
+
+    def pairwise_sq_distances(self, batch: SketchBatch) -> np.ndarray:
+        """All-pairs unbiased squared-distance estimates within a batch."""
+        return estimators.pairwise_sq_distances(batch)
+
+    def cross_sq_distances(self, batch_a: SketchBatch, batch_b: SketchBatch) -> np.ndarray:
+        """Unbiased squared-distance estimates between two batches."""
+        return estimators.cross_sq_distances(batch_a, batch_b)
+
+    def sq_norms(self, batch: SketchBatch) -> np.ndarray:
+        """Unbiased squared-norm estimates for every row of a batch."""
+        return estimators.sq_norms(batch)
 
     # -- theory ---------------------------------------------------------------------
 

@@ -43,13 +43,22 @@ class StreamingSketch:
         self.n_updates += 1
 
     def update_batch(self, indices, deltas) -> None:
-        """Absorb many updates (loops; complexity ``O(s)`` per event)."""
+        """Absorb many updates in one vectorised pass.
+
+        By linearity the net effect of the events equals the projection
+        of their sparse sum, so the whole batch is one
+        :meth:`LinearTransform.apply_sparse` call — ``O(s * m + k)``
+        for ``m`` events instead of a Python loop over them.  Duplicate
+        indices accumulate, exactly as repeated :meth:`update` calls.
+        """
         indices = np.asarray(indices, dtype=np.int64)
         deltas = np.asarray(deltas, dtype=np.float64)
-        if indices.shape != deltas.shape:
-            raise ValueError("indices and deltas must be parallel arrays")
-        for index, delta in zip(indices, deltas):
-            self.update(int(index), float(delta))
+        if indices.shape != deltas.shape or indices.ndim != 1:
+            raise ValueError("indices and deltas must be parallel 1-d arrays")
+        if indices.size == 0:
+            return
+        self._accumulator += self.sketcher.transform.apply_sparse(indices, deltas)
+        self.n_updates += int(indices.size)
 
     def consume(self, stream) -> None:
         """Absorb an iterable of ``(index, delta)`` events."""

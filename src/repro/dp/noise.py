@@ -36,6 +36,21 @@ class NoiseDistribution(ABC):
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``size`` i.i.d. samples."""
 
+    def sample_rows(self, n: int, dim: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw an ``(n, dim)`` matrix of i.i.d. samples, row by row.
+
+        The contract (relied on by the batch sketching path): the
+        generator stream is consumed exactly as ``n`` successive
+        ``sample(dim, rng)`` calls, so batch and scalar releases see
+        identical noise.  The default loops to keep that true for
+        rejection samplers; distributions that consume the stream one
+        element at a time override this with a single vectorised draw.
+        """
+        out = np.empty((n, dim))
+        for i in range(n):
+            out[i] = self.sample(dim, rng)
+        return out
+
     @property
     @abstractmethod
     def second_moment(self) -> float:
@@ -87,6 +102,11 @@ class LaplaceNoise(NoiseDistribution):
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
         return rng.laplace(0.0, self.scale, size=size)
 
+    def sample_rows(self, n: int, dim: int, rng: np.random.Generator) -> np.ndarray:
+        # inverse-CDF sampling is element-sequential: one (n * dim) draw
+        # consumes the stream exactly like n successive dim-sized draws
+        return self.sample(n * dim, rng).reshape(n, dim)
+
     @property
     def second_moment(self) -> float:
         return 2.0 * self.scale**2
@@ -116,6 +136,11 @@ class GaussianNoise(NoiseDistribution):
 
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
         return rng.normal(0.0, self.sigma, size=size)
+
+    def sample_rows(self, n: int, dim: int, rng: np.random.Generator) -> np.ndarray:
+        # the ziggurat sampler is also element-sequential (verified by
+        # the batch-vs-scalar consistency suite)
+        return self.sample(n * dim, rng).reshape(n, dim)
 
     @property
     def second_moment(self) -> float:

@@ -44,10 +44,8 @@ class AchlioptasTransform(LinearTransform):
             signs = rng.integers(0, 2, size=(output_dim, input_dim))
             self._matrix = scale * (1.0 - 2.0 * signs)
 
-    def apply(self, x) -> np.ndarray:
-        batch, single = self._as_batch(x)
-        result = batch @ self._matrix.T
-        return result[0] if single else result
+    def _apply_batch(self, X: np.ndarray) -> np.ndarray:
+        return X @ self._matrix.T
 
     def column_block(self, indices) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)

@@ -16,7 +16,7 @@ import math
 import numpy as np
 
 from repro.hashing import prg
-from repro.transforms.base import LinearTransform
+from repro.transforms.base import CooProjector, LinearTransform
 
 
 class DKSTransform(LinearTransform):
@@ -37,24 +37,21 @@ class DKSTransform(LinearTransform):
             np.float64
         )
         self._scale = 1.0 / math.sqrt(sparsity)
+        self._projector: CooProjector | None = None
 
     @property
     def update_cost(self) -> int:
         return self.sparsity
 
-    def apply(self, x) -> np.ndarray:
-        batch, single = self._as_batch(x)
-        out = np.zeros((batch.shape[0], self.output_dim))
-        for i in range(batch.shape[0]):
-            out[i] = self._apply_single(batch[i])
-        return out[0] if single else out
-
-    def _apply_single(self, x: np.ndarray) -> np.ndarray:
-        contributions = (self._signs * x[np.newaxis, :]).ravel()
-        rows = self._rows.ravel()
-        return self._scale * np.bincount(
-            rows, weights=contributions, minlength=self.output_dim
-        )
+    def _apply_batch(self, X: np.ndarray) -> np.ndarray:
+        if self._projector is None:
+            cols = np.broadcast_to(np.arange(self.input_dim), self._rows.shape)
+            # within-column row collisions sum their signed entries,
+            # matching the with-replacement construction
+            self._projector = CooProjector(
+                self._rows, cols, self._scale * self._signs, self.output_dim, self.input_dim
+            )
+        return self._projector(X)
 
     def apply_sparse(self, indices, values) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.hashing import prg
 from repro.theory.bounds import fjlt_density
-from repro.transforms.base import LinearTransform
+from repro.transforms.base import CooProjector, LinearTransform
 from repro.transforms.hadamard import fwht, next_power_of_two
 
 
@@ -60,21 +60,23 @@ class FJLT(LinearTransform):
         self._p_rows, self._p_cols, self._p_values = _sample_sparse_gaussian(
             output_dim, self.padded_dim, self.density, rng
         )
+        self._projector: CooProjector | None = None
 
     @property
     def nnz(self) -> int:
         """Number of non-zero entries in the sparse projection ``P``."""
         return self._p_values.size
 
-    def apply(self, x) -> np.ndarray:
-        batch, single = self._as_batch(x)
-        transformed = self._hadamard_stage(batch)
-        out = np.empty((batch.shape[0], self.output_dim))
-        for i in range(batch.shape[0]):
-            out[i] = self._project(transformed[i])
+    def _apply_batch(self, X: np.ndarray) -> np.ndarray:
+        transformed = self._hadamard_stage(X)
+        if self._projector is None:
+            self._projector = CooProjector(
+                self._p_rows, self._p_cols, self._p_values, self.output_dim, self.padded_dim
+            )
+        out = self._projector(transformed)
         if self.normalized:
             out /= math.sqrt(self.output_dim)
-        return out[0] if single else out
+        return out
 
     def _hadamard_stage(self, batch: np.ndarray) -> np.ndarray:
         """Compute ``H D x`` for a batch, with zero padding to ``padded_dim``."""
@@ -82,10 +84,6 @@ class FJLT(LinearTransform):
         padded[:, : self.input_dim] = batch
         padded *= self._diagonal_signs[np.newaxis, :]
         return fwht(padded, normalized=True)
-
-    def _project(self, t: np.ndarray) -> np.ndarray:
-        contributions = self._p_values * t[self._p_cols]
-        return np.bincount(self._p_rows, weights=contributions, minlength=self.output_dim)
 
     def theoretical_apply_cost(self) -> float:
         """Model cost ``d log d + nnz(P)`` of one apply (Lemma 5)."""

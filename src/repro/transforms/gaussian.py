@@ -33,10 +33,8 @@ class GaussianTransform(LinearTransform):
         scale = 1.0 / math.sqrt(output_dim)
         self._matrix = scale * rng.standard_normal((output_dim, input_dim))
 
-    def apply(self, x) -> np.ndarray:
-        batch, single = self._as_batch(x)
-        result = batch @ self._matrix.T
-        return result[0] if single else result
+    def _apply_batch(self, X: np.ndarray) -> np.ndarray:
+        return X @ self._matrix.T
 
     def column_block(self, indices) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.hashing import prg
 from repro.hashing.kwise import KWiseHash, SignHash
-from repro.transforms.base import LinearTransform
+from repro.transforms.base import CooProjector, LinearTransform
 
 #: Precompute hash tables when ``s * d`` is at most this many entries.
 _PRECOMPUTE_LIMIT = 1 << 22
@@ -101,6 +101,7 @@ class SJLT(LinearTransform):
         self._sign_table: np.ndarray | None = None
         self._hashes: list[KWiseHash] = []
         self._sign_hashes: list[SignHash] = []
+        self._projector: CooProjector | None = None
 
         if construction == "block":
             block_size = output_dim // sparsity
@@ -149,16 +150,26 @@ class SJLT(LinearTransform):
     def update_cost(self) -> int:
         return self.sparsity
 
-    def apply(self, x) -> np.ndarray:
-        batch, single = self._as_batch(x)
+    def _apply_batch(self, X: np.ndarray) -> np.ndarray:
+        return self._batch_projector()(X)
+
+    def _batch_projector(self) -> CooProjector:
+        """The whole transform as one sparse matmul (single hash pass).
+
+        Cached when the hash tables are precomputed; rebuilt per call in
+        lazy mode, whose memory contract is transient ``O(s d)`` — the
+        same as the tables the old per-row path materialised.
+        """
+        if self._projector is not None:
+            return self._projector
         rows, signs = self._full_tables()
-        flat_rows = rows.ravel()
-        out = np.empty((batch.shape[0], self.output_dim))
-        for i in range(batch.shape[0]):
-            contributions = (signs * batch[i][np.newaxis, :]).ravel()
-            out[i] = np.bincount(flat_rows, weights=contributions, minlength=self.output_dim)
-        out *= self._scale
-        return out[0] if single else out
+        cols = np.broadcast_to(np.arange(self.input_dim), rows.shape)
+        projector = CooProjector(
+            rows, cols, self._scale * signs, self.output_dim, self.input_dim
+        )
+        if self._rows is not None:
+            self._projector = projector
+        return projector
 
     def apply_sparse(self, indices, values) -> np.ndarray:
         """Project a sparse vector in ``O(s * nnz + k)`` (Theorem 3, item 5)."""

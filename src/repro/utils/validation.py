@@ -28,6 +28,27 @@ def as_float_vector(x, name: str = "x") -> np.ndarray:
     return arr
 
 
+def as_float_matrix(x, dim: int, name: str = "X") -> np.ndarray:
+    """Coerce ``x`` into a C-contiguous ``(n, dim)`` float64 matrix.
+
+    Accepts any 2-d sequence or array of numbers — any float dtype, any
+    memory layout (Fortran-ordered and strided views are copied).  A
+    zero-row matrix is legal (batch APIs treat it as "nothing to do").
+    Raises ``ValueError`` for non-2-d input, a row dimension other than
+    ``dim``, or non-finite entries.
+    """
+    arr = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+    if arr.ndim != 2:
+        raise ValueError(
+            f"{name} must be 2-dimensional (one row per vector), got shape {arr.shape}"
+        )
+    if arr.shape[1] != dim:
+        raise ValueError(f"{name} has row dimension {arr.shape[1]}, expected {dim}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr
+
+
 def as_batch(x, dim: int, name: str = "x") -> tuple[np.ndarray, bool]:
     """Coerce ``x`` into a 2-d batch of vectors of dimension ``dim``.
 

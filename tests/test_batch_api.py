@@ -1,0 +1,192 @@
+"""Property-based and edge-case tests for the batch sketching API.
+
+Covers the contract corners: empty and single-row batches, label
+handling, coercion of non-contiguous / float32 inputs by the
+``as_float_matrix`` validation, incompatibility errors, indexing and
+serialization of :class:`SketchBatch`.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import estimators
+from repro.core.sketch import PrivateSketcher, SketchBatch, SketchConfig
+from repro.hashing import prg
+from repro.utils.validation import as_float_matrix
+
+_DIM = 16
+_OUT = 8
+_CONFIG = SketchConfig(input_dim=_DIM, epsilon=1.0, output_dim=_OUT, sparsity=2)
+_SKETCHER = PrivateSketcher(_CONFIG)
+
+finite_matrices = st.integers(min_value=1, max_value=6).flatmap(
+    lambda n: arrays(
+        np.float64,
+        (n, _DIM),
+        elements=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, width=64),
+    )
+)
+
+
+class TestBatchProperties:
+    @given(X=finite_matrices, seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_rows_equal_scalar_sketches(self, X, seed):
+        batch = _SKETCHER.sketch_batch(X, noise_rng=prg.derive_rng(seed, "prop"))
+        generator = prg.derive_rng(seed, "prop")
+        for i in range(X.shape[0]):
+            scalar = _SKETCHER.sketch(X[i], noise_rng=generator)
+            np.testing.assert_allclose(batch.values[i], scalar.values, rtol=0, atol=1e-9)
+
+    @given(X=finite_matrices, seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_matrix_shape_and_symmetry(self, X, seed):
+        batch = _SKETCHER.sketch_batch(X, noise_rng=seed)
+        matrix = estimators.pairwise_sq_distances(batch)
+        n = X.shape[0]
+        assert matrix.shape == (n, n)
+        np.testing.assert_array_equal(matrix, matrix.T)
+        np.testing.assert_array_equal(np.diag(matrix), 0.0)
+
+    @given(X=finite_matrices)
+    @settings(max_examples=20, deadline=None)
+    def test_dtype_and_layout_do_not_change_results(self, X):
+        reference = _SKETCHER.sketch_batch(X, noise_rng=3).values
+        fortran = _SKETCHER.sketch_batch(np.asfortranarray(X), noise_rng=3).values
+        np.testing.assert_array_equal(fortran, reference)
+
+
+class TestInputCoercion:
+    def test_float32_input_coerced_to_float64(self):
+        X = np.random.default_rng(0).standard_normal((4, _DIM)).astype(np.float32)
+        batch = _SKETCHER.sketch_batch(X, noise_rng=1)
+        assert batch.values.dtype == np.float64
+        expected = _SKETCHER.sketch_batch(X.astype(np.float64), noise_rng=1)
+        np.testing.assert_array_equal(batch.values, expected.values)
+
+    def test_non_contiguous_view_coerced(self):
+        base = np.random.default_rng(1).standard_normal((8, _DIM))
+        strided = base[::2]
+        assert not strided.flags["C_CONTIGUOUS"]
+        batch = _SKETCHER.sketch_batch(strided, noise_rng=2)
+        expected = _SKETCHER.sketch_batch(np.ascontiguousarray(strided), noise_rng=2)
+        np.testing.assert_array_equal(batch.values, expected.values)
+
+    def test_validator_returns_contiguous_float64(self):
+        out = as_float_matrix(np.asfortranarray(np.ones((3, _DIM), dtype=np.float32)), _DIM)
+        assert out.flags["C_CONTIGUOUS"] and out.dtype == np.float64
+
+    def test_one_dimensional_input_rejected(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            _SKETCHER.sketch_batch(np.ones(_DIM))
+
+    def test_three_dimensional_input_rejected(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            _SKETCHER.sketch_batch(np.ones((2, 2, _DIM)))
+
+    def test_wrong_row_dimension_rejected(self):
+        with pytest.raises(ValueError, match="row dimension"):
+            _SKETCHER.sketch_batch(np.ones((3, _DIM + 1)))
+
+    def test_non_finite_entries_rejected(self):
+        X = np.ones((2, _DIM))
+        X[1, 3] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            _SKETCHER.sketch_batch(X)
+
+
+class TestEmptyAndSingleRow:
+    def test_empty_batch_round_trips(self):
+        batch = _SKETCHER.sketch_batch(np.empty((0, _DIM)))
+        assert len(batch) == 0
+        assert list(batch) == []
+        assert estimators.pairwise_sq_distances(batch).shape == (0, 0)
+        assert estimators.sq_norms(batch).shape == (0,)
+        restored = SketchBatch.from_bytes(batch.to_bytes())
+        assert len(restored) == 0
+
+    def test_empty_cross_shapes(self):
+        empty = _SKETCHER.sketch_batch(np.empty((0, _DIM)))
+        full = _SKETCHER.sketch_batch(np.ones((3, _DIM)), noise_rng=0)
+        assert estimators.cross_sq_distances(empty, full).shape == (0, 3)
+        assert estimators.cross_sq_distances(full, empty).shape == (3, 0)
+
+    def test_single_row_batch(self):
+        batch = _SKETCHER.sketch_batch(np.ones((1, _DIM)), noise_rng=1)
+        assert len(batch) == 1
+        matrix = estimators.pairwise_sq_distances(batch)
+        np.testing.assert_array_equal(matrix, np.zeros((1, 1)))
+        assert estimators.sq_norms(batch).shape == (1,)
+
+
+class TestCompatibility:
+    def test_mismatched_config_digest_raises(self):
+        other = PrivateSketcher(dataclasses.replace(_CONFIG, seed=99))
+        a = _SKETCHER.sketch_batch(np.ones((2, _DIM)), noise_rng=0)
+        b = other.sketch_batch(np.ones((2, _DIM)), noise_rng=0)
+        with pytest.raises(ValueError, match="different configurations"):
+            estimators.check_compatible(a, b)
+        with pytest.raises(ValueError, match="different configurations"):
+            estimators.cross_sq_distances(a, b)
+
+    def test_from_sketches_rejects_mixed_configs(self):
+        other = PrivateSketcher(dataclasses.replace(_CONFIG, seed=99))
+        with pytest.raises(ValueError, match="different configurations"):
+            SketchBatch.from_sketches(
+                [_SKETCHER.sketch(np.ones(_DIM)), other.sketch(np.ones(_DIM))]
+            )
+
+    def test_from_sketches_rejects_empty_list(self):
+        with pytest.raises(ValueError, match="zero sketches"):
+            SketchBatch.from_sketches([])
+
+
+class TestSketchBatchContainer:
+    def _batch(self):
+        X = np.random.default_rng(5).standard_normal((4, _DIM))
+        return _SKETCHER.sketch_batch(X, noise_rng=6, labels=("a", "b", "c", "d"))
+
+    def test_int_indexing_and_negative_indexing(self):
+        batch = self._batch()
+        assert batch[1].label == "b"
+        np.testing.assert_array_equal(batch[-1].values, batch.values[3])
+        with pytest.raises(IndexError):
+            batch.row(4)
+
+    def test_slice_indexing_gives_sub_batch(self):
+        batch = self._batch()
+        sub = batch[1:3]
+        assert isinstance(sub, SketchBatch)
+        assert len(sub) == 2
+        assert sub.labels == ("b", "c")
+        np.testing.assert_array_equal(sub.values, batch.values[1:3])
+
+    def test_iteration_yields_private_sketches(self):
+        batch = self._batch()
+        rows = list(batch)
+        assert [r.label for r in rows] == ["a", "b", "c", "d"]
+        for i, row in enumerate(rows):
+            assert estimators.estimate_sq_distance(row, batch[i]) is not None
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            _SKETCHER.sketch_batch(np.ones((3, _DIM)), labels=("only-one",))
+
+    def test_serialization_roundtrip(self):
+        batch = self._batch()
+        restored = SketchBatch.from_bytes(batch.to_bytes())
+        np.testing.assert_array_equal(restored.values, batch.values)
+        assert restored.labels == batch.labels
+        assert restored.config_digest == batch.config_digest
+        assert restored.guarantee == batch.guarantee
+
+    def test_from_sketches_roundtrip(self):
+        batch = self._batch()
+        rebuilt = SketchBatch.from_sketches(list(batch))
+        np.testing.assert_array_equal(rebuilt.values, batch.values)
+        assert rebuilt.labels == batch.labels

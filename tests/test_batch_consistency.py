@@ -1,0 +1,158 @@
+"""Batch paths must agree with the scalar paths they vectorise.
+
+The batch engine (``apply_batch`` / ``sketch_batch`` / the matrix
+estimators) is a pure performance layer: for every registered transform
+and both perturbation modes, feeding the same data and the same noise
+generator through the batch path and the row-by-row scalar path must
+give the same numbers to near machine precision.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import estimators
+from repro.core.sketch import PrivateSketcher, SketchConfig
+from repro.hashing import prg
+from repro.transforms import TRANSFORMS
+from tests.helpers import TRANSFORM_SPECS, make_transform, spec_id
+
+_DIM = 64
+_OUT = 32
+
+#: One sketcher-level case per registered transform (plus the SJLT's
+#: second construction); kwargs are SketchConfig fields.
+SKETCHER_CASES = [
+    ("sjlt", {"output_dim": _OUT, "sparsity": 4}),
+    ("sjlt", {"output_dim": _OUT, "sparsity": 4, "sjlt_construction": "graph"}),
+    ("dks", {"output_dim": _OUT, "sparsity": 4}),
+    ("gaussian", {"output_dim": _OUT}),
+    ("achlioptas", {"output_dim": _OUT}),
+    ("fjlt", {"output_dim": _OUT}),
+]
+
+
+def _case_id(case) -> str:
+    name, kwargs = case
+    extras = "-".join(f"{k}={v}" for k, v in sorted(kwargs.items()) if k != "output_dim")
+    return f"{name}({extras})" if extras else name
+
+
+def test_every_registered_transform_has_a_sketcher_case():
+    assert {name for name, _ in SKETCHER_CASES} == set(TRANSFORMS)
+
+
+@pytest.mark.parametrize("spec", TRANSFORM_SPECS, ids=spec_id)
+class TestApplyBatch:
+    def test_rows_match_scalar_apply(self, spec):
+        t = make_transform(spec)
+        X = np.random.default_rng(0).standard_normal((6, t.input_dim))
+        out = t.apply_batch(X)
+        assert out.shape == (6, t.output_dim)
+        for i in range(6):
+            np.testing.assert_allclose(out[i], t.apply(X[i]), rtol=0, atol=1e-10)
+
+    def test_matches_dense_matmul(self, spec):
+        t = make_transform(spec)
+        X = np.random.default_rng(1).standard_normal((4, t.input_dim))
+        np.testing.assert_allclose(t.apply_batch(X), X @ t.to_dense().T, atol=1e-9)
+
+    def test_empty_batch(self, spec):
+        t = make_transform(spec)
+        out = t.apply_batch(np.empty((0, t.input_dim)))
+        assert out.shape == (0, t.output_dim)
+
+    def test_wrong_row_dimension_rejected(self, spec):
+        t = make_transform(spec)
+        with pytest.raises(ValueError, match="row dimension"):
+            t.apply_batch(np.ones((3, t.input_dim + 1)))
+
+
+@pytest.mark.parametrize("mode", ["output", "input"])
+@pytest.mark.parametrize("case", SKETCHER_CASES, ids=_case_id)
+class TestSketchBatchMatchesScalar:
+    def _sketcher(self, case, mode):
+        name, kwargs = case
+        config = SketchConfig(
+            input_dim=_DIM,
+            epsilon=1.5,
+            delta=1e-6,
+            transform=name,
+            noise="gaussian",
+            perturbation=mode,
+            **kwargs,
+        )
+        return PrivateSketcher(config)
+
+    def test_rows_match_scalar_sketches(self, case, mode):
+        sk = self._sketcher(case, mode)
+        X = np.random.default_rng(3).standard_normal((5, _DIM))
+        batch = sk.sketch_batch(X, noise_rng=prg.derive_rng(11, "batch-vs-loop"))
+        generator = prg.derive_rng(11, "batch-vs-loop")
+        for i in range(5):
+            scalar = sk.sketch(X[i], noise_rng=generator)
+            np.testing.assert_allclose(batch.values[i], scalar.values, rtol=0, atol=1e-9)
+
+    def test_rows_carry_scalar_metadata(self, case, mode):
+        sk = self._sketcher(case, mode)
+        X = np.random.default_rng(4).standard_normal((2, _DIM))
+        batch = sk.sketch_batch(X, noise_rng=0)
+        scalar = sk.sketch(X[0], noise_rng=0)
+        row = batch[0]
+        assert row.config_digest == scalar.config_digest
+        assert row.perturbation == scalar.perturbation
+        assert row.noise_spec == scalar.noise_spec
+        assert row.noise_second_moment == scalar.noise_second_moment
+        assert row.guarantee == scalar.guarantee
+
+    def test_estimates_match_scalar_estimators(self, case, mode):
+        sk = self._sketcher(case, mode)
+        X = np.random.default_rng(5).standard_normal((4, _DIM))
+        batch = sk.sketch_batch(X, noise_rng=1)
+        pairwise = estimators.pairwise_sq_distances(batch)
+        norms = estimators.sq_norms(batch)
+        for i in range(4):
+            assert norms[i] == pytest.approx(
+                estimators.estimate_sq_norm(batch[i]), abs=1e-8
+            )
+            for j in range(i + 1, 4):
+                assert pairwise[i, j] == pytest.approx(
+                    estimators.estimate_sq_distance(batch[i], batch[j]), abs=1e-8
+                )
+
+
+class TestDiscreteNoiseStreamContract:
+    """Per-row noise draws keep batch == loop even for rejection samplers."""
+
+    @pytest.mark.parametrize("noise", ["discrete_laplace", "discrete_gaussian"])
+    def test_batch_matches_loop_for_discrete_noise(self, noise):
+        delta = 1e-6 if noise == "discrete_gaussian" else 0.0
+        config = SketchConfig(
+            input_dim=_DIM, epsilon=1.0, delta=delta, noise=noise,
+            output_dim=_OUT, sparsity=4,
+        )
+        sk = PrivateSketcher(config)
+        X = np.random.default_rng(6).standard_normal((4, _DIM))
+        batch = sk.sketch_batch(X, noise_rng=prg.derive_rng(7, "discrete"))
+        generator = prg.derive_rng(7, "discrete")
+        for i in range(4):
+            scalar = sk.sketch(X[i], noise_rng=generator)
+            np.testing.assert_array_equal(batch.values[i], scalar.values)
+
+
+class TestStreamingBatchUpdates:
+    def test_update_batch_matches_scalar_updates(self):
+        config = SketchConfig(input_dim=_DIM, epsilon=1.0, output_dim=_OUT, sparsity=4)
+        a, b = PrivateSketcher(config), PrivateSketcher(config)
+        from repro.core.streaming import StreamingSketch
+
+        rng = np.random.default_rng(8)
+        indices = rng.integers(0, _DIM, size=200)
+        deltas = rng.standard_normal(200)
+        vec, loop = StreamingSketch(a), StreamingSketch(b)
+        vec.update_batch(indices, deltas)
+        for index, delta in zip(indices, deltas):
+            loop.update(int(index), float(delta))
+        np.testing.assert_allclose(
+            vec.current_projection(), loop.current_projection(), atol=1e-9
+        )
+        assert vec.n_updates == loop.n_updates == 200

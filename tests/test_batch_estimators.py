@@ -1,0 +1,161 @@
+"""Statistical and structural tests for the matrix-shaped estimators."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import estimators
+from repro.core.sketch import PrivateSketcher, SketchBatch, SketchConfig
+from repro.core.variance import chebyshev_interval
+from repro.workloads import pair_at_distance
+
+_CONFIG = SketchConfig(input_dim=64, epsilon=2.0, output_dim=32, sparsity=4)
+
+
+def _sketcher(seed=0):
+    return PrivateSketcher(dataclasses.replace(_CONFIG, seed=seed))
+
+
+class TestPairwiseUnbiased:
+    def test_mean_within_chebyshev_bound(self):
+        """Lemma 3 unbiasedness, checked entry-wise on the pairwise matrix.
+
+        The mean over ``T`` seeded trials must land inside the Chebyshev
+        interval built from the theoretical per-estimate variance bound
+        scaled by ``1/T`` — an assumption-free 99.8% acceptance region.
+        """
+        rng = np.random.default_rng(0)
+        x, y = pair_at_distance(64, 4.0, rng)
+        X = np.stack([x, y, np.zeros(64)])
+        true = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                true[i, j] = float(np.sum((X[i] - X[j]) ** 2))
+
+        trials = 250
+        total = np.zeros((3, 3))
+        noise_rng = np.random.default_rng(1)
+        for seed in range(trials):
+            sk = _sketcher(seed)
+            total += estimators.pairwise_sq_distances(
+                sk.sketch_batch(X, noise_rng=noise_rng)
+            )
+        mean = total / trials
+
+        sk = _sketcher(0)
+        for i in range(3):
+            for j in range(3):
+                if i == j:
+                    assert mean[i, j] == 0.0
+                    continue
+                variance = sk.theoretical_variance(true[i, j])
+                low, high = chebyshev_interval(true[i, j], variance / trials, 0.002)
+                assert low <= mean[i, j] <= high, (i, j, mean[i, j], (low, high))
+
+    def test_sq_norms_unbiased(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((2, 64))
+        true = np.sum(X**2, axis=1)
+        trials = 250
+        total = np.zeros(2)
+        noise_rng = np.random.default_rng(3)
+        for seed in range(trials):
+            total += estimators.sq_norms(_sketcher(seed).sketch_batch(X, noise_rng=noise_rng))
+        mean = total / trials
+        sk = _sketcher(0)
+        for i in range(2):
+            # the norm estimator's variance is bounded by the distance
+            # estimator's at the same squared magnitude (one noise vector
+            # instead of two)
+            variance = sk.theoretical_variance(true[i])
+            low, high = chebyshev_interval(true[i], variance / trials, 0.002)
+            assert low <= mean[i] <= high
+
+
+class TestCrossVsPairwise:
+    def test_cross_with_itself_matches_pairwise_off_diagonal(self):
+        sk = _sketcher()
+        X = np.random.default_rng(4).standard_normal((5, 64))
+        batch = sk.sketch_batch(X, noise_rng=5)
+        pairwise = estimators.pairwise_sq_distances(batch)
+        cross = estimators.cross_sq_distances(batch, batch)
+        off = ~np.eye(5, dtype=bool)
+        np.testing.assert_allclose(cross[off], pairwise[off], rtol=0, atol=1e-8)
+
+    def test_cross_diagonal_is_minus_correction(self):
+        """Row i against itself has zero payload difference, so the
+        estimate collapses to the (inapplicable) independence correction."""
+        sk = _sketcher()
+        batch = sk.sketch_batch(np.ones((3, 64)), noise_rng=6)
+        cross = estimators.cross_sq_distances(batch, batch)
+        expected = -2.0 * sk.output_dim * sk.noise.second_moment
+        np.testing.assert_allclose(np.diag(cross), expected, rtol=0, atol=1e-8)
+
+    def test_cross_against_independent_batch(self):
+        sk = _sketcher()
+        X = np.random.default_rng(7).standard_normal((3, 64))
+        Y = np.random.default_rng(8).standard_normal((2, 64))
+        a = sk.sketch_batch(X, noise_rng=9)
+        b = sk.sketch_batch(Y, noise_rng=10)
+        cross = estimators.cross_sq_distances(a, b)
+        assert cross.shape == (3, 2)
+        for i in range(3):
+            for j in range(2):
+                assert cross[i, j] == pytest.approx(
+                    estimators.estimate_sq_distance(a[i], b[j]), abs=1e-8
+                )
+
+
+class TestDistanceMatrix:
+    def test_accepts_sketch_batch(self):
+        sk = _sketcher()
+        batch = sk.sketch_batch(np.random.default_rng(11).standard_normal((4, 64)))
+        np.testing.assert_array_equal(
+            estimators.estimate_distance_matrix(batch),
+            estimators.pairwise_sq_distances(batch),
+        )
+
+    def test_empty_iterable_gives_empty_matrix(self):
+        assert estimators.estimate_distance_matrix([]).shape == (0, 0)
+
+    def test_single_sketch_rejected_not_treated_as_batch(self):
+        """A lone PrivateSketch must fail fast (as before the batch
+        layer), not masquerade as a 1-row batch returning [[0.0]]."""
+        sketch = _sketcher().sketch(np.ones(64))
+        with pytest.raises(TypeError):
+            estimators.estimate_distance_matrix(sketch)
+
+    def test_list_of_sketches_matches_batch(self):
+        sk = _sketcher()
+        X = np.random.default_rng(12).standard_normal((3, 64))
+        batch = sk.sketch_batch(X, noise_rng=13)
+        from_list = estimators.estimate_distance_matrix(list(batch))
+        np.testing.assert_allclose(
+            from_list, estimators.pairwise_sq_distances(batch), rtol=0, atol=1e-10
+        )
+
+
+class TestCheckCompatibleRegression:
+    """check_compatible used to compare values.size — wrong for batches."""
+
+    def test_batches_with_different_row_counts_are_compatible(self):
+        sk = _sketcher()
+        a = sk.sketch_batch(np.ones((2, 64)), noise_rng=0)
+        b = sk.sketch_batch(np.zeros((5, 64)), noise_rng=1)
+        estimators.check_compatible(a, b)  # must not raise
+        assert estimators.cross_sq_distances(a, b).shape == (2, 5)
+
+    def test_sketch_against_batch_is_compatible(self):
+        sk = _sketcher()
+        batch = sk.sketch_batch(np.ones((3, 64)), noise_rng=0)
+        estimators.check_compatible(batch, sk.sketch(np.zeros(64)))  # must not raise
+
+    def test_mismatched_sketch_dimension_rejected(self):
+        sk = _sketcher()
+        batch = sk.sketch_batch(np.ones((2, 64)), noise_rng=0)
+        truncated = dataclasses.replace(
+            batch, values=batch.values[:, :16], output_dim=16
+        )
+        with pytest.raises(ValueError, match="sketch dimensions differ"):
+            estimators.check_compatible(batch, truncated)

@@ -29,6 +29,16 @@ class TestCompatibilityChecks:
         a, b = sk.sketch(np.ones(128)), sk.sketch(np.zeros(128))
         estimators.estimate_sq_distance(a, b)  # must not raise
 
+    def test_batches_compared_on_sketch_dimension_not_size(self):
+        """Regression: check_compatible once compared ``values.size``,
+        which spuriously rejected 2-D batches with different row counts."""
+        sk = _sketcher()
+        a = sk.sketch_batch(np.ones((2, 128)), noise_rng=0)
+        b = sk.sketch_batch(np.zeros((7, 128)), noise_rng=1)
+        assert a.values.size != b.values.size
+        estimators.check_compatible(a, b)  # must not raise
+        assert estimators.cross_sq_distances(a, b).shape == (2, 7)
+
 
 class TestSquaredDistance:
     def test_correction_applied(self):

@@ -76,6 +76,42 @@ class TestQueries:
         estimates = [est for _, est in results]
         assert estimates == sorted(estimates)
 
+    def test_query_matches_scalar_estimates(self):
+        """The vectorised query path must score exactly like the scalar
+        estimator it replaced."""
+        from repro.core import estimators
+
+        sk = _sketcher()
+        rng = np.random.default_rng(4)
+        sketches = [sk.sketch(rng.standard_normal(256), noise_rng=i) for i in range(4)]
+        index = PrivateNeighborIndex()
+        for i, sketch in enumerate(sketches):
+            index.add(sketch, label=i)
+        query = sk.sketch(rng.standard_normal(256), noise_rng=9)
+        results = dict(index.query(query, top=4))
+        for i, sketch in enumerate(sketches):
+            assert results[i] == pytest.approx(
+                estimators.estimate_sq_distance(sketch, query), abs=1e-8
+            )
+
+    def test_add_batch_and_query_batch(self):
+        sk = _sketcher()
+        rng = np.random.default_rng(5)
+        X = rng.standard_normal((5, 256))
+        batch = sk.sketch_batch(X, noise_rng=3, labels=tuple(f"p{i}" for i in range(5)))
+        index = PrivateNeighborIndex()
+        index.add_batch(batch)
+        assert len(index) == 5
+        assert index.labels == [f"p{i}" for i in range(5)]
+        queries = sk.sketch_batch(X[:2], noise_rng=4)
+        per_row = index.query_batch(queries, top=3)
+        assert len(per_row) == 2
+        for row, query in zip(per_row, queries):
+            single = index.query(query, top=3)
+            assert [label for label, _ in row] == [label for label, _ in single]
+            for (_, est_row), (_, est_single) in zip(row, single):
+                assert est_row == pytest.approx(est_single, abs=1e-8)
+
     def test_top_limits_results(self):
         sk = _sketcher()
         rng = np.random.default_rng(2)

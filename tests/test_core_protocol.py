@@ -90,6 +90,50 @@ class TestParty:
         assert alice.spent().epsilon == pytest.approx(1.0)
 
 
+class TestBatchRelease:
+    def test_release_batch_returns_batch_with_labels(self):
+        session = SketchingSession(_CONFIG)
+        alice = session.create_party("alice", noise_seed=1)
+        batch = alice.release_batch(np.ones((3, 128)))
+        assert len(batch) == 3
+        assert batch.labels == ("alice:0", "alice:1", "alice:2")
+        assert batch.guarantee == session.sketcher.guarantee
+
+    def test_release_batch_spends_budget_per_row(self):
+        session = SketchingSession(_CONFIG)
+        alice = session.create_party("alice", noise_seed=1)
+        alice.release_batch(np.ones((4, 128)))
+        total = alice.spent()
+        assert total.epsilon == pytest.approx(4 * session.sketcher.guarantee.epsilon)
+
+    def test_release_batch_atomic_on_budget_exhaustion(self):
+        budget = PrivacyGuarantee(2.5 * _CONFIG.epsilon, 0.0)
+        session = SketchingSession(_CONFIG, budget=budget)
+        alice = session.create_party("alice", noise_seed=1)
+        with pytest.raises(BudgetExceededError):
+            alice.release_batch(np.ones((3, 128)))  # 3 releases > 2.5 budget
+        assert not alice.accountant.events  # nothing recorded, nothing published
+        alice.release_batch(np.ones((2, 128)))  # 2 releases still fit
+
+    def test_release_batch_rows_use_fresh_noise(self):
+        alice = SketchingSession(_CONFIG).create_party("alice", noise_seed=1)
+        batch = alice.release_batch(np.ones((2, 128)))
+        assert not np.allclose(batch.values[0], batch.values[1])
+
+    def test_release_batch_label_mismatch_rejected(self):
+        alice = SketchingSession(_CONFIG).create_party("alice", noise_seed=1)
+        with pytest.raises(ValueError, match="labels"):
+            alice.release_batch(np.ones((2, 128)), labels=("just-one",))
+
+    def test_session_proxies_batch_estimators(self):
+        session = SketchingSession(_CONFIG)
+        alice = session.create_party("alice", noise_seed=1)
+        batch = alice.release_batch(np.random.default_rng(0).standard_normal((3, 128)))
+        assert session.pairwise_sq_distances(batch).shape == (3, 3)
+        assert session.cross_sq_distances(batch, batch).shape == (3, 3)
+        assert session.sq_norms(batch).shape == (3,)
+
+
 class TestEndToEndEstimation:
     def test_two_party_distance(self):
         rng = np.random.default_rng(1)

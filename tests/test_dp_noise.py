@@ -65,6 +65,21 @@ class TestMomentContract:
         assert np.allclose(noise.log_density(values), noise.log_density(-values))
 
 
+class TestSampleRows:
+    @pytest.mark.parametrize("noise", ALL_NOISES, ids=lambda n: n.name)
+    def test_stream_matches_successive_row_draws(self, noise):
+        """The contract behind batch sketching: an (n, dim) draw consumes
+        the generator exactly like n successive dim-sized draws."""
+        a = noise.sample_rows(4, 7, np.random.default_rng(9))
+        rng = np.random.default_rng(9)
+        b = np.stack([noise.sample(7, rng) for _ in range(4)])
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("noise", ALL_NOISES, ids=lambda n: n.name)
+    def test_zero_rows(self, noise):
+        assert noise.sample_rows(0, 5, np.random.default_rng(0)).shape == (0, 5)
+
+
 class TestLaplace:
     def test_moments_closed_form(self):
         n = LaplaceNoise(2.0)
