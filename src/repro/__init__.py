@@ -44,11 +44,13 @@ from repro.core import (
     sq_norms,
 )
 from repro.dp import PrivacyAccountant, PrivacyGuarantee
+from repro.serving import DistanceService, ShardedSketchStore
 from repro.transforms import create_transform
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "DistanceService",
     "EnsembleSketch",
     "EnsembleSketcher",
     "MechanismChoice",
@@ -58,6 +60,7 @@ __all__ = [
     "PrivacyGuarantee",
     "PrivateSketch",
     "PrivateSketcher",
+    "ShardedSketchStore",
     "SketchBatch",
     "SketchConfig",
     "SketchingSession",

@@ -7,8 +7,10 @@ variance formulas; :mod:`repro.core.streaming` and
 :mod:`repro.core.protocol` the streaming and multi-party layers.
 """
 
-from repro.core.ensemble import EnsembleSketch, EnsembleSketcher
-from repro.core.knn import PrivateNeighborIndex
+# Leaf modules first: knn and protocol pull in repro.serving, which
+# imports back into repro.core submodules — initialising estimators and
+# sketch before them keeps that re-entry safe even if serving ever
+# imports a name re-exported here instead of from the leaf module.
 from repro.core.estimators import (
     cross_sq_distances,
     estimate_distance,
@@ -20,7 +22,6 @@ from repro.core.estimators import (
     sq_norms,
 )
 from repro.core.mechanism_choice import MechanismChoice, build_mechanism, choose_noise_name
-from repro.core.protocol import Party, SketchingSession
 from repro.core.sketch import (
     PrivateSketch,
     PrivateSketcher,
@@ -29,6 +30,9 @@ from repro.core.sketch import (
     rebuild_noise,
 )
 from repro.core.streaming import StreamingSketch
+from repro.core.ensemble import EnsembleSketch, EnsembleSketcher
+from repro.core.knn import PrivateNeighborIndex
+from repro.core.protocol import Party, SketchingSession
 from repro.core import variance
 
 __all__ = [

@@ -56,12 +56,21 @@ def noise_coordinates(sketch) -> int:
     return sketch.input_dim if sketch.perturbation == "input" else sketch.output_dim
 
 
+def sq_distance_correction(release) -> float:
+    """The distance estimator's debias term ``2 m E[eta^2]`` (Lemma 3).
+
+    ``m`` is :func:`noise_coordinates`; the single owner of this
+    constant, shared by the scalar/matrix estimators and the serving
+    layer.
+    """
+    return 2.0 * noise_coordinates(release) * release.noise_second_moment
+
+
 def estimate_sq_distance(a, b) -> float:
     """Unbiased squared-Euclidean-distance estimator (Lemma 3 / Lemma 8)."""
     check_compatible(a, b)
     diff = a.values - b.values
-    correction = 2.0 * noise_coordinates(a) * a.noise_second_moment
-    return float(np.dot(diff, diff)) - correction
+    return float(np.dot(diff, diff)) - sq_distance_correction(a)
 
 
 def estimate_distance(a, b) -> float:
@@ -131,8 +140,21 @@ def pairwise_sq_distances(batch) -> np.ndarray:
     tiny distances.
     """
     values = _as_rows(batch)
-    correction = 2.0 * noise_coordinates(batch) * batch.noise_second_moment
-    return _pairwise_from_values(values, correction)
+    return _pairwise_from_values(values, sq_distance_correction(batch))
+
+
+def cross_sq_distances_from_parts(
+    a: np.ndarray, sq_a: np.ndarray, b: np.ndarray, sq_b: np.ndarray, correction: float
+) -> np.ndarray:
+    """The cross-distance kernel with caller-supplied squared norms.
+
+    Computes ``sq_a[i] + sq_b[j] - 2 <a_i, b_j> - correction`` — exactly
+    the arithmetic of :func:`cross_sq_distances` — but takes the norm
+    terms precomputed, so a serving layer that caches ``sq_b`` per shard
+    pays only the inner-product BLAS call per query.  No validation is
+    performed; callers are responsible for compatibility checks.
+    """
+    return sq_a[:, np.newaxis] + sq_b[np.newaxis, :] - 2.0 * (a @ b.T) - correction
 
 
 def cross_sq_distances(batch_a, batch_b) -> np.ndarray:
@@ -146,10 +168,10 @@ def cross_sq_distances(batch_a, batch_b) -> np.ndarray:
     """
     check_compatible(batch_a, batch_b)
     a, b = _as_rows(batch_a), _as_rows(batch_b)
-    correction = 2.0 * noise_coordinates(batch_a) * batch_a.noise_second_moment
+    correction = sq_distance_correction(batch_a)
     sq_a = np.einsum("ij,ij->i", a, a)
     sq_b = np.einsum("ij,ij->i", b, b)
-    return sq_a[:, np.newaxis] + sq_b[np.newaxis, :] - 2.0 * (a @ b.T) - correction
+    return cross_sq_distances_from_parts(a, sq_a, b, sq_b, correction)
 
 
 def estimate_distance_matrix(sketches) -> np.ndarray:
@@ -172,5 +194,4 @@ def estimate_distance_matrix(sketches) -> np.ndarray:
     for other in sketches[1:]:
         check_compatible(first, other)
     values = np.stack([np.asarray(s.values, dtype=np.float64) for s in sketches])
-    correction = 2.0 * noise_coordinates(first) * first.noise_second_moment
-    return _pairwise_from_values(values, correction)
+    return _pairwise_from_values(values, sq_distance_correction(first))

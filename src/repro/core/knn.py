@@ -9,125 +9,71 @@ The index never touches raw data — it is an *analyst-side* structure
 built entirely from releases, so adding a sketch spends no additional
 privacy budget beyond the release itself.
 
-Queries run through the vectorised batch estimators: releases are kept
-as matrix chunks (a whole :class:`~repro.core.sketch.SketchBatch` is
-stored as-is, never exploded into per-row sketches), concatenated
-lazily into one matrix, and every query is a single
-:func:`~repro.core.estimators.cross_sq_distances` call instead of a
-Python loop over entries.
+The heavy lifting lives in :mod:`repro.serving`: the index is a thin
+facade over a :class:`~repro.serving.store.ShardedSketchStore` (appends
+land in preallocated shards — no full-matrix recopy per insert) queried
+through a :class:`~repro.serving.service.DistanceService` (per-shard
+cached norms, ``argpartition``-based top-``k`` selection instead of a
+full sort).  See the serving module's docstring for the one caveat that
+applies to every estimate this index returns: unbiased estimates can be
+negative, and orderings remain meaningful regardless.
 """
 
 from __future__ import annotations
 
-import dataclasses
-
-import numpy as np
-
-from repro.core import estimators
 from repro.core.sketch import PrivateSketch, SketchBatch
+from repro.serving.service import DistanceService
+from repro.serving.store import DEFAULT_SHARD_CAPACITY, ShardedSketchStore
 
 
 class PrivateNeighborIndex:
     """A flat index of private sketches supporting distance queries."""
 
-    def __init__(self) -> None:
-        self._chunks: list[SketchBatch] = []
-        self._labels: list[object] = []
-        self._size = 0
-        self._stacked_cache: SketchBatch | None = None
+    def __init__(self, shard_capacity: int = DEFAULT_SHARD_CAPACITY) -> None:
+        self._store = ShardedSketchStore(shard_capacity=shard_capacity)
+        self._service = DistanceService(self._store)
 
-    def _append_chunk(self, chunk: SketchBatch, labels) -> None:
-        if self._chunks:
-            estimators.check_compatible(self._chunks[0], chunk)
-        self._labels.extend(labels)
-        self._chunks.append(chunk)
-        self._size += len(chunk)
-        self._stacked_cache = None  # concatenated matrix is stale
+    @property
+    def store(self) -> ShardedSketchStore:
+        """The backing sharded store (shared, not a copy)."""
+        return self._store
 
     def add(self, sketch: PrivateSketch, label=None) -> None:
         """Register a published sketch (label defaults to its position)."""
-        self._append_chunk(
-            SketchBatch.from_sketches([sketch]),
-            [self._size if label is None else label],
-        )
+        self._store.add(sketch, label=label)
 
     def add_batch(self, batch: SketchBatch, labels=None) -> None:
         """Register every row of a published batch at once.
 
-        The batch's payload is stored as one chunk — no per-row copies.
+        The batch's payload is appended into the store's shards — no
+        per-row copies, no rebuild of previously added rows.
         """
-        if labels is None:
-            labels = batch.labels or range(self._size, self._size + len(batch))
-        elif len(labels) != len(batch):
-            raise ValueError(f"got {len(labels)} labels for {len(batch)} rows")
-        self._append_chunk(batch, list(labels))
+        self._store.add_batch(batch, labels=labels)
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._store)
 
     @property
     def labels(self) -> list:
-        return list(self._labels)
-
-    def _stacked(self) -> SketchBatch:
-        if self._stacked_cache is None:
-            if len(self._chunks) == 1:
-                self._stacked_cache = self._chunks[0]
-            else:
-                self._stacked_cache = dataclasses.replace(
-                    self._chunks[0],
-                    values=np.concatenate([c.values for c in self._chunks]),
-                    labels=(),
-                )
-        return self._stacked_cache
-
-    def _estimates_for(self, sketch: PrivateSketch) -> np.ndarray:
-        """Estimated squared distances from every entry to ``sketch``."""
-        if not self._size:
-            raise ValueError("the index is empty")
-        return estimators.cross_sq_distances(self._stacked(), sketch)[:, 0]
+        return self._store.labels
 
     def query(self, sketch: PrivateSketch, top: int = 1) -> list[tuple[object, float]]:
         """The ``top`` entries closest to ``sketch``.
 
         Returns ``(label, estimated squared distance)`` pairs in
-        ascending distance order.  Estimates can be negative (the
-        unbiased correction may overshoot at tiny distances); ordering
-        is still meaningful because the correction is a constant shift.
+        ascending distance order, ties broken by insertion order.
         """
-        if top < 1:
-            raise ValueError(f"top must be >= 1, got {top}")
-        estimates = self._estimates_for(sketch)
-        order = np.argsort(estimates, kind="stable")[:top]
-        return [(self._labels[i], float(estimates[i])) for i in order]
+        return self._service.top_k(sketch, top)
 
     def query_batch(self, batch: SketchBatch, top: int = 1) -> list[list[tuple[object, float]]]:
         """Answer one top-``m`` query per row of ``batch`` in a single pass.
 
-        One ``cross_sq_distances`` call scores every (entry, query) pair;
-        the result is a list of :meth:`query`-style rankings, one per row.
+        Every (entry, query) pair is scored through the shard-streaming
+        estimators; the result is a list of :meth:`query`-style
+        rankings, one per row.
         """
-        if not self._size:
-            raise ValueError("the index is empty")
-        if top < 1:
-            raise ValueError(f"top must be >= 1, got {top}")
-        estimates = estimators.cross_sq_distances(self._stacked(), batch)
-        results = []
-        for j in range(estimates.shape[1]):
-            order = np.argsort(estimates[:, j], kind="stable")[:top]
-            results.append([(self._labels[i], float(estimates[i, j])) for i in order])
-        return results
+        return self._service.top_k_batch(batch, top)
 
     def query_radius(self, sketch: PrivateSketch, radius_sq: float) -> list[tuple[object, float]]:
         """All entries with estimated squared distance at most ``radius_sq``."""
-        if radius_sq < 0:
-            raise ValueError(f"radius_sq must be >= 0, got {radius_sq}")
-        if not self._size:
-            return []
-        estimates = self._estimates_for(sketch)
-        order = np.argsort(estimates, kind="stable")
-        return [
-            (self._labels[i], float(estimates[i]))
-            for i in order
-            if estimates[i] <= radius_sq
-        ]
+        return self._service.radius(sketch, radius_sq)

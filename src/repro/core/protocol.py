@@ -20,6 +20,7 @@ from repro.core import estimators
 from repro.dp.accountant import BudgetExceededError, PrivacyAccountant
 from repro.dp.mechanisms import PrivacyGuarantee
 from repro.hashing import prg
+from repro.serving.service import DistanceService
 from repro.utils.validation import as_float_matrix
 
 
@@ -97,6 +98,29 @@ class SketchingSession:
         party = Party(self, name, noise_seed)
         self.parties[name] = party
         return party
+
+    def serve(self, *batches: SketchBatch, shard_capacity: int | None = None) -> DistanceService:
+        """Stand up a distance-serving endpoint over released batches.
+
+        Builds a :class:`~repro.serving.store.ShardedSketchStore`,
+        appends any ``batches`` already released, and returns the
+        :class:`~repro.serving.service.DistanceService` that answers
+        top-k / radius / cross / pairwise-submatrix queries.  The store
+        stays reachable via ``service.store`` for incremental adds and
+        for persistence (``store.save`` / ``ShardedSketchStore.load``).
+
+        Every batch must come from this session's configuration — the
+        session entry point enforces the linkage that a bare
+        :meth:`DistanceService.from_batches` cannot.
+        """
+        digest = self.config.digest()
+        for batch in batches:
+            if batch.config_digest != digest:
+                raise ValueError(
+                    f"batch {batch.config_digest} comes from a different "
+                    f"configuration than this session ({digest})"
+                )
+        return DistanceService.from_batches(*batches, shard_capacity=shard_capacity)
 
     # Estimation requires only published sketches, so these simply proxy
     # the stateless estimator functions for convenience.

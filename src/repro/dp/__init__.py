@@ -1,6 +1,11 @@
 """Differential-privacy substrate: noise, mechanisms, accounting, auditing."""
 
-from repro.dp.accountant import BudgetExceededError, PrivacyAccountant, PrivacyEvent
+from repro.dp.accountant import (
+    BudgetExceededError,
+    BudgetRemainder,
+    PrivacyAccountant,
+    PrivacyEvent,
+)
 from repro.dp.audit import AuditResult, audit_mechanism, delta_at_epsilon, privacy_loss_samples
 from repro.dp.mechanisms import (
     AdditiveMechanism,
@@ -36,6 +41,7 @@ __all__ = [
     "AdditiveMechanism",
     "AuditResult",
     "BudgetExceededError",
+    "BudgetRemainder",
     "DiscreteGaussianNoise",
     "DiscreteLaplaceNoise",
     "GaussianNoise",

@@ -28,6 +28,31 @@ class PrivacyEvent:
     guarantee: PrivacyGuarantee
 
 
+@dataclass(frozen=True)
+class BudgetRemainder:
+    """Unspent budget: like a guarantee, but zero is a legal value.
+
+    :class:`~repro.dp.mechanisms.PrivacyGuarantee` requires a strictly
+    positive epsilon (a mechanism cannot be calibrated to epsilon = 0),
+    but *remaining budget* legitimately reaches zero in either
+    parameter, so the accountant reports it with this type instead.
+    """
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0 or self.delta < 0:
+            raise ValueError(
+                f"remainders cannot be negative, got ({self.epsilon}, {self.delta})"
+            )
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no epsilon is left to spend."""
+        return self.epsilon == 0.0
+
+
 @dataclass
 class PrivacyAccountant:
     """Tracks releases and reports composed ``(epsilon, delta)`` totals.
@@ -103,15 +128,20 @@ class PrivacyAccountant:
     def n_releases(self) -> int:
         return len(self.events)
 
-    def remaining(self) -> PrivacyGuarantee | None:
-        """Budget left under basic composition (``None`` if unlimited)."""
+    def remaining(self) -> BudgetRemainder | None:
+        """Budget left under basic composition (``None`` if unlimited).
+
+        Both parameters are clamped at zero, symmetrically: an exactly
+        exhausted epsilon *or* delta reports as a zero remainder rather
+        than raising — exhaustion is a state, not an error (attempting
+        to :meth:`spend` past it is what raises).
+        """
         if self.budget is None:
             return None
         if not self.events:
-            return self.budget
+            return BudgetRemainder(self.budget.epsilon, self.budget.delta)
         spent = self.total_basic()
-        eps_left = max(self.budget.epsilon - spent.epsilon, 0.0)
-        delta_left = max(self.budget.delta - spent.delta, 0.0)
-        if eps_left == 0.0:
-            raise BudgetExceededError("privacy budget fully spent")
-        return PrivacyGuarantee(eps_left, delta_left)
+        return BudgetRemainder(
+            max(self.budget.epsilon - spent.epsilon, 0.0),
+            max(self.budget.delta - spent.delta, 0.0),
+        )

@@ -1,0 +1,36 @@
+"""Serving layer: persistent sharded storage + distance query serving.
+
+The paper's Section 2 point is that *anyone* can estimate distances
+from published sketches; this package is the infrastructure for doing
+that at scale.  :class:`ShardedSketchStore` accumulates released rows
+into preallocated shards (amortised O(1) appends, cached per-shard
+norms, binary persistence); :class:`DistanceService` answers top-k,
+radius, cross-batch and pairwise-submatrix queries by streaming those
+shards through the vectorised estimators.
+
+The analyst-side index :class:`~repro.core.knn.PrivateNeighborIndex`
+delegates to this layer, and a :class:`~repro.core.protocol.SketchingSession`
+exposes it via :meth:`~repro.core.protocol.SketchingSession.serve`.
+"""
+
+from repro.serving.serialization import (
+    SerializationError,
+    batch_from_bytes,
+    batch_to_bytes,
+    read_batch,
+    write_batch,
+)
+from repro.serving.service import DistanceService, stable_smallest_k
+from repro.serving.store import DEFAULT_SHARD_CAPACITY, ShardedSketchStore
+
+__all__ = [
+    "DEFAULT_SHARD_CAPACITY",
+    "DistanceService",
+    "SerializationError",
+    "ShardedSketchStore",
+    "batch_from_bytes",
+    "batch_to_bytes",
+    "read_batch",
+    "stable_smallest_k",
+    "write_batch",
+]

@@ -1,0 +1,122 @@
+"""Versioned binary container for released sketch batches.
+
+The serving layer persists :class:`~repro.core.sketch.SketchBatch`
+payloads to disk, so unlike the wire-friendly format of
+:meth:`SketchBatch.to_bytes` it needs a *versioned* container that can
+detect corruption and evolve without breaking stored shards.
+
+Layout (all integers big-endian)::
+
+    offset  size  field
+    0       4     magic  b"RSKB"
+    4       2     format version (currently 1)
+    6       4     header length H
+    10      H     JSON header: payload byte length + payload SHA-256
+    10+H    ...   payload: the ``SketchBatch.to_bytes`` blob, verbatim
+
+The payload *is* the batch's own wire format — the metadata schema has
+exactly one owner (:class:`SketchBatch`); this module only adds the
+envelope: a magic, a version, and a SHA-256 over the whole payload
+(metadata and values alike), so a flipped bit anywhere is rejected at
+load time (``digest mismatch``) instead of silently corrupting distance
+estimates.  Round-trips are bit-exact: the values travel as their raw
+IEEE-754 bytes.
+
+Labels survive as strings (the :meth:`SketchBatch.to_bytes` contract);
+arbitrary label objects are stringified on the way out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.core.sketch import SketchBatch
+
+MAGIC = b"RSKB"
+FORMAT_VERSION = 1
+
+_PREFIX_LEN = len(MAGIC) + 2 + 4  # magic + version + header length
+
+
+class SerializationError(ValueError):
+    """Raised when a stored batch blob is malformed, truncated or corrupt."""
+
+
+def batch_to_bytes(batch: SketchBatch) -> bytes:
+    """Serialize a batch into the versioned binary container."""
+    payload = batch.to_bytes()
+    header = {
+        "payload_bytes": len(payload),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    return (
+        MAGIC
+        + FORMAT_VERSION.to_bytes(2, "big")
+        + len(header_bytes).to_bytes(4, "big")
+        + header_bytes
+        + payload
+    )
+
+
+def batch_from_bytes(blob: bytes) -> SketchBatch:
+    """Inverse of :func:`batch_to_bytes`, validating every layer.
+
+    Raises :class:`SerializationError` for a bad magic, an unsupported
+    format version, a truncated header or payload, a payload whose size
+    disagrees with the header, or a payload whose SHA-256 digest does
+    not match the one recorded at write time.
+    """
+    if len(blob) < _PREFIX_LEN:
+        raise SerializationError(
+            f"blob of {len(blob)} bytes is shorter than the {_PREFIX_LEN}-byte prefix"
+        )
+    if blob[:4] != MAGIC:
+        raise SerializationError(f"bad magic {blob[:4]!r}, expected {MAGIC!r}")
+    version = int.from_bytes(blob[4:6], "big")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {version} (this build reads {FORMAT_VERSION})"
+        )
+    header_len = int.from_bytes(blob[6:10], "big")
+    if len(blob) < _PREFIX_LEN + header_len:
+        raise SerializationError("blob truncated inside the header")
+    try:
+        header = json.loads(blob[_PREFIX_LEN : _PREFIX_LEN + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"header is not valid JSON: {exc}") from exc
+
+    payload = blob[_PREFIX_LEN + header_len :]
+    try:
+        expected_bytes = int(header["payload_bytes"])
+        expected_digest = header["payload_sha256"]
+    except KeyError as exc:
+        raise SerializationError(f"header is missing required field {exc}") from exc
+    if len(payload) != expected_bytes:
+        raise SerializationError(
+            f"payload has {len(payload)} bytes, header says {expected_bytes}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != expected_digest:
+        raise SerializationError(
+            "payload digest mismatch: stored batch is corrupt "
+            f"(expected {expected_digest}, got {digest})"
+        )
+    try:
+        return SketchBatch.from_bytes(payload)
+    except ValueError as exc:  # digest passed but the writer produced junk
+        raise SerializationError(f"payload is not a valid batch: {exc}") from exc
+
+
+def write_batch(path: str | os.PathLike, batch: SketchBatch) -> None:
+    """Write a batch to ``path`` in the versioned binary format."""
+    with open(path, "wb") as handle:
+        handle.write(batch_to_bytes(batch))
+
+
+def read_batch(path: str | os.PathLike) -> SketchBatch:
+    """Read a batch written by :func:`write_batch`."""
+    with open(path, "rb") as handle:
+        return batch_from_bytes(handle.read())

@@ -1,0 +1,208 @@
+"""Distance queries over a sharded store of published sketches.
+
+:class:`DistanceService` is the analyst-facing query plane: it answers
+top-``k``, radius, cross-batch and pairwise-submatrix queries by
+streaming the store's shards through the vectorised estimators of
+:mod:`repro.core.estimators`, reusing each shard's cached squared norms
+(``sq_b`` in the expanded distance formula) so a query touches every
+stored row exactly once and recomputes nothing.
+
+.. note:: **Estimates can be negative.**  Every distance returned by
+   this layer is the *unbiased* squared-distance estimate of Lemma 3 /
+   Lemma 8: the noise correction ``2 m E[eta^2]`` is subtracted from the
+   raw sketch distance, and at tiny true distances the correction can
+   overshoot, producing a negative number.  Orderings (top-``k``,
+   radius cut-offs) remain meaningful because the correction is the
+   same constant shift for every entry.  This caveat applies to every
+   method below and is stated once here instead of per method.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import estimators
+from repro.core.sketch import PrivateSketch, SketchBatch
+from repro.serving.store import ShardedSketchStore
+
+
+def stable_smallest_k(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest entries, in stable ascending order.
+
+    Equivalent to ``np.argsort(values, kind="stable")[:k]`` — ties are
+    broken by position, including ties *across* the ``k``-th boundary —
+    but runs in O(n + k log k) via :func:`np.argpartition` instead of
+    sorting all ``n`` entries.  ``k <= 0`` selects nothing.
+    """
+    values = np.asarray(values)
+    n = values.size
+    if k <= 0:
+        return np.empty(0, dtype=np.intp)
+    if k >= n:
+        return np.argsort(values, kind="stable")
+    kth = np.partition(values, k - 1)[k - 1]
+    below = np.flatnonzero(values < kth)
+    tied = np.flatnonzero(values == kth)
+    take = np.concatenate([below, tied[: k - below.size]])
+    return take[np.argsort(values[take], kind="stable")]
+
+
+class DistanceService:
+    """Serves distance queries from a :class:`ShardedSketchStore`.
+
+    Construct over an existing store, or use :meth:`from_batches` to
+    build store and service in one step.  The service is a pure reader:
+    it never mutates the store, so adds and queries interleave freely.
+    """
+
+    def __init__(self, store: ShardedSketchStore) -> None:
+        self.store = store
+
+    @classmethod
+    def from_batches(cls, *batches: SketchBatch, shard_capacity=None) -> "DistanceService":
+        """Build a store from released batches and wrap it."""
+        store = (
+            ShardedSketchStore()
+            if shard_capacity is None
+            else ShardedSketchStore(shard_capacity=shard_capacity)
+        )
+        for batch in batches:
+            store.add_batch(batch)
+        return cls(store)
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    # -- shard-streaming core ------------------------------------------------
+
+    def _query_rows(self, query) -> np.ndarray:
+        """Validate a query release against the store, as an ``(m, k)`` matrix."""
+        if not len(self.store):
+            raise ValueError("the index is empty")
+        estimators.check_compatible(self.store.metadata, query)
+        values = np.asarray(query.values, dtype=np.float64)
+        return values[np.newaxis, :] if values.ndim == 1 else values
+
+    def _shard_blocks(self, rows: np.ndarray, sq_rows: np.ndarray, correction: float):
+        """Yield ``(global_start, block)`` distance blocks, one per shard.
+
+        ``block[i, j]`` estimates the squared distance between query row
+        ``i`` and stored row ``global_start + j``; each shard's cached
+        squared norms supply the ``sq_b`` term.
+        """
+        start = 0
+        for i in range(self.store.n_shards):
+            stored = self.store.shard_values(i)
+            yield start, estimators.cross_sq_distances_from_parts(
+                rows, sq_rows, stored, self.store.shard_sq_norms(i), correction
+            )
+            start += stored.shape[0]
+
+    def _correction(self) -> float:
+        return estimators.sq_distance_correction(self.store.metadata)
+
+    # -- queries -------------------------------------------------------------
+
+    def top_k(self, query: PrivateSketch, k: int = 1) -> list[tuple[object, float]]:
+        """The ``k`` stored entries closest to ``query``.
+
+        Returns ``(label, estimated squared distance)`` pairs in
+        ascending distance order, ties broken by insertion order.
+        """
+        return self.top_k_batch(query, k)[0]
+
+    def top_k_batch(self, queries, k: int = 1) -> list[list[tuple[object, float]]]:
+        """One top-``k`` ranking per row of ``queries`` (sketch or batch).
+
+        Streams the store shard by shard: each shard contributes its own
+        ``k`` best candidates (selected with :func:`stable_smallest_k`
+        against cached norms), and the per-shard winners merge into the
+        global ranking — so no full ``n``-row sort ever happens.
+        """
+        if k < 1:
+            raise ValueError(f"top must be >= 1, got {k}")
+        rows = self._query_rows(queries)
+        sq_rows = np.einsum("ij,ij->i", rows, rows)
+        candidate_idx: list[list[np.ndarray]] = [[] for _ in range(rows.shape[0])]
+        candidate_est: list[list[np.ndarray]] = [[] for _ in range(rows.shape[0])]
+        for start, block in self._shard_blocks(rows, sq_rows, self._correction()):
+            for q in range(rows.shape[0]):
+                winners = stable_smallest_k(block[q], k)
+                candidate_idx[q].append(winners + start)
+                candidate_est[q].append(block[q][winners])
+        results = []
+        for q in range(rows.shape[0]):
+            idx = np.concatenate(candidate_idx[q])
+            est = np.concatenate(candidate_est[q])
+            # ties across shards resolve by global position — the same
+            # order a stable sort over the full concatenated row gives
+            order = np.lexsort((idx, est))[:k]
+            results.append(
+                [(self.store.label(int(idx[i])), float(est[i])) for i in order]
+            )
+        return results
+
+    def radius(self, query: PrivateSketch, radius_sq: float) -> list[tuple[object, float]]:
+        """All stored entries with estimated squared distance <= ``radius_sq``.
+
+        Hits come back in ascending distance order; only the hits are
+        sorted (the non-matching rows are filtered out first).
+        """
+        if radius_sq < 0:
+            raise ValueError(f"radius_sq must be >= 0, got {radius_sq}")
+        if not len(self.store):
+            return []
+        rows = self._query_rows(query)
+        if rows.shape[0] != 1:
+            raise ValueError("radius queries take a single sketch")
+        sq_rows = np.einsum("ij,ij->i", rows, rows)
+        hit_idx, hit_est = [], []
+        for start, block in self._shard_blocks(rows, sq_rows, self._correction()):
+            hits = np.flatnonzero(block[0] <= radius_sq)
+            hit_idx.append(hits + start)
+            hit_est.append(block[0][hits])
+        idx = np.concatenate(hit_idx)
+        est = np.concatenate(hit_est)
+        order = np.lexsort((idx, est))
+        return [(self.store.label(int(idx[i])), float(est[i])) for i in order]
+
+    def cross(self, queries) -> np.ndarray:
+        """The full ``(n_queries, n_stored)`` estimated distance matrix.
+
+        Accepts a :class:`SketchBatch` or a single sketch (one row).
+        Assembled shard by shard with cached norms — the store's rows
+        are never concatenated into one matrix.
+        """
+        rows = self._query_rows(queries)
+        sq_rows = np.einsum("ij,ij->i", rows, rows)
+        out = np.empty((rows.shape[0], len(self.store)))
+        for start, block in self._shard_blocks(rows, sq_rows, self._correction()):
+            out[:, start : start + block.shape[1]] = block
+        return out
+
+    def pairwise_submatrix(self, indices) -> np.ndarray:
+        """All-pairs estimates among the stored rows at ``indices``.
+
+        Gathers the selected rows (one copy of ``m`` rows) and runs the
+        Gram-based pairwise estimator; entry ``(i, j)`` estimates the
+        distance between stored rows ``indices[i]`` and ``indices[j]``,
+        with a zero diagonal by convention.
+        """
+        if not len(self.store):
+            raise ValueError("the index is empty")
+        indices = np.asarray(indices, dtype=np.int64)
+        n = len(self.store)
+        if indices.size and (indices.min() < -n or indices.max() >= n):
+            raise IndexError(f"indices out of range for store of {n} rows")
+        indices = indices % n if indices.size else indices
+        bounds = np.cumsum([0] + self.store.shard_sizes())
+        shard_ids = np.searchsorted(bounds, indices, side="right") - 1
+        local = indices - bounds[shard_ids]
+        gathered = np.empty((indices.size, self.store.metadata.output_dim))
+        for shard in np.unique(shard_ids):
+            mask = shard_ids == shard
+            gathered[mask] = self.store.shard_values(int(shard))[local[mask]]
+        subset = dataclasses.replace(self.store.metadata, values=gathered, labels=())
+        return estimators.pairwise_sq_distances(subset)

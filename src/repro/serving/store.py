@@ -1,0 +1,294 @@
+"""Append-only sharded storage for published sketch batches.
+
+:class:`ShardedSketchStore` is the serving layer's data plane: released
+rows accumulate into fixed-capacity *shards*, each a preallocated
+``(capacity, k)`` float64 buffer that fills in place.  Appending ``n``
+rows therefore copies exactly ``n`` rows — never the whole store, unlike
+a flat index that re-``concatenate``s every chunk per insert.  Buffers
+grow geometrically (doubling) up to the shard capacity, so small stores
+stay small while the amortised cost per appended row is O(1).
+
+Every shard caches the squared norms of its filled rows, maintained
+incrementally at append time.  The distance estimators need exactly
+these norms (``||u||^2`` terms of the expanded ``||u - v||^2``), so
+queries reuse the cache instead of recomputing ``n`` norms per query.
+
+Stores persist as a directory — a ``manifest.json`` plus one versioned
+binary blob per shard (:mod:`repro.serving.serialization`) — and load
+back bit-exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import estimators
+from repro.core.sketch import PrivateSketch, SketchBatch
+from repro.serving.serialization import SerializationError, read_batch, write_batch
+
+#: Default rows per shard; 2^16 rows of a k=256 sketch is ~128 MiB.
+DEFAULT_SHARD_CAPACITY = 65536
+
+_MANIFEST_NAME = "manifest.json"
+_MANIFEST_VERSION = 1
+_SHARD_PATTERN = "shard-{:05d}.skb"
+
+
+class _Shard:
+    """One preallocated block of sketch rows plus its cached norms."""
+
+    __slots__ = ("capacity", "size", "_buffer", "_sq_norms")
+
+    def __init__(self, capacity: int, output_dim: int, initial_rows: int = 0) -> None:
+        self.capacity = capacity
+        self.size = 0
+        allocate = min(capacity, max(initial_rows, 1))
+        self._buffer = np.empty((allocate, output_dim), dtype=np.float64)
+        self._sq_norms = np.empty(allocate, dtype=np.float64)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.size
+
+    def append(self, rows: np.ndarray) -> None:
+        """Copy ``rows`` into the buffer, extending the norm cache."""
+        end = self.size + rows.shape[0]
+        if end > self._buffer.shape[0]:  # grow geometrically within capacity
+            new_rows = min(self.capacity, max(end, 2 * self._buffer.shape[0]))
+            grown = np.empty((new_rows, self._buffer.shape[1]), dtype=np.float64)
+            grown[: self.size] = self._buffer[: self.size]
+            norms = np.empty(new_rows, dtype=np.float64)
+            norms[: self.size] = self._sq_norms[: self.size]
+            self._buffer, self._sq_norms = grown, norms
+        self._buffer[self.size : end] = rows
+        self._sq_norms[self.size : end] = np.einsum("ij,ij->i", rows, rows)
+        self.size = end
+
+    @property
+    def values(self) -> np.ndarray:
+        """The filled rows as a read-only view (no copy)."""
+        view = self._buffer[: self.size]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def sq_norms(self) -> np.ndarray:
+        """Cached ``||row||^2`` for every filled row (read-only view)."""
+        view = self._sq_norms[: self.size]
+        view.flags.writeable = False
+        return view
+
+
+class ShardedSketchStore:
+    """Append-only store of compatible released sketches, in shards.
+
+    All rows must come from one public configuration (same config
+    digest, same noise metadata); the first added release pins the
+    metadata and later additions are checked against it with the same
+    compatibility rule as the estimators.
+
+    Labels default to the row's global position, matching
+    :class:`~repro.core.knn.PrivateNeighborIndex`.
+    """
+
+    def __init__(self, shard_capacity: int = DEFAULT_SHARD_CAPACITY) -> None:
+        if shard_capacity < 1:
+            raise ValueError(f"shard_capacity must be >= 1, got {shard_capacity}")
+        self.shard_capacity = int(shard_capacity)
+        self._shards: list[_Shard] = []
+        self._labels: list[object] = []
+        self._template: SketchBatch | None = None  # zero-row metadata carrier
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(shard.size for shard in self._shards)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def labels(self) -> list:
+        return list(self._labels)
+
+    def label(self, i: int):
+        """The label of stored row ``i`` (no copy of the label list)."""
+        return self._labels[i]
+
+    @property
+    def metadata(self) -> SketchBatch | None:
+        """A zero-row batch carrying the store's shared metadata."""
+        return self._template
+
+    # -- appending -----------------------------------------------------------
+
+    def add(self, sketch: PrivateSketch, label=None) -> None:
+        """Append one published sketch (label defaults to its position)."""
+        self._append(
+            sketch,
+            np.asarray(sketch.values, dtype=np.float64)[np.newaxis, :],
+            [len(self._labels) if label is None else label],
+        )
+
+    def add_batch(self, batch: SketchBatch, labels=None) -> None:
+        """Append every row of a published batch in one pass."""
+        if labels is None:
+            start = len(self._labels)
+            labels = batch.labels or range(start, start + len(batch))
+        elif len(labels) != len(batch):
+            raise ValueError(f"got {len(labels)} labels for {len(batch)} rows")
+        self._append(batch, np.asarray(batch.values, dtype=np.float64), list(labels))
+
+    def _append(self, release, rows: np.ndarray, labels: list) -> None:
+        if self._template is None:
+            self._template = _as_template(release)
+        else:
+            estimators.check_compatible(self._template, release)
+        self._labels.extend(labels)
+        offset = 0
+        while offset < rows.shape[0]:
+            if not self._shards or self._shards[-1].free == 0:
+                self._shards.append(
+                    _Shard(
+                        self.shard_capacity,
+                        self._template.output_dim,
+                        initial_rows=min(rows.shape[0] - offset, self.shard_capacity),
+                    )
+                )
+            shard = self._shards[-1]
+            take = min(shard.free, rows.shape[0] - offset)
+            shard.append(rows[offset : offset + take])
+            offset += take
+
+    # -- shard access --------------------------------------------------------
+
+    def shard_values(self, i: int) -> np.ndarray:
+        """Filled rows of shard ``i`` as a zero-copy read-only view."""
+        return self._shards[i].values
+
+    def shard_sq_norms(self, i: int) -> np.ndarray:
+        """Cached squared norms of shard ``i`` (zero-copy, read-only)."""
+        return self._shards[i].sq_norms
+
+    def shard_sizes(self) -> list[int]:
+        return [shard.size for shard in self._shards]
+
+    def shard_batch(self, i: int) -> SketchBatch:
+        """Shard ``i`` as a :class:`SketchBatch` sharing the buffer.
+
+        Labels are carried through as stored (stringification only
+        happens on :meth:`save`, where it is the serialization format's
+        contract).
+        """
+        start = sum(s.size for s in self._shards[:i])
+        return _with_values(
+            self._template,
+            self._shards[i].values,
+            tuple(self._labels[start : start + self._shards[i].size]),
+        )
+
+    def to_batch(self) -> SketchBatch:
+        """Materialise the whole store as one batch (copies all rows).
+
+        Labels are carried through as stored, not stringified.
+        """
+        if self._template is None:
+            raise ValueError("the store is empty")
+        values = (
+            np.concatenate([shard.values for shard in self._shards])
+            if self._shards
+            else np.empty((0, self._template.output_dim))
+        )
+        return _with_values(self._template, values, tuple(self._labels))
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist the store into directory ``path`` (created if needed).
+
+        One versioned binary blob per shard plus a manifest; labels are
+        stringified (the same contract as :meth:`SketchBatch.to_bytes`).
+        A store with zero rows cannot be saved — there would be no shard
+        to carry the metadata, so the round trip could not be faithful.
+        """
+        if not len(self):
+            raise ValueError("cannot save an empty store")
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        offset = 0
+        for i, shard in enumerate(self._shards):
+            labels = tuple(str(l) for l in self._labels[offset : offset + shard.size])
+            offset += shard.size
+            write_batch(root / _SHARD_PATTERN.format(i), _with_values(self._template, shard.values, labels))
+        manifest = {
+            "manifest_version": _MANIFEST_VERSION,
+            "shard_capacity": self.shard_capacity,
+            "n_shards": len(self._shards),
+            "n_rows": len(self),
+            "config_digest": self._template.config_digest,
+        }
+        (root / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "ShardedSketchStore":
+        """Rebuild a store saved by :meth:`save` (values are bit-exact)."""
+        root = Path(path)
+        manifest_path = root / _MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no store manifest at {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"manifest at {manifest_path} is not valid JSON: {exc}"
+            ) from exc
+        if manifest.get("manifest_version") != _MANIFEST_VERSION:
+            raise SerializationError(
+                f"unsupported manifest version {manifest.get('manifest_version')!r}"
+            )
+        try:
+            return cls._load_shards(root, manifest)
+        except KeyError as exc:
+            raise SerializationError(
+                f"manifest at {manifest_path} is missing required field {exc}"
+            ) from exc
+
+    @classmethod
+    def _load_shards(cls, root: Path, manifest: dict) -> "ShardedSketchStore":
+        store = cls(shard_capacity=manifest["shard_capacity"])
+        for i in range(manifest["n_shards"]):
+            batch = read_batch(root / _SHARD_PATTERN.format(i))
+            store.add_batch(batch)
+        if len(store) != manifest["n_rows"]:
+            raise SerializationError(
+                f"store at {root} holds {len(store)} rows, manifest says "
+                f"{manifest['n_rows']}"
+            )
+        if (
+            store.metadata is not None
+            and store.metadata.config_digest != manifest["config_digest"]
+        ):
+            raise SerializationError(
+                f"shards at {root} come from configuration "
+                f"{store.metadata.config_digest}, manifest pins "
+                f"{manifest['config_digest']} — directory contents were swapped"
+            )
+        return store
+
+
+def _as_template(release) -> SketchBatch:
+    """A zero-row batch carrying ``release``'s shared metadata."""
+    if not isinstance(release, SketchBatch):
+        release = SketchBatch.from_sketches([release])
+    empty = np.empty((0, release.output_dim))
+    return dataclasses.replace(release, values=empty, labels=())
+
+
+def _with_values(template: SketchBatch, values: np.ndarray, labels: tuple) -> SketchBatch:
+    return dataclasses.replace(template, values=values, labels=labels)

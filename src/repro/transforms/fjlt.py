@@ -80,9 +80,14 @@ class FJLT(LinearTransform):
 
     def _hadamard_stage(self, batch: np.ndarray) -> np.ndarray:
         """Compute ``H D x`` for a batch, with zero padding to ``padded_dim``."""
-        padded = np.zeros((batch.shape[0], self.padded_dim))
-        padded[:, : self.input_dim] = batch
-        padded *= self._diagonal_signs[np.newaxis, :]
+        if batch.shape[1] == self.padded_dim:
+            # power-of-two input: no padding needed, and the sign
+            # multiply is the single copy (the input stays untouched)
+            padded = batch * self._diagonal_signs[np.newaxis, :]
+        else:
+            padded = np.zeros((batch.shape[0], self.padded_dim))
+            padded[:, : self.input_dim] = batch
+            padded *= self._diagonal_signs[np.newaxis, :]
         return fwht(padded, normalized=True)
 
     def theoretical_apply_cost(self) -> float:

@@ -141,3 +141,67 @@ class TestQueries:
         index.add(sk.sketch(np.ones(256)))
         with pytest.raises(ValueError):
             index.query_radius(sk.sketch(np.ones(256)), radius_sq=-1.0)
+
+
+class TestTieOrdering:
+    """Ranking must stay *stable*: among tied estimates, insertion order wins.
+
+    Exactly tied floats need care to construct: BLAS gemm may sum the
+    same dot product in different orders depending on the operand shape
+    and the output column's panel, so duplicated *generic* rows are only
+    tied to within an ulp.  All-zero sketch rows, however, estimate to
+    exactly ``||q||^2 - correction`` in every kernel, giving exact ties
+    even across shards — which lets these tests pin the
+    argpartition-based selection (and the cross-shard merge) to the
+    behaviour of a stable full sort, including ties that straddle the
+    ``top`` cut-off.
+    """
+
+    def _tied_index(self, sk, copies=5, shard_capacity=2):
+        import dataclasses
+
+        index = PrivateNeighborIndex(shard_capacity=shard_capacity)
+        zero = dataclasses.replace(
+            sk.sketch(np.ones(256), noise_rng=0), values=np.zeros(sk.output_dim)
+        )
+        for i in range(copies):
+            index.add(zero, label=f"dup-{i}")
+        return index
+
+    def test_query_breaks_ties_by_insertion_order(self):
+        sk = _sketcher()
+        index = self._tied_index(sk)
+        query = sk.sketch(np.arange(256, dtype=float), noise_rng=7)
+        for top in (1, 2, 3, 5):
+            labels = [label for label, _ in index.query(query, top=top)]
+            assert labels == [f"dup-{i}" for i in range(top)]
+
+    def test_query_batch_breaks_ties_by_insertion_order(self):
+        sk = _sketcher()
+        index = self._tied_index(sk)
+        queries = sk.sketch_batch(
+            np.arange(512, dtype=float).reshape(2, 256), noise_rng=8
+        )
+        for row in index.query_batch(queries, top=3):
+            assert [label for label, _ in row] == ["dup-0", "dup-1", "dup-2"]
+
+    def test_query_radius_keeps_tied_hits_in_insertion_order(self):
+        sk = _sketcher()
+        index = self._tied_index(sk)
+        query = sk.sketch(np.arange(256, dtype=float), noise_rng=9)
+        hits = index.query_radius(query, radius_sq=1e12)
+        assert [label for label, _ in hits] == [f"dup-{i}" for i in range(5)]
+
+    def test_mixed_ties_rank_after_closer_entries(self):
+        import dataclasses
+
+        sk = _sketcher()
+        index = PrivateNeighborIndex(shard_capacity=2)
+        query = sk.sketch(np.arange(256, dtype=float), noise_rng=3)
+        near = dataclasses.replace(query, values=query.values.copy())
+        tied = dataclasses.replace(query, values=np.zeros(sk.output_dim))
+        index.add(tied, label="tie-a")
+        index.add(near, label="near")
+        index.add(tied, label="tie-b")
+        labels = [label for label, _ in index.query(query, top=3)]
+        assert labels == ["near", "tie-a", "tie-b"]

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.dp.accountant import BudgetExceededError, PrivacyAccountant
+from repro.dp.accountant import BudgetExceededError, BudgetRemainder, PrivacyAccountant
 from repro.dp.mechanisms import PrivacyGuarantee
 
 
@@ -118,3 +118,51 @@ class TestBudget:
     def test_remaining_before_any_spend(self):
         acc = PrivacyAccountant(budget=PrivacyGuarantee(2.0))
         assert acc.remaining().epsilon == 2.0
+
+
+class TestRemainingExhaustion:
+    """`remaining()` reports exhaustion as a zero remainder, never raises."""
+
+    def test_exact_epsilon_exhaustion_reports_zero(self):
+        acc = PrivacyAccountant(budget=PrivacyGuarantee(1.0))
+        acc.spend(PrivacyGuarantee(0.5))
+        acc.spend(PrivacyGuarantee(0.5))
+        left = acc.remaining()
+        assert left.epsilon == 0.0
+        assert left.delta == 0.0
+        assert left.exhausted
+
+    def test_exact_delta_exhaustion_reports_zero_delta(self):
+        acc = PrivacyAccountant(budget=PrivacyGuarantee(10.0, 1e-6))
+        acc.spend(PrivacyGuarantee(1.0, 5e-7))
+        acc.spend(PrivacyGuarantee(1.0, 5e-7))
+        left = acc.remaining()
+        assert left.delta == 0.0
+        assert left.epsilon == pytest.approx(8.0)
+        assert not left.exhausted  # epsilon is still available
+
+    def test_float_overshoot_clamps_to_zero(self):
+        # 0.1 * 10 > 1.0 in floats; the remainder must clamp, not go negative
+        acc = PrivacyAccountant(budget=PrivacyGuarantee(1.0, 1e-6))
+        for _ in range(10):
+            acc.spend(PrivacyGuarantee(0.1, 1e-7))
+        left = acc.remaining()
+        assert left.epsilon >= 0.0
+        assert left.delta >= 0.0
+
+    def test_remainder_rejects_negative_construction(self):
+        with pytest.raises(ValueError):
+            BudgetRemainder(-0.1)
+        with pytest.raises(ValueError):
+            BudgetRemainder(1.0, -1e-9)
+
+    def test_zero_remainder_is_constructible(self):
+        # PrivacyGuarantee forbids epsilon == 0; the remainder type must not
+        assert BudgetRemainder(0.0, 0.0).exhausted
+
+    def test_spend_still_enforces_budget_after_exhaustion(self):
+        acc = PrivacyAccountant(budget=PrivacyGuarantee(1.0))
+        acc.spend(PrivacyGuarantee(1.0))
+        assert acc.remaining().exhausted
+        with pytest.raises(BudgetExceededError):
+            acc.spend(PrivacyGuarantee(0.1))

@@ -1,0 +1,199 @@
+"""Round-trip tests for sketch serialization formats.
+
+Covers the JSON-header wire formats (:meth:`PrivateSketch.to_bytes`,
+:meth:`SketchBatch.to_bytes`) and the versioned binary container of the
+serving layer (:mod:`repro.serving.serialization`) — property-style:
+many random payload shapes, plus the edge cases (empty batch,
+non-contiguous values, object labels) and every rejection path (bad
+magic, bad version, truncation at each layer, digest mismatch).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import PrivateSketch, PrivateSketcher, SketchBatch, SketchConfig
+from repro.serving.serialization import (
+    FORMAT_VERSION,
+    MAGIC,
+    SerializationError,
+    batch_from_bytes,
+    batch_to_bytes,
+    read_batch,
+    write_batch,
+)
+
+_CONFIG = SketchConfig(input_dim=64, epsilon=2.0, output_dim=32, sparsity=4, seed=5)
+
+
+def _sketcher():
+    return PrivateSketcher(_CONFIG)
+
+
+def _batch(n, seed=0, labels=()):
+    rng = np.random.default_rng(seed)
+    return _sketcher().sketch_batch(
+        rng.standard_normal((n, 64)), noise_rng=seed, labels=labels
+    )
+
+
+def _assert_batches_equal(a: SketchBatch, b: SketchBatch) -> None:
+    np.testing.assert_array_equal(a.values, b.values)  # bit-exact
+    assert a.input_dim == b.input_dim
+    assert a.output_dim == b.output_dim
+    assert a.perturbation == b.perturbation
+    assert a.noise_spec == b.noise_spec
+    assert a.noise_second_moment == b.noise_second_moment
+    assert a.guarantee == b.guarantee
+    assert a.config_digest == b.config_digest
+
+
+class TestPrivateSketchRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_sketches_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        sketch = _sketcher().sketch(rng.standard_normal(64), noise_rng=seed, label=f"s{seed}")
+        restored = PrivateSketch.from_bytes(sketch.to_bytes())
+        np.testing.assert_array_equal(restored.values, sketch.values)
+        assert restored.label == sketch.label
+        assert restored.config_digest == sketch.config_digest
+        assert restored.noise_spec == sketch.noise_spec
+
+    def test_extreme_values_roundtrip_bit_exact(self):
+        sketch = _sketcher().sketch(np.ones(64), noise_rng=0)
+        tweaked = dataclasses.replace(
+            sketch,
+            values=np.array([1e-308, -1e308, 0.0, np.pi] * 8),
+        )
+        restored = PrivateSketch.from_bytes(tweaked.to_bytes())
+        np.testing.assert_array_equal(restored.values, tweaked.values)
+
+
+class TestSketchBatchJsonRoundTrip:
+    @pytest.mark.parametrize("n", [1, 3, 17])
+    def test_random_batches_roundtrip(self, n):
+        batch = _batch(n, seed=n, labels=tuple(f"row-{i}" for i in range(n)))
+        restored = SketchBatch.from_bytes(batch.to_bytes())
+        _assert_batches_equal(batch, restored)
+        assert restored.labels == batch.labels
+
+    def test_empty_batch_roundtrip(self):
+        empty = _batch(3)[0:0]
+        assert len(empty) == 0
+        restored = SketchBatch.from_bytes(empty.to_bytes())
+        assert len(restored) == 0
+        assert restored.values.shape == (0, empty.output_dim)
+        _assert_batches_equal(empty, restored)
+
+    def test_non_contiguous_values_roundtrip(self):
+        batch = _batch(8)
+        strided = batch[::2]  # a view with a step — not C-contiguous
+        assert not strided.values.flags["C_CONTIGUOUS"]
+        restored = SketchBatch.from_bytes(strided.to_bytes())
+        np.testing.assert_array_equal(restored.values, strided.values)
+
+    def test_object_labels_stringified(self):
+        batch = _batch(3, labels=(7, None, ("a", 1)))
+        restored = SketchBatch.from_bytes(batch.to_bytes())
+        assert restored.labels == ("7", "None", "('a', 1)")
+
+    def test_truncated_payload_rejected(self):
+        blob = _batch(4).to_bytes()
+        with pytest.raises(ValueError, match="payload"):
+            SketchBatch.from_bytes(blob[:-8])
+
+
+class TestBinaryFormat:
+    @pytest.mark.parametrize("n", [1, 5, 40])
+    def test_roundtrip_bit_exact(self, n):
+        batch = _batch(n, seed=n, labels=tuple(f"b{i}" for i in range(n)))
+        restored = batch_from_bytes(batch_to_bytes(batch))
+        _assert_batches_equal(batch, restored)
+        assert restored.labels == batch.labels
+
+    def test_empty_batch_roundtrip(self):
+        empty = _batch(2)[0:0]
+        restored = batch_from_bytes(batch_to_bytes(empty))
+        assert len(restored) == 0
+        _assert_batches_equal(empty, restored)
+
+    def test_non_contiguous_values_roundtrip(self):
+        strided = _batch(10)[1::3]
+        assert not strided.values.flags["C_CONTIGUOUS"]
+        restored = batch_from_bytes(batch_to_bytes(strided))
+        np.testing.assert_array_equal(restored.values, strided.values)
+
+    def test_object_labels_stringified(self):
+        batch = _batch(2, labels=(42, [1, 2]))
+        restored = batch_from_bytes(batch_to_bytes(batch))
+        assert restored.labels == ("42", "[1, 2]")
+
+    def test_file_roundtrip(self, tmp_path):
+        batch = _batch(6, seed=9)
+        write_batch(tmp_path / "batch.skb", batch)
+        _assert_batches_equal(batch, read_batch(tmp_path / "batch.skb"))
+
+    # -- rejection paths ------------------------------------------------------
+
+    def test_bad_magic_rejected(self):
+        blob = batch_to_bytes(_batch(2))
+        with pytest.raises(SerializationError, match="magic"):
+            batch_from_bytes(b"XXXX" + blob[4:])
+
+    def test_unsupported_version_rejected(self):
+        blob = batch_to_bytes(_batch(2))
+        forged = MAGIC + (FORMAT_VERSION + 1).to_bytes(2, "big") + blob[6:]
+        with pytest.raises(SerializationError, match="version"):
+            batch_from_bytes(forged)
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(SerializationError, match="prefix"):
+            batch_from_bytes(b"RSK")
+
+    def test_truncated_header_rejected(self):
+        blob = batch_to_bytes(_batch(2))
+        with pytest.raises(SerializationError, match="header"):
+            batch_from_bytes(blob[:20])
+
+    def test_truncated_payload_rejected(self):
+        blob = batch_to_bytes(_batch(2))
+        with pytest.raises(SerializationError, match="payload"):
+            batch_from_bytes(blob[:-8])
+
+    def test_digest_mismatch_rejected(self):
+        blob = bytearray(batch_to_bytes(_batch(2)))
+        blob[-1] ^= 0xFF  # flip one payload bit
+        with pytest.raises(SerializationError, match="digest mismatch"):
+            batch_from_bytes(bytes(blob))
+
+    def test_missing_header_field_rejected(self):
+        import json
+
+        blob = batch_to_bytes(_batch(2))
+        header_len = int.from_bytes(blob[6:10], "big")
+        header = json.loads(blob[10 : 10 + header_len])
+        del header["payload_sha256"]
+        new_header = json.dumps(header).encode("utf-8")
+        forged = (
+            blob[:6]
+            + len(new_header).to_bytes(4, "big")
+            + new_header
+            + blob[10 + header_len :]
+        )
+        with pytest.raises(SerializationError, match="missing required field"):
+            batch_from_bytes(forged)
+
+    def test_garbage_header_rejected(self):
+        batch = _batch(1)
+        payload = np.ascontiguousarray(batch.values).tobytes()
+        garbage = b"{not json"
+        forged = (
+            MAGIC
+            + FORMAT_VERSION.to_bytes(2, "big")
+            + len(garbage).to_bytes(4, "big")
+            + garbage
+            + payload
+        )
+        with pytest.raises(SerializationError, match="JSON"):
+            batch_from_bytes(forged)

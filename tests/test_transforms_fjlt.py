@@ -111,3 +111,32 @@ class TestSensitivity:
 
     def test_no_closed_form(self):
         assert not FJLT(64, 32, seed=0).has_closed_form_sensitivity
+
+class TestHadamardPadSkip:
+    """Power-of-two inputs skip the zero-pad buffer without changing output."""
+
+    def test_power_of_two_matches_padded_reference(self):
+        from repro.transforms.hadamard import fwht
+
+        t = FJLT(64, 16, seed=3, density=0.5)
+        X = np.random.default_rng(0).standard_normal((5, 64))
+        got = t._hadamard_stage(X)
+        # the generic path: explicit zero-pad buffer + in-place sign multiply
+        padded = np.zeros((5, t.padded_dim))
+        padded[:, :64] = X
+        padded *= t._diagonal_signs[np.newaxis, :]
+        np.testing.assert_array_equal(got, fwht(padded, normalized=True))
+
+    def test_input_batch_not_mutated(self):
+        t = FJLT(64, 16, seed=3, density=0.5)
+        X = np.random.default_rng(1).standard_normal((4, 64))
+        before = X.copy()
+        t._hadamard_stage(X)
+        np.testing.assert_array_equal(X, before)
+
+    def test_apply_agrees_across_padded_and_unpadded_dims(self):
+        # the padded path must still behave: projections match to_dense
+        for dim in (64, 100):
+            t = FJLT(dim, 8, seed=7, density=0.5)
+            x = np.random.default_rng(2).standard_normal(dim)
+            np.testing.assert_allclose(t.apply(x), t.to_dense() @ x, atol=1e-9)

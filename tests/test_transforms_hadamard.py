@@ -2,7 +2,10 @@
 
 import numpy as np
 import pytest
-from scipy.linalg import hadamard as scipy_hadamard
+try:  # scipy is an optional dependency: the CI matrix has a no-scipy leg
+    from scipy.linalg import hadamard as scipy_hadamard
+except ImportError:  # pragma: no cover - exercised only without scipy
+    scipy_hadamard = None
 
 from repro.transforms.hadamard import (
     fwht,
@@ -28,6 +31,7 @@ class TestPowerOfTwoHelpers:
 
 
 class TestHadamardMatrix:
+    @pytest.mark.skipif(scipy_hadamard is None, reason="requires scipy")
     @pytest.mark.parametrize("n", [1, 2, 4, 8, 32])
     def test_matches_scipy(self, n):
         assert np.array_equal(hadamard_matrix(n), scipy_hadamard(n).astype(float))
