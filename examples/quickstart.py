@@ -10,9 +10,11 @@ vectors sketches every row in one vectorised pass (`sketch_batch`) and
 an analyst estimates all pairwise distances at once
 (`pairwise_sq_distances`).
 
-The final section shows the serving workflow: accumulate releases into
-a `ShardedSketchStore`, persist it to disk, reload it in a fresh
-process, and answer top-k queries through a `DistanceService`.
+The final sections show the serving workflow: accumulate releases into
+a `ShardedSketchStore`, persist it to disk (atomically), reload it in a
+fresh process — either eagerly or as lazy memory maps for stores larger
+than RAM — and answer top-k queries through a `DistanceService`,
+serially or across a thread pool of shard workers.
 
 Run:  python examples/quickstart.py
 """
@@ -22,7 +24,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import DistanceService, PrivateSketcher, ShardedSketchStore, SketchConfig
+from repro import (
+    DistanceService,
+    ExecutionPolicy,
+    PrivateSketcher,
+    ShardedSketchStore,
+    SketchConfig,
+)
 
 
 def main() -> None:
@@ -79,23 +87,40 @@ def main() -> None:
     # -- serving mode: build store -> persist -> reload -> query -----------
     # Releases accumulate into a sharded store (appends copy only the new
     # rows; per-shard norms are cached for queries), which persists as a
-    # directory of versioned binary shards.
+    # directory of versioned binary shards.  save() is atomic — a crash
+    # mid-save never corrupts an existing store — and labels round-trip
+    # with their types (integers stay integers).
     store = ShardedSketchStore(shard_capacity=4)
     store.add_batch(batch)                       # the release published above
+    query = sketcher.sketch(crowd[0], label="query")
     with tempfile.TemporaryDirectory() as tmp:
         store_dir = Path(tmp) / "sketch-store"
         store.save(store_dir)                    # manifest + one blob per shard
         reloaded = ShardedSketchStore.load(store_dir)  # e.g. in another process
 
-    service = DistanceService(reloaded)          # or session.serve(batch)
-    query = sketcher.sketch(crowd[0], label="query")
-    neighbors = service.top_k(query, k=3)
-    print(f"\nstore: {len(reloaded)} rows in {reloaded.n_shards} shards, "
-          f"saved + reloaded bit-exactly")
-    print("3 nearest stored rows to a fresh sketch of row-0 "
-          "(label, estimated squared distance):")
-    for label, estimate in neighbors:
-        print(f"  {label:>6}  {estimate:10.3f}")
+        service = DistanceService(reloaded)      # or session.serve(batch)
+        neighbors = service.top_k(query, k=3)
+        print(f"\nstore: {len(reloaded)} rows in {reloaded.n_shards} shards, "
+              f"saved + reloaded bit-exactly")
+        print("3 nearest stored rows to a fresh sketch of row-0 "
+              "(label, estimated squared distance):")
+        for label, estimate in neighbors:
+            print(f"  {label:>6}  {estimate:10.3f}")
+
+        # -- larger-than-RAM + parallel: mmap-load and fan out queries -----
+        # mmap=True attaches each shard as a lazy memory map: nothing is
+        # read until a query touches the shard, the OS pages rows in and
+        # out on demand, and whole shards the norm-bound prefilter rules
+        # out are never read at all.  An ExecutionPolicy with workers=N
+        # dispatches per-shard distance blocks across a thread pool (BLAS
+        # releases the GIL) — answers are bit-identical to serial, just
+        # faster on multi-core machines.
+        mapped = ShardedSketchStore.load(store_dir, mmap=True)
+        with DistanceService(mapped, ExecutionPolicy(workers=4)) as parallel:
+            assert parallel.top_k(query, k=3) == neighbors  # identical answers
+        print(f"mmap-loaded store answers identically "
+              f"({mapped.resident_shards}/{mapped.n_shards} shards touched "
+              f"lazily, 4 query workers)")
 
 
 if __name__ == "__main__":

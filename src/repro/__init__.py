@@ -44,7 +44,7 @@ from repro.core import (
     sq_norms,
 )
 from repro.dp import PrivacyAccountant, PrivacyGuarantee
-from repro.serving import DistanceService, ShardedSketchStore
+from repro.serving import DistanceService, ExecutionPolicy, ShardedSketchStore
 from repro.transforms import create_transform
 
 __version__ = "1.0.0"
@@ -53,6 +53,7 @@ __all__ = [
     "DistanceService",
     "EnsembleSketch",
     "EnsembleSketcher",
+    "ExecutionPolicy",
     "MechanismChoice",
     "Party",
     "PrivacyAccountant",

@@ -22,21 +22,51 @@ negative, and orderings remain meaningful regardless.
 from __future__ import annotations
 
 from repro.core.sketch import PrivateSketch, SketchBatch
+from repro.serving.execution import ExecutionPolicy
 from repro.serving.service import DistanceService
 from repro.serving.store import DEFAULT_SHARD_CAPACITY, ShardedSketchStore
 
 
 class PrivateNeighborIndex:
-    """A flat index of private sketches supporting distance queries."""
+    """A flat index of private sketches supporting distance queries.
 
-    def __init__(self, shard_capacity: int = DEFAULT_SHARD_CAPACITY) -> None:
+    ``policy`` selects how queries are executed (serial, or fanned out
+    across a thread pool of shard workers with norm-bound
+    prefiltering); results are identical whatever the policy.
+    """
+
+    def __init__(
+        self,
+        shard_capacity: int = DEFAULT_SHARD_CAPACITY,
+        policy: ExecutionPolicy | None = None,
+    ) -> None:
         self._store = ShardedSketchStore(shard_capacity=shard_capacity)
-        self._service = DistanceService(self._store)
+        self._service = DistanceService(self._store, policy=policy)
+
+    @classmethod
+    def from_store(
+        cls, store: ShardedSketchStore, policy: ExecutionPolicy | None = None
+    ) -> "PrivateNeighborIndex":
+        """Wrap an existing store — e.g. one loaded with ``mmap=True``."""
+        index = cls.__new__(cls)
+        index._store = store
+        index._service = DistanceService(store, policy=policy)
+        return index
 
     @property
     def store(self) -> ShardedSketchStore:
         """The backing sharded store (shared, not a copy)."""
         return self._store
+
+    def close(self) -> None:
+        """Release the query worker pool (no-op for serial policies)."""
+        self._service.close()
+
+    def __enter__(self) -> "PrivateNeighborIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def add(self, sketch: PrivateSketch, label=None) -> None:
         """Register a published sketch (label defaults to its position)."""

@@ -20,6 +20,7 @@ from repro.core import estimators
 from repro.dp.accountant import BudgetExceededError, PrivacyAccountant
 from repro.dp.mechanisms import PrivacyGuarantee
 from repro.hashing import prg
+from repro.serving.execution import ExecutionPolicy
 from repro.serving.service import DistanceService
 from repro.utils.validation import as_float_matrix
 
@@ -99,7 +100,12 @@ class SketchingSession:
         self.parties[name] = party
         return party
 
-    def serve(self, *batches: SketchBatch, shard_capacity: int | None = None) -> DistanceService:
+    def serve(
+        self,
+        *batches: SketchBatch,
+        shard_capacity: int | None = None,
+        policy: ExecutionPolicy | None = None,
+    ) -> DistanceService:
         """Stand up a distance-serving endpoint over released batches.
 
         Builds a :class:`~repro.serving.store.ShardedSketchStore`,
@@ -108,6 +114,8 @@ class SketchingSession:
         top-k / radius / cross / pairwise-submatrix queries.  The store
         stays reachable via ``service.store`` for incremental adds and
         for persistence (``store.save`` / ``ShardedSketchStore.load``).
+        ``policy`` selects serial or shard-parallel query execution
+        (:class:`~repro.serving.execution.ExecutionPolicy`).
 
         Every batch must come from this session's configuration — the
         session entry point enforces the linkage that a bare
@@ -120,7 +128,9 @@ class SketchingSession:
                     f"batch {batch.config_digest} comes from a different "
                     f"configuration than this session ({digest})"
                 )
-        return DistanceService.from_batches(*batches, shard_capacity=shard_capacity)
+        return DistanceService.from_batches(
+            *batches, shard_capacity=shard_capacity, policy=policy
+        )
 
     # Estimation requires only published sketches, so these simply proxy
     # the stateless estimator functions for convenience.

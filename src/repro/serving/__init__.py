@@ -4,33 +4,72 @@ The paper's Section 2 point is that *anyone* can estimate distances
 from published sketches; this package is the infrastructure for doing
 that at scale.  :class:`ShardedSketchStore` accumulates released rows
 into preallocated shards (amortised O(1) appends, cached per-shard
-norms, binary persistence); :class:`DistanceService` answers top-k,
-radius, cross-batch and pairwise-submatrix queries by streaming those
-shards through the vectorised estimators.
+norms and norm bounds, atomic binary persistence, lazy memory-mapped
+loading for stores larger than RAM, compaction and merge tooling);
+:class:`DistanceService` answers top-k, radius, cross-batch and
+pairwise-submatrix queries by streaming those shards through the
+vectorised estimators — serially or across a thread pool, as selected
+by an :class:`ExecutionPolicy`.
+
+**Concurrency contract.**  One writer at a time may append to a store;
+any number of readers may query it concurrently.  Every query freezes a
+store snapshot first and therefore sees a *consistent prefix* of the
+rows (appends publish rows and norm caches before sizes, so a snapshot
+never exposes a partially written row).  Queries never block appends
+and appends never block queries.  ``save``/``load``/``compact``/
+``merge`` are writer-side operations: run them from the writer, not
+concurrently with another writer.  Saving over a directory counts as
+writing every store handle that was mmap-loaded from it — such readers
+must re-``load`` afterwards (see :meth:`ShardedSketchStore.save`).
+
+**Prefilter guarantee.**  The norm-bound prefilter (on by default, see
+:class:`ExecutionPolicy`) skips a shard only when the reverse triangle
+inequality over the shard's cached norm range — minus a safety slack
+that dominates floating-point rounding — proves every distance in the
+shard is strictly worse than the current threshold.  Query results with
+the prefilter on are identical to results with it off, ties included;
+it is a work-skipping optimisation, never an approximation.
 
 The analyst-side index :class:`~repro.core.knn.PrivateNeighborIndex`
 delegates to this layer, and a :class:`~repro.core.protocol.SketchingSession`
 exposes it via :meth:`~repro.core.protocol.SketchingSession.serve`.
 """
 
+from repro.serving.execution import ExecutionPolicy
 from repro.serving.serialization import (
+    BatchInfo,
     SerializationError,
     batch_from_bytes,
     batch_to_bytes,
+    decode_label,
+    encode_label,
+    map_values,
     read_batch,
+    read_batch_info,
     write_batch,
 )
 from repro.serving.service import DistanceService, stable_smallest_k
-from repro.serving.store import DEFAULT_SHARD_CAPACITY, ShardedSketchStore
+from repro.serving.store import (
+    DEFAULT_SHARD_CAPACITY,
+    ShardedSketchStore,
+    ShardView,
+)
 
 __all__ = [
+    "BatchInfo",
     "DEFAULT_SHARD_CAPACITY",
     "DistanceService",
+    "ExecutionPolicy",
     "SerializationError",
+    "ShardView",
     "ShardedSketchStore",
     "batch_from_bytes",
     "batch_to_bytes",
+    "decode_label",
+    "encode_label",
+    "map_values",
     "read_batch",
+    "read_batch_info",
     "stable_smallest_k",
     "write_batch",
 ]

@@ -1,0 +1,74 @@
+"""Execution policies for the shard-parallel query plane.
+
+A :class:`~repro.serving.service.DistanceService` turns every query
+into independent per-shard distance blocks; :class:`ExecutionPolicy`
+decides how those blocks are scheduled.  ``workers=1`` (the default)
+streams them serially; ``workers=N`` dispatches them onto a thread pool
+of ``N`` workers.  Threads — not processes — are the right tool here:
+each block is dominated by one BLAS matrix multiplication, which
+releases the GIL, so shard blocks genuinely overlap while the Python
+merge stays trivially small.
+
+Results are **bit-identical** across policies: every shard block is the
+same deterministic arithmetic whatever thread runs it, and the merge
+consumes the blocks in shard order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+_WORKERS_ENV = "REPRO_SERVING_WORKERS"
+_PREFILTER_ENV = "REPRO_SERVING_PREFILTER"
+_FALSE_VALUES = ("0", "false", "off", "no")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a :class:`DistanceService` schedules per-shard query work.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` streams shards serially on the calling thread; ``N > 1``
+        fans shard blocks out across a pool of ``N`` threads.
+    prefilter:
+        Enable the norm-bound shard prefilter (skip shards whose
+        best-case distance provably cannot produce a result).  Exact —
+        filtered and unfiltered queries return identical answers; see
+        :mod:`repro.serving.service` for the guarantee.
+    """
+
+    workers: int = 1
+    prefilter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    @classmethod
+    def from_env(cls) -> "ExecutionPolicy":
+        """The default policy, overridable via the environment.
+
+        ``REPRO_SERVING_WORKERS`` sets the worker count — CI uses it to
+        run the whole serving test suite under a 4-worker pool without
+        touching the tests — and ``REPRO_SERVING_PREFILTER=0`` disables
+        the prefilter (an A/B lever for debugging; the prefilter is
+        exact, so results never depend on it).
+        """
+        raw = os.environ.get(_WORKERS_ENV, "").strip()
+        try:
+            workers = max(1, int(raw)) if raw else 1
+        except ValueError:
+            raise ValueError(
+                f"{_WORKERS_ENV}={raw!r} is not an integer worker count"
+            ) from None
+        prefilter = (
+            os.environ.get(_PREFILTER_ENV, "1").strip().lower() not in _FALSE_VALUES
+        )
+        return cls(workers=workers, prefilter=prefilter)

@@ -5,47 +5,181 @@ payloads to disk, so unlike the wire-friendly format of
 :meth:`SketchBatch.to_bytes` it needs a *versioned* container that can
 detect corruption and evolve without breaking stored shards.
 
-Layout (all integers big-endian)::
+Format version 2 (the current writer) lays the values section out as a
+raw, 64-byte-aligned float64 segment so a reader can ``np.memmap`` the
+rows straight out of the file without materialising them::
 
     offset  size  field
     0       4     magic  b"RSKB"
-    4       2     format version (currently 1)
+    4       2     format version (2)
     6       4     header length H
-    10      H     JSON header: payload byte length + payload SHA-256
-    10+H    ...   payload: the ``SketchBatch.to_bytes`` blob, verbatim
+    10      H     JSON header: batch metadata, typed labels, the values
+                  byte length, SHA-256 digests of metadata and values
+    10+H    ...   zero padding up to the first 64-byte boundary
+    A       ...   values: raw little-endian float64, C row-major order
 
-The payload *is* the batch's own wire format — the metadata schema has
-exactly one owner (:class:`SketchBatch`); this module only adds the
-envelope: a magic, a version, and a SHA-256 over the whole payload
-(metadata and values alike), so a flipped bit anywhere is rejected at
-load time (``digest mismatch``) instead of silently corrupting distance
-estimates.  Round-trips are bit-exact: the values travel as their raw
-IEEE-754 bytes.
+where ``A = ceil((10 + H) / 64) * 64`` is derived from the header
+length, so the offset needs no forward pointer.  Two digests cover the
+two sections independently: ``meta_sha256`` (always verified, even on a
+memory-mapped open) and ``values_sha256`` (verified on eager reads;
+a memory-mapped open defers it, trading corruption detection for not
+touching the data — see :func:`read_batch_info`).
 
-Labels survive as strings (the :meth:`SketchBatch.to_bytes` contract);
-arbitrary label objects are stringified on the way out.
+Labels are stored with a **typed JSON encoding** (:func:`encode_label`):
+``None``, booleans, integers, floats and strings survive as themselves,
+tuples/lists/dicts survive recursively, and anything else degrades to
+its ``str()`` with an explicit marker — so ``load(save(store))`` gives
+back labels *equal to the originals*, where format 1 stringified
+everything.
+
+Format version 1 (the PR-2 writer: JSON envelope around the verbatim
+``SketchBatch.to_bytes`` blob, one SHA-256 over the whole payload) is
+still read — both eagerly and via :func:`read_batch_info` — as the
+migration path for existing stores; its labels come back as strings,
+which is what that format recorded.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import io
 import json
+import numbers
 import os
 
+import numpy as np
+
 from repro.core.sketch import SketchBatch
+from repro.dp.mechanisms import PrivacyGuarantee
 
 MAGIC = b"RSKB"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_V1 = 1
 
 _PREFIX_LEN = len(MAGIC) + 2 + 4  # magic + version + header length
+_ALIGNMENT = 64  # values segment starts on a 64-byte boundary
 
 
 class SerializationError(ValueError):
     """Raised when a stored batch blob is malformed, truncated or corrupt."""
 
 
-def batch_to_bytes(batch: SketchBatch) -> bytes:
-    """Serialize a batch into the versioned binary container."""
+# -- typed label encoding ------------------------------------------------------
+
+_LABEL_KEY = "__label__"
+
+
+def encode_label(label) -> object:
+    """Encode one label as a JSON value that preserves its Python type.
+
+    JSON-native scalars (``None``, ``bool``, ``int``, ``float``, ``str``)
+    pass through; numpy scalars (``np.int64`` from ``np.arange`` labels,
+    ``np.float64``, ``np.bool_``) decode as their equal Python scalars;
+    tuples, lists and dicts are wrapped recursively so the container
+    kind survives; any other object degrades to ``str(label)`` with an
+    explicit marker (the lossy case is visible, not silent).
+    """
+    if label is None or isinstance(label, str):
+        return label
+    if isinstance(label, (bool, np.bool_)):  # bools are Integral; catch first
+        return bool(label)
+    if isinstance(label, numbers.Integral):
+        return int(label)
+    if isinstance(label, numbers.Real):  # normalises np.float64 and friends
+        return float(label)
+    if isinstance(label, tuple):
+        return {_LABEL_KEY: "tuple", "items": [encode_label(x) for x in label]}
+    if isinstance(label, list):
+        return {_LABEL_KEY: "list", "items": [encode_label(x) for x in label]}
+    if isinstance(label, dict):
+        return {
+            _LABEL_KEY: "dict",
+            "items": [[encode_label(k), encode_label(v)] for k, v in label.items()],
+        }
+    return {_LABEL_KEY: "str", "value": str(label)}
+
+
+def decode_label(encoded) -> object:
+    """Inverse of :func:`encode_label`."""
+    if not isinstance(encoded, dict):
+        return encoded
+    kind = encoded.get(_LABEL_KEY)
+    if kind == "tuple":
+        return tuple(decode_label(x) for x in encoded["items"])
+    if kind == "list":
+        return [decode_label(x) for x in encoded["items"]]
+    if kind == "dict":
+        return {decode_label(k): decode_label(v) for k, v in encoded["items"]}
+    if kind == "str":
+        return encoded["value"]
+    raise SerializationError(f"unknown label encoding {encoded!r}")
+
+
+# -- version-2 writer ----------------------------------------------------------
+
+
+def _values_offset(header_len: int) -> int:
+    """First 64-byte boundary past the prefix + header."""
+    end = _PREFIX_LEN + header_len
+    return ((end + _ALIGNMENT - 1) // _ALIGNMENT) * _ALIGNMENT
+
+
+def _meta_dict(batch: SketchBatch, values_nbytes: int) -> dict:
+    if len(batch):
+        norms = np.einsum("ij,ij->i", batch.values, batch.values)
+        sq_norm_bounds = [float(norms.min()), float(norms.max())]
+    else:
+        sq_norm_bounds = None
+    return {
+        "n_rows": len(batch),
+        "sq_norm_bounds": sq_norm_bounds,
+        "input_dim": batch.input_dim,
+        "output_dim": batch.output_dim,
+        "perturbation": batch.perturbation,
+        "noise_spec": batch.noise_spec,
+        "noise_second_moment": batch.noise_second_moment,
+        "epsilon": batch.guarantee.epsilon,
+        "delta": batch.guarantee.delta,
+        "config_digest": batch.config_digest,
+        "labels": [encode_label(label) for label in batch.labels],
+        "values_nbytes": values_nbytes,
+    }
+
+
+def _meta_digest(meta: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(meta, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+#: The on-disk element type of the values segment: float64 pinned to
+#: little-endian, so stores move between hosts of any byte order.
+_VALUES_DTYPE = np.dtype("<f8")
+
+
+def _to_bytes_v2(batch: SketchBatch) -> bytes:
+    values = np.ascontiguousarray(batch.values, dtype=_VALUES_DTYPE).tobytes()
+    meta = _meta_dict(batch, len(values))
+    header = dict(
+        meta,
+        meta_sha256=_meta_digest(meta),
+        values_sha256=hashlib.sha256(values).hexdigest(),
+    )
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    offset = _values_offset(len(header_bytes))
+    padding = b"\0" * (offset - _PREFIX_LEN - len(header_bytes))
+    return (
+        MAGIC
+        + FORMAT_VERSION.to_bytes(2, "big")
+        + len(header_bytes).to_bytes(4, "big")
+        + header_bytes
+        + padding
+        + values
+    )
+
+
+def _to_bytes_v1(batch: SketchBatch) -> bytes:
     payload = batch.to_bytes()
     header = {
         "payload_bytes": len(payload),
@@ -54,41 +188,183 @@ def batch_to_bytes(batch: SketchBatch) -> bytes:
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
     return (
         MAGIC
-        + FORMAT_VERSION.to_bytes(2, "big")
+        + _V1.to_bytes(2, "big")
         + len(header_bytes).to_bytes(4, "big")
         + header_bytes
         + payload
     )
 
 
-def batch_from_bytes(blob: bytes) -> SketchBatch:
-    """Inverse of :func:`batch_to_bytes`, validating every layer.
+def batch_to_bytes(batch: SketchBatch, *, version: int = FORMAT_VERSION) -> bytes:
+    """Serialize a batch into the versioned binary container.
 
-    Raises :class:`SerializationError` for a bad magic, an unsupported
-    format version, a truncated header or payload, a payload whose size
-    disagrees with the header, or a payload whose SHA-256 digest does
-    not match the one recorded at write time.
+    ``version=2`` (default) preserves label types and aligns the values
+    segment for memory mapping; ``version=1`` reproduces the legacy
+    envelope (labels stringified) for compatibility tests.
     """
-    if len(blob) < _PREFIX_LEN:
+    if version == FORMAT_VERSION:
+        return _to_bytes_v2(batch)
+    if version == _V1:
+        return _to_bytes_v1(batch)
+    raise ValueError(f"cannot write format version {version}")
+
+
+# -- parsing -------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchInfo:
+    """Everything about a stored batch except the values themselves.
+
+    Produced by :func:`read_batch_info` from the container header alone
+    — the values section is *not* read, which is what makes lazy /
+    memory-mapped shard loading possible.  ``meta`` is a zero-row
+    :class:`SketchBatch` carrying the shared metadata; ``labels`` are
+    fully decoded; ``values_offset`` / ``values_nbytes`` locate the raw
+    float64 segment for :func:`map_values`.
+    """
+
+    path: str | os.PathLike | None
+    version: int
+    n_rows: int
+    values_offset: int
+    values_nbytes: int
+    labels: tuple
+    meta: SketchBatch
+    #: ``(min, max)`` of the rows' squared norms, recorded at write time
+    #: (format 2 only, ``None`` for format 1) — lets the norm-bound
+    #: prefilter rule a mapped shard out without reading any of it.
+    sq_norm_bounds: tuple[float, float] | None = None
+
+    @property
+    def output_dim(self) -> int:
+        return self.meta.output_dim
+
+
+def _read_exact(stream, n: int, what: str) -> bytes:
+    data = stream.read(n)
+    if len(data) != n:
+        raise SerializationError(f"blob truncated inside the {what}")
+    return data
+
+
+def _parse_prefix(stream) -> tuple[int, dict]:
+    """Read magic/version/header; return ``(version, header_dict)``."""
+    prefix = stream.read(_PREFIX_LEN)
+    if len(prefix) < _PREFIX_LEN:
         raise SerializationError(
-            f"blob of {len(blob)} bytes is shorter than the {_PREFIX_LEN}-byte prefix"
+            f"blob of {len(prefix)} bytes is shorter than the {_PREFIX_LEN}-byte prefix"
         )
-    if blob[:4] != MAGIC:
-        raise SerializationError(f"bad magic {blob[:4]!r}, expected {MAGIC!r}")
-    version = int.from_bytes(blob[4:6], "big")
-    if version != FORMAT_VERSION:
+    if prefix[:4] != MAGIC:
+        raise SerializationError(f"bad magic {prefix[:4]!r}, expected {MAGIC!r}")
+    version = int.from_bytes(prefix[4:6], "big")
+    if version not in (_V1, FORMAT_VERSION):
         raise SerializationError(
-            f"unsupported format version {version} (this build reads {FORMAT_VERSION})"
+            f"unsupported format version {version} "
+            f"(this build reads {_V1} and {FORMAT_VERSION})"
         )
-    header_len = int.from_bytes(blob[6:10], "big")
-    if len(blob) < _PREFIX_LEN + header_len:
-        raise SerializationError("blob truncated inside the header")
+    header_len = int.from_bytes(prefix[6:10], "big")
+    header_bytes = _read_exact(stream, header_len, "header")
     try:
-        header = json.loads(blob[_PREFIX_LEN : _PREFIX_LEN + header_len].decode("utf-8"))
+        header = json.loads(header_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SerializationError(f"header is not valid JSON: {exc}") from exc
+    return version, header
 
-    payload = blob[_PREFIX_LEN + header_len :]
+
+_META_TEMPLATE_FIELDS = (
+    "n_rows",
+    "sq_norm_bounds",
+    "input_dim",
+    "output_dim",
+    "perturbation",
+    "noise_spec",
+    "noise_second_moment",
+    "epsilon",
+    "delta",
+    "config_digest",
+    "labels",
+    "values_nbytes",
+)
+
+
+def _meta_from_header(header: dict) -> SketchBatch:
+    """A zero-row metadata carrier from a parsed v1-payload/v2 header."""
+    return SketchBatch(
+        values=np.empty((0, header["output_dim"])),
+        input_dim=header["input_dim"],
+        output_dim=header["output_dim"],
+        perturbation=header["perturbation"],
+        noise_spec=header["noise_spec"],
+        noise_second_moment=header["noise_second_moment"],
+        guarantee=PrivacyGuarantee(header["epsilon"], header["delta"]),
+        config_digest=header["config_digest"],
+    )
+
+
+def _parse_v2_header(header: dict, header_len: int) -> tuple[dict, BatchInfo]:
+    try:
+        meta = {field: header[field] for field in _META_TEMPLATE_FIELDS}
+        meta_digest = header["meta_sha256"]
+        header["values_sha256"]
+    except KeyError as exc:
+        raise SerializationError(f"header is missing required field {exc}") from exc
+    if _meta_digest(meta) != meta_digest:
+        raise SerializationError(
+            "metadata digest mismatch: stored batch header is corrupt"
+        )
+    bounds = meta["sq_norm_bounds"]
+    info = BatchInfo(
+        path=None,
+        version=FORMAT_VERSION,
+        n_rows=int(meta["n_rows"]),
+        values_offset=_values_offset(header_len),
+        values_nbytes=int(meta["values_nbytes"]),
+        labels=tuple(decode_label(label) for label in meta["labels"]),
+        meta=_meta_from_header(meta),
+        sq_norm_bounds=None if bounds is None else (float(bounds[0]), float(bounds[1])),
+    )
+    expected = info.n_rows * info.meta.output_dim * 8
+    if info.values_nbytes != expected:
+        raise SerializationError(
+            f"header claims {info.values_nbytes} value bytes for "
+            f"{info.n_rows} x {info.meta.output_dim} rows (expected {expected})"
+        )
+    if info.labels and len(info.labels) != info.n_rows:
+        # the eager path would trip SketchBatch's own validation; the
+        # header-only path must reject the same inconsistency itself
+        raise SerializationError(
+            f"header carries {len(info.labels)} labels for {info.n_rows} rows"
+        )
+    return header, info
+
+
+def _from_bytes_v2(stream, header: dict, header_len: int) -> SketchBatch:
+    header, info = _parse_v2_header(header, header_len)
+    _read_exact(stream, info.values_offset - _PREFIX_LEN - header_len, "padding")
+    values_bytes = stream.read()
+    if len(values_bytes) != info.values_nbytes:
+        raise SerializationError(
+            f"payload has {len(values_bytes)} bytes, header says {info.values_nbytes}"
+        )
+    digest = hashlib.sha256(values_bytes).hexdigest()
+    if digest != header["values_sha256"]:
+        raise SerializationError(
+            "payload digest mismatch: stored batch is corrupt "
+            f"(expected {header['values_sha256']}, got {digest})"
+        )
+    values = np.frombuffer(values_bytes, dtype=_VALUES_DTYPE).astype(
+        np.float64, copy=True
+    )
+    return dataclasses.replace(
+        info.meta,
+        values=values.reshape(info.n_rows, info.meta.output_dim),
+        labels=info.labels,
+    )
+
+
+def _from_bytes_v1(stream, header: dict) -> SketchBatch:
+    payload = stream.read()
     try:
         expected_bytes = int(header["payload_bytes"])
         expected_digest = header["payload_sha256"]
@@ -110,13 +386,118 @@ def batch_from_bytes(blob: bytes) -> SketchBatch:
         raise SerializationError(f"payload is not a valid batch: {exc}") from exc
 
 
-def write_batch(path: str | os.PathLike, batch: SketchBatch) -> None:
+def batch_from_bytes(blob: bytes) -> SketchBatch:
+    """Inverse of :func:`batch_to_bytes`, validating every layer.
+
+    Reads both format versions.  Raises :class:`SerializationError` for
+    a bad magic, an unsupported format version, a truncated header or
+    payload, a payload whose size disagrees with the header, or a
+    digest that does not match the one recorded at write time.
+    """
+    stream = io.BytesIO(blob)
+    version, header = _parse_prefix(stream)
+    header_len = int.from_bytes(blob[6:10], "big")
+    if version == FORMAT_VERSION:
+        return _from_bytes_v2(stream, header, header_len)
+    return _from_bytes_v1(stream, header)
+
+
+def _scan_v1_payload_header(stream) -> tuple[dict, int]:
+    """Parse the JSON first line of a v1 payload; return ``(header, line_len)``.
+
+    Reads in bounded chunks until the newline separating the metadata
+    from the raw values, so label-heavy shards do not force a full read.
+    """
+    chunks = []
+    total = 0
+    while True:
+        chunk = stream.read(65536)
+        if not chunk:
+            raise SerializationError("v1 payload has no metadata/values separator")
+        newline = chunk.find(b"\n")
+        if newline >= 0:
+            chunks.append(chunk[:newline])
+            total += newline
+            break
+        chunks.append(chunk)
+        total += len(chunk)
+    try:
+        return json.loads(b"".join(chunks).decode("utf-8")), total
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"v1 payload header is not valid JSON: {exc}") from exc
+
+
+def read_batch_info(path: str | os.PathLike) -> BatchInfo:
+    """Parse a stored batch's header without reading its values section.
+
+    Works for both format versions.  The values digest is **not**
+    verified (that would require reading the values); the v2 metadata
+    digest is.  Use :func:`map_values` on the result to get the rows as
+    a read-only memory map, or :func:`read_batch` for a fully verified
+    eager load.
+    """
+    with open(path, "rb") as stream:
+        version, header = _parse_prefix(stream)
+        if version == FORMAT_VERSION:
+            # the true header length is the file position past the prefix
+            header_len = stream.tell() - _PREFIX_LEN
+            _, info = _parse_v2_header(header, header_len)
+            return dataclasses.replace(info, path=os.fspath(path))
+        payload_start = stream.tell()
+        payload_header, line_len = _scan_v1_payload_header(stream)
+        try:
+            n_rows = int(payload_header["n_rows"])
+            meta = _meta_from_header(payload_header)
+            labels = tuple(payload_header.get("labels", ()))
+        except KeyError as exc:
+            raise SerializationError(
+                f"v1 payload header is missing required field {exc}"
+            ) from exc
+        return BatchInfo(
+            path=os.fspath(path),
+            version=_V1,
+            n_rows=n_rows,
+            values_offset=payload_start + line_len + 1,
+            values_nbytes=n_rows * meta.output_dim * 8,
+            labels=labels,
+            meta=meta,
+        )
+
+
+def map_values(info: BatchInfo) -> np.ndarray:
+    """The values of a stored batch as a read-only ``np.memmap``.
+
+    The rows are mapped straight out of the file — nothing is read
+    until pages are touched, and the OS can evict them under memory
+    pressure, which is what lets stores larger than RAM serve queries.
+    Corruption in the values section is *not* detected on this path
+    (the digest is only checked by eager reads).
+    """
+    if info.path is None:
+        raise ValueError("this BatchInfo was parsed from bytes, not a file")
+    shape = (info.n_rows, info.meta.output_dim)
+    if info.n_rows == 0:
+        return np.empty(shape)
+    end = info.values_offset + info.values_nbytes
+    if os.path.getsize(info.path) < end:
+        raise SerializationError(
+            f"{info.path} is truncated: values section ends at byte {end}"
+        )
+    dtype = _VALUES_DTYPE if info.version == FORMAT_VERSION else np.float64
+    return np.memmap(
+        info.path, dtype=dtype, mode="r", offset=info.values_offset, shape=shape
+    )
+
+
+def write_batch(
+    path: str | os.PathLike, batch: SketchBatch, *, version: int = FORMAT_VERSION
+) -> None:
     """Write a batch to ``path`` in the versioned binary format."""
     with open(path, "wb") as handle:
-        handle.write(batch_to_bytes(batch))
+        handle.write(batch_to_bytes(batch, version=version))
 
 
 def read_batch(path: str | os.PathLike) -> SketchBatch:
-    """Read a batch written by :func:`write_batch`."""
+    """Read (eagerly, with full digest verification) a stored batch."""
     with open(path, "rb") as handle:
         return batch_from_bytes(handle.read())

@@ -5,7 +5,33 @@ top-``k``, radius, cross-batch and pairwise-submatrix queries by
 streaming the store's shards through the vectorised estimators of
 :mod:`repro.core.estimators`, reusing each shard's cached squared norms
 (``sq_b`` in the expanded distance formula) so a query touches every
-stored row exactly once and recomputes nothing.
+stored row at most once and recomputes nothing.
+
+Three mechanisms keep large stores fast:
+
+* **Shard parallelism** — an :class:`~repro.serving.execution.ExecutionPolicy`
+  with ``workers > 1`` dispatches per-shard distance blocks across a
+  thread pool (BLAS releases the GIL) and merges the per-shard winners
+  in shard order, so results are bit-identical to serial execution.
+* **Norm-bound prefilter** — by the reverse triangle inequality a shard
+  whose cached squared-norm range puts every row's best-case distance
+  strictly above the current ``k``-th candidate (or the radius cutoff)
+  cannot contribute a result and is skipped without computing its
+  block.  The bound includes a relative safety slack that dominates
+  floating-point rounding, so prefiltered answers are *identical* to
+  unfiltered ones — it is a pure work-skipping optimisation, never an
+  approximation.
+* **Snapshot reads** — every query freezes a
+  :meth:`~repro.serving.store.ShardedSketchStore.snapshot` first, so it
+  sees a consistent prefix of the store even while one writer keeps
+  appending (the store-level concurrency contract: one writer at a
+  time, any number of readers).
+
+Empty-store behaviour is uniform across ``top_k`` / ``radius`` /
+``cross``: a store that has *never* seen a release has no pinned
+metadata to validate against, so all three raise ``ValueError``; a
+store that is empty but carries pinned metadata (e.g. a zero-row batch
+was added) validates the query normally and returns empty results.
 
 .. note:: **Estimates can be negative.**  Every distance returned by
    this layer is the *unbiased* squared-distance estimate of Lemma 3 /
@@ -20,20 +46,24 @@ stored row exactly once and recomputes nothing.
 from __future__ import annotations
 
 import dataclasses
+import threading
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.core import estimators
 from repro.core.sketch import PrivateSketch, SketchBatch
-from repro.serving.store import ShardedSketchStore
+from repro.serving.execution import ExecutionPolicy
+from repro.serving.store import ShardedSketchStore, ShardView
 
 
 def stable_smallest_k(values: np.ndarray, k: int) -> np.ndarray:
     """Indices of the ``k`` smallest entries, in stable ascending order.
 
     Equivalent to ``np.argsort(values, kind="stable")[:k]`` — ties are
-    broken by position, including ties *across* the ``k``-th boundary —
-    but runs in O(n + k log k) via :func:`np.argpartition` instead of
+    broken by position, including ties *across* the ``k``-th boundary,
+    NaNs sort last (after ``+inf``) and keep their relative order — but
+    runs in O(n + k log k) via :func:`np.argpartition` instead of
     sorting all ``n`` entries.  ``k <= 0`` selects nothing.
     """
     values = np.asarray(values)
@@ -43,10 +73,76 @@ def stable_smallest_k(values: np.ndarray, k: int) -> np.ndarray:
     if k >= n:
         return np.argsort(values, kind="stable")
     kth = np.partition(values, k - 1)[k - 1]
-    below = np.flatnonzero(values < kth)
-    tied = np.flatnonzero(values == kth)
+    if np.isnan(kth):
+        # partition places NaNs last, so a NaN k-th pivot means every
+        # non-NaN entry is selected and NaNs fill the remaining slots
+        # in index order — `values == kth` would select nothing.
+        below = np.flatnonzero(~np.isnan(values))
+        tied = np.flatnonzero(np.isnan(values))
+    else:
+        below = np.flatnonzero(values < kth)
+        tied = np.flatnonzero(values == kth)
     take = np.concatenate([below, tied[: k - below.size]])
     return take[np.argsort(values[take], kind="stable")]
+
+
+#: Relative safety slack applied to prefilter bounds.  Double-precision
+#: rounding in a distance block is ~1e-16 relative; a 1e-9 margin
+#: dominates it by seven orders of magnitude while giving up essentially
+#: none of the prefilter's skipping power.
+_PREFILTER_REL_SLACK = 1e-9
+
+
+def _shard_lower_bounds(
+    view: ShardView, sq_rows: np.ndarray, query_norms: np.ndarray, correction: float
+) -> np.ndarray:
+    """Conservative per-query lower bounds on the shard's estimates.
+
+    Reverse triangle inequality in sketch space: ``||q - b|| >=
+    | ||q|| - ||b|| |``, so with the shard's cached squared-norm range
+    ``[lo, hi]`` every entry of the shard's distance block is at least
+    ``gap^2 - correction`` where ``gap = max(0, sqrt(lo) - ||q||,
+    ||q|| - sqrt(hi))``.  A relative slack larger than any rounding the
+    block arithmetic can accumulate is subtracted, so comparing the
+    bound *strictly greater* against a threshold can only skip shards
+    whose every entry genuinely exceeds the threshold — prefiltered
+    results are identical to unfiltered ones, ties included.
+    """
+    lo, hi = view.norm_bounds()
+    gap = np.maximum(np.sqrt(lo) - query_norms, query_norms - np.sqrt(hi))
+    gap = np.maximum(gap, 0.0)
+    slack = _PREFILTER_REL_SLACK * (sq_rows + hi + abs(correction)) + 1e-12
+    return gap * gap - correction - slack
+
+
+class _RunningBest:
+    """Thread-safe per-query record of the best ``k`` estimates so far.
+
+    Feeds the top-``k`` prefilter: a shard is skippable only when, for
+    *every* query, its lower bound is strictly worse than the current
+    ``k``-th best estimate.  Under parallel execution the record lags
+    behind the serial schedule, which can only make skipping rarer —
+    never wrong.
+    """
+
+    def __init__(self, n_queries: int, k: int) -> None:
+        self._k = k
+        self._lock = threading.Lock()
+        self._best = [np.empty(0)] * n_queries
+
+    def skippable(self, bounds: np.ndarray) -> bool:
+        with self._lock:
+            for best, bound in zip(self._best, bounds):
+                if best.size < self._k or not bound > best[-1]:
+                    return False
+            return True
+
+    def update(self, per_query_estimates: list[np.ndarray]) -> None:
+        with self._lock:
+            for q, estimates in enumerate(per_query_estimates):
+                merged = np.concatenate([self._best[q], estimates])
+                merged.sort()
+                self._best[q] = merged[: self._k]
 
 
 class DistanceService:
@@ -54,14 +150,30 @@ class DistanceService:
 
     Construct over an existing store, or use :meth:`from_batches` to
     build store and service in one step.  The service is a pure reader:
-    it never mutates the store, so adds and queries interleave freely.
+    it never mutates the store, so one appending writer and any number
+    of querying readers interleave freely (each query sees a consistent
+    snapshot).  ``policy`` selects serial or thread-pool execution; by
+    default it comes from :meth:`ExecutionPolicy.from_env`.
+
+    A parallel service owns a lazily created thread pool; :meth:`close`
+    (or use as a context manager) releases it.
     """
 
-    def __init__(self, store: ShardedSketchStore) -> None:
+    def __init__(
+        self, store: ShardedSketchStore, policy: ExecutionPolicy | None = None
+    ) -> None:
         self.store = store
+        self.policy = ExecutionPolicy.from_env() if policy is None else policy
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
 
     @classmethod
-    def from_batches(cls, *batches: SketchBatch, shard_capacity=None) -> "DistanceService":
+    def from_batches(
+        cls,
+        *batches: SketchBatch,
+        shard_capacity: int | None = None,
+        policy: ExecutionPolicy | None = None,
+    ) -> "DistanceService":
         """Build a store from released batches and wrap it."""
         store = (
             ShardedSketchStore()
@@ -70,35 +182,60 @@ class DistanceService:
         )
         for batch in batches:
             store.add_batch(batch)
-        return cls(store)
+        return cls(store, policy=policy)
 
     def __len__(self) -> int:
         return len(self.store)
 
-    # -- shard-streaming core ------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial policies)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "DistanceService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- shard-scheduling core -----------------------------------------------
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.policy.workers,
+                    thread_name_prefix="repro-serving",
+                )
+            return self._pool
+
+    def _run_ordered(self, fn, views: list[ShardView]) -> list:
+        """Apply ``fn`` to every shard view, results in shard order.
+
+        Serial policies stream on the calling thread; parallel policies
+        dispatch onto the pool.  Either way the caller receives results
+        ordered by shard, so downstream merges are schedule-independent.
+        """
+        if not self.policy.parallel or len(views) <= 1:
+            return [fn(view) for view in views]
+        return list(self._executor().map(fn, views))
 
     def _query_rows(self, query) -> np.ndarray:
-        """Validate a query release against the store, as an ``(m, k)`` matrix."""
-        if not len(self.store):
+        """Validate a query release against the store, as an ``(m, k)`` matrix.
+
+        Validation runs against the pinned metadata whenever any release
+        has ever been added — including when the store currently holds
+        zero rows — so an incompatible query is always rejected.  Only a
+        store that has never seen a release cannot validate anything.
+        """
+        meta = self.store.metadata
+        if meta is None:
             raise ValueError("the index is empty")
-        estimators.check_compatible(self.store.metadata, query)
+        estimators.check_compatible(meta, query)
         values = np.asarray(query.values, dtype=np.float64)
         return values[np.newaxis, :] if values.ndim == 1 else values
-
-    def _shard_blocks(self, rows: np.ndarray, sq_rows: np.ndarray, correction: float):
-        """Yield ``(global_start, block)`` distance blocks, one per shard.
-
-        ``block[i, j]`` estimates the squared distance between query row
-        ``i`` and stored row ``global_start + j``; each shard's cached
-        squared norms supply the ``sq_b`` term.
-        """
-        start = 0
-        for i in range(self.store.n_shards):
-            stored = self.store.shard_values(i)
-            yield start, estimators.cross_sq_distances_from_parts(
-                rows, sq_rows, stored, self.store.shard_sq_norms(i), correction
-            )
-            start += stored.shape[0]
 
     def _correction(self) -> float:
         return estimators.sq_distance_correction(self.store.metadata)
@@ -116,26 +253,49 @@ class DistanceService:
     def top_k_batch(self, queries, k: int = 1) -> list[list[tuple[object, float]]]:
         """One top-``k`` ranking per row of ``queries`` (sketch or batch).
 
-        Streams the store shard by shard: each shard contributes its own
-        ``k`` best candidates (selected with :func:`stable_smallest_k`
-        against cached norms), and the per-shard winners merge into the
-        global ranking — so no full ``n``-row sort ever happens.
+        Each shard contributes its own ``k`` best candidates (selected
+        with :func:`stable_smallest_k` against cached norms) and the
+        per-shard winners merge into the global ranking — no full
+        ``n``-row sort ever happens.  Shards whose norm bounds prove
+        they cannot beat the current ``k``-th candidate for *any* query
+        are skipped entirely; with a parallel policy the remaining
+        shard blocks run on the worker pool.  Results are identical
+        whatever the policy.
         """
         if k < 1:
             raise ValueError(f"top must be >= 1, got {k}")
         rows = self._query_rows(queries)
+        views = self.store.snapshot()
+        n_queries = rows.shape[0]
+        if not views:
+            return [[] for _ in range(n_queries)]
         sq_rows = np.einsum("ij,ij->i", rows, rows)
-        candidate_idx: list[list[np.ndarray]] = [[] for _ in range(rows.shape[0])]
-        candidate_est: list[list[np.ndarray]] = [[] for _ in range(rows.shape[0])]
-        for start, block in self._shard_blocks(rows, sq_rows, self._correction()):
-            for q in range(rows.shape[0]):
+        query_norms = np.sqrt(sq_rows)
+        correction = self._correction()
+        running = _RunningBest(n_queries, k) if self.policy.prefilter else None
+
+        def scan(view: ShardView):
+            if running is not None and running.skippable(
+                _shard_lower_bounds(view, sq_rows, query_norms, correction)
+            ):
+                return None
+            block = estimators.cross_sq_distances_from_parts(
+                rows, sq_rows, view.values, view.sq_norms, correction
+            )
+            winners_idx, winners_est = [], []
+            for q in range(n_queries):
                 winners = stable_smallest_k(block[q], k)
-                candidate_idx[q].append(winners + start)
-                candidate_est[q].append(block[q][winners])
+                winners_idx.append(winners + view.start)
+                winners_est.append(block[q][winners])
+            if running is not None:
+                running.update(winners_est)
+            return winners_idx, winners_est
+
+        candidates = [c for c in self._run_ordered(scan, views) if c is not None]
         results = []
-        for q in range(rows.shape[0]):
-            idx = np.concatenate(candidate_idx[q])
-            est = np.concatenate(candidate_est[q])
+        for q in range(n_queries):
+            idx = np.concatenate([c[0][q] for c in candidates])
+            est = np.concatenate([c[1][q] for c in candidates])
             # ties across shards resolve by global position — the same
             # order a stable sort over the full concatenated row gives
             order = np.lexsort((idx, est))[:k]
@@ -148,23 +308,39 @@ class DistanceService:
         """All stored entries with estimated squared distance <= ``radius_sq``.
 
         Hits come back in ascending distance order; only the hits are
-        sorted (the non-matching rows are filtered out first).
+        sorted (the non-matching rows are filtered out first).  Shards
+        whose norm bounds put every row strictly outside the radius are
+        skipped without computing their block.
         """
         if radius_sq < 0:
             raise ValueError(f"radius_sq must be >= 0, got {radius_sq}")
-        if not len(self.store):
-            return []
         rows = self._query_rows(query)
         if rows.shape[0] != 1:
             raise ValueError("radius queries take a single sketch")
+        views = self.store.snapshot()
+        if not views:
+            return []
         sq_rows = np.einsum("ij,ij->i", rows, rows)
-        hit_idx, hit_est = [], []
-        for start, block in self._shard_blocks(rows, sq_rows, self._correction()):
-            hits = np.flatnonzero(block[0] <= radius_sq)
-            hit_idx.append(hits + start)
-            hit_est.append(block[0][hits])
-        idx = np.concatenate(hit_idx)
-        est = np.concatenate(hit_est)
+        query_norms = np.sqrt(sq_rows)
+        correction = self._correction()
+        prefilter = self.policy.prefilter
+
+        def scan(view: ShardView):
+            if prefilter:
+                bound = _shard_lower_bounds(view, sq_rows, query_norms, correction)
+                if bound[0] > radius_sq:
+                    return None
+            block = estimators.cross_sq_distances_from_parts(
+                rows, sq_rows, view.values, view.sq_norms, correction
+            )[0]
+            hits = np.flatnonzero(block <= radius_sq)
+            return hits + view.start, block[hits]
+
+        per_shard = [r for r in self._run_ordered(scan, views) if r is not None]
+        if not per_shard:
+            return []
+        idx = np.concatenate([r[0] for r in per_shard])
+        est = np.concatenate([r[1] for r in per_shard])
         order = np.lexsort((idx, est))
         return [(self.store.label(int(idx[i])), float(est[i])) for i in order]
 
@@ -173,13 +349,24 @@ class DistanceService:
 
         Accepts a :class:`SketchBatch` or a single sketch (one row).
         Assembled shard by shard with cached norms — the store's rows
-        are never concatenated into one matrix.
+        are never concatenated into one matrix; parallel policies fill
+        disjoint column blocks concurrently.
         """
         rows = self._query_rows(queries)
+        views = self.store.snapshot()
+        total = views[-1].start + views[-1].size if views else 0
         sq_rows = np.einsum("ij,ij->i", rows, rows)
-        out = np.empty((rows.shape[0], len(self.store)))
-        for start, block in self._shard_blocks(rows, sq_rows, self._correction()):
-            out[:, start : start + block.shape[1]] = block
+        correction = self._correction()
+        out = np.empty((rows.shape[0], total))
+
+        def scan(view: ShardView):
+            out[:, view.start : view.start + view.size] = (
+                estimators.cross_sq_distances_from_parts(
+                    rows, sq_rows, view.values, view.sq_norms, correction
+                )
+            )
+
+        self._run_ordered(scan, views)
         return out
 
     def pairwise_submatrix(self, indices) -> np.ndarray:
@@ -188,21 +375,24 @@ class DistanceService:
         Gathers the selected rows (one copy of ``m`` rows) and runs the
         Gram-based pairwise estimator; entry ``(i, j)`` estimates the
         distance between stored rows ``indices[i]`` and ``indices[j]``,
-        with a zero diagonal by convention.
+        with a zero diagonal by convention.  On a memory-mapped store
+        only the shards containing selected rows are touched.
         """
-        if not len(self.store):
+        if self.store.metadata is None:
             raise ValueError("the index is empty")
+        views = self.store.snapshot()
+        n = views[-1].start + views[-1].size if views else 0
         indices = np.asarray(indices, dtype=np.int64)
-        n = len(self.store)
         if indices.size and (indices.min() < -n or indices.max() >= n):
             raise IndexError(f"indices out of range for store of {n} rows")
-        indices = indices % n if indices.size else indices
-        bounds = np.cumsum([0] + self.store.shard_sizes())
+        if indices.size:
+            indices = indices % n
+        bounds = np.cumsum([0] + [view.size for view in views])
         shard_ids = np.searchsorted(bounds, indices, side="right") - 1
         local = indices - bounds[shard_ids]
         gathered = np.empty((indices.size, self.store.metadata.output_dim))
         for shard in np.unique(shard_ids):
             mask = shard_ids == shard
-            gathered[mask] = self.store.shard_values(int(shard))[local[mask]]
+            gathered[mask] = views[int(shard)].values[local[mask]]
         subset = dataclasses.replace(self.store.metadata, values=gathered, labels=())
         return estimators.pairwise_sq_distances(subset)

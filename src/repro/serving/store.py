@@ -8,14 +8,30 @@ a flat index that re-``concatenate``s every chunk per insert.  Buffers
 grow geometrically (doubling) up to the shard capacity, so small stores
 stay small while the amortised cost per appended row is O(1).
 
-Every shard caches the squared norms of its filled rows, maintained
-incrementally at append time.  The distance estimators need exactly
-these norms (``||u||^2`` terms of the expanded ``||u - v||^2``), so
-queries reuse the cache instead of recomputing ``n`` norms per query.
+Every shard caches the squared norms of its filled rows (maintained
+incrementally at append time) plus their min/max, which the query
+plane's norm-bound prefilter uses to skip shards that provably cannot
+contain a hit.
 
 Stores persist as a directory — a ``manifest.json`` plus one versioned
 binary blob per shard (:mod:`repro.serving.serialization`) — and load
-back bit-exactly.
+back bit-exactly, **including label types** (integer labels come back
+as integers).  :meth:`ShardedSketchStore.save` is atomic: it writes
+into a temporary sibling directory and swaps it into place, so a crash
+mid-save never corrupts an existing store and re-saving a smaller store
+over a larger one leaves no stale shard files behind.
+
+``load(path, mmap=True)`` attaches each shard as a lazy memory map
+instead of reading it into RAM: nothing is touched until a query needs
+the shard, whole shards the prefilter skips are never read, and pages
+the OS maps in can be evicted again — stores larger than RAM stay
+queryable.
+
+Concurrency contract (shared with :class:`~repro.serving.service.DistanceService`):
+one writer at a time; any number of concurrent readers, each of which
+sees a *consistent prefix* of the store as of its :meth:`snapshot`.
+Rows and their cached norms are published before the shard's size, so a
+snapshot never exposes partially written rows.
 """
 
 from __future__ import annotations
@@ -23,13 +39,21 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import shutil
 from pathlib import Path
 
 import numpy as np
 
 from repro.core import estimators
 from repro.core.sketch import PrivateSketch, SketchBatch
-from repro.serving.serialization import SerializationError, read_batch, write_batch
+from repro.serving.serialization import (
+    BatchInfo,
+    SerializationError,
+    map_values,
+    read_batch,
+    read_batch_info,
+    write_batch,
+)
 
 #: Default rows per shard; 2^16 rows of a k=256 sketch is ~128 MiB.
 DEFAULT_SHARD_CAPACITY = 65536
@@ -42,7 +66,7 @@ _SHARD_PATTERN = "shard-{:05d}.skb"
 class _Shard:
     """One preallocated block of sketch rows plus its cached norms."""
 
-    __slots__ = ("capacity", "size", "_buffer", "_sq_norms")
+    __slots__ = ("capacity", "size", "_buffer", "_sq_norms", "_min_sq", "_max_sq")
 
     def __init__(self, capacity: int, output_dim: int, initial_rows: int = 0) -> None:
         self.capacity = capacity
@@ -50,13 +74,20 @@ class _Shard:
         allocate = min(capacity, max(initial_rows, 1))
         self._buffer = np.empty((allocate, output_dim), dtype=np.float64)
         self._sq_norms = np.empty(allocate, dtype=np.float64)
+        self._min_sq = np.inf
+        self._max_sq = -np.inf
 
     @property
     def free(self) -> int:
         return self.capacity - self.size
 
     def append(self, rows: np.ndarray) -> None:
-        """Copy ``rows`` into the buffer, extending the norm cache."""
+        """Copy ``rows`` into the buffer, extending the norm caches.
+
+        The size is published *last*, after the rows, their norms and
+        the norm bounds — a concurrent reader that sees the new size
+        therefore sees fully written rows and bounds covering them.
+        """
         end = self.size + rows.shape[0]
         if end > self._buffer.shape[0]:  # grow geometrically within capacity
             new_rows = min(self.capacity, max(end, 2 * self._buffer.shape[0]))
@@ -66,7 +97,12 @@ class _Shard:
             norms[: self.size] = self._sq_norms[: self.size]
             self._buffer, self._sq_norms = grown, norms
         self._buffer[self.size : end] = rows
-        self._sq_norms[self.size : end] = np.einsum("ij,ij->i", rows, rows)
+        chunk_norms = np.einsum(
+            "ij,ij->i", self._buffer[self.size : end], self._buffer[self.size : end]
+        )
+        self._sq_norms[self.size : end] = chunk_norms
+        self._min_sq = min(self._min_sq, float(chunk_norms.min()))
+        self._max_sq = max(self._max_sq, float(chunk_norms.max()))
         self.size = end
 
     @property
@@ -83,6 +119,107 @@ class _Shard:
         view.flags.writeable = False
         return view
 
+    def norm_bounds(self) -> tuple[float, float]:
+        """``(min, max)`` of the cached squared norms (infinite if empty)."""
+        return self._min_sq, self._max_sq
+
+
+class _MappedShard:
+    """A shard whose rows live in a stored blob, mapped on first touch.
+
+    Nothing is read at construction — the shard knows its row count,
+    labels and squared-norm bounds from the blob header alone, so the
+    norm-bound prefilter can rule the shard out without touching the
+    file.  The first access to :attr:`values` memory-maps the raw
+    float64 segment (read-only, pages loaded on demand by the OS); the
+    first access to :attr:`sq_norms` streams one pass over the rows to
+    build the norm cache (and, for format-1 blobs whose headers carry
+    no bounds, fills :meth:`norm_bounds` as a side effect).  Mapped
+    shards are sealed: :attr:`free` is always zero, so appends to the
+    owning store land in fresh in-memory shards.
+    """
+
+    __slots__ = ("size", "_info", "_values", "_sq_norms", "_bounds")
+
+    def __init__(self, info: BatchInfo) -> None:
+        self.size = info.n_rows
+        self._info = info
+        self._values: np.ndarray | None = None
+        self._sq_norms: np.ndarray | None = None
+        self._bounds: tuple[float, float] | None = info.sq_norm_bounds
+
+    @property
+    def capacity(self) -> int:
+        return self.size
+
+    @property
+    def free(self) -> int:
+        return 0
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the values have been mapped yet (for tests/metrics)."""
+        return self._values is not None
+
+    @property
+    def values(self) -> np.ndarray:
+        if self._values is None:
+            self._values = map_values(self._info)
+        return self._values
+
+    @property
+    def sq_norms(self) -> np.ndarray:
+        if self._sq_norms is None:
+            values = self.values
+            norms = np.einsum("ij,ij->i", values, values)
+            if self._bounds is None:
+                self._bounds = (
+                    (float(norms.min()), float(norms.max()))
+                    if norms.size
+                    else (np.inf, -np.inf)
+                )
+            self._sq_norms = norms
+        return self._sq_norms
+
+    def norm_bounds(self) -> tuple[float, float]:
+        if self._bounds is None:
+            self.sq_norms  # format-1 fallback: one pass, cached thereafter
+        return self._bounds
+
+
+class ShardView:
+    """An immutable view of one shard's filled prefix at snapshot time.
+
+    ``start`` is the shard's global row offset; ``size`` the number of
+    rows frozen by the snapshot.  Values and norms are exposed lazily so
+    that a view of a memory-mapped shard the prefilter skips never
+    touches the file.
+    """
+
+    __slots__ = ("start", "size", "_shard")
+
+    def __init__(self, start: int, size: int, shard) -> None:
+        self.start = start
+        self.size = size
+        self._shard = shard
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._shard.values[: self.size]
+
+    @property
+    def sq_norms(self) -> np.ndarray:
+        return self._shard.sq_norms[: self.size]
+
+    def norm_bounds(self) -> tuple[float, float]:
+        """Conservative ``(min, max)`` squared-norm bounds for the view.
+
+        The underlying shard may have grown past the snapshot; its
+        bounds then cover a superset of these rows, which only widens
+        the interval — still valid for prefiltering.
+        """
+        return self._shard.norm_bounds()
+
 
 class ShardedSketchStore:
     """Append-only store of compatible released sketches, in shards.
@@ -93,14 +230,15 @@ class ShardedSketchStore:
     compatibility rule as the estimators.
 
     Labels default to the row's global position, matching
-    :class:`~repro.core.knn.PrivateNeighborIndex`.
+    :class:`~repro.core.knn.PrivateNeighborIndex`, and survive a
+    save/load round trip with their types intact.
     """
 
     def __init__(self, shard_capacity: int = DEFAULT_SHARD_CAPACITY) -> None:
         if shard_capacity < 1:
             raise ValueError(f"shard_capacity must be >= 1, got {shard_capacity}")
         self.shard_capacity = int(shard_capacity)
-        self._shards: list[_Shard] = []
+        self._shards: list = []
         self._labels: list[object] = []
         self._template: SketchBatch | None = None  # zero-row metadata carrier
 
@@ -151,6 +289,10 @@ class ShardedSketchStore:
         else:
             estimators.check_compatible(self._template, release)
         self._labels.extend(labels)
+        self._fill(rows)
+
+    def _fill(self, rows: np.ndarray) -> None:
+        """Copy ``rows`` into the tail shards, opening new ones as needed."""
         offset = 0
         while offset < rows.shape[0]:
             if not self._shards or self._shards[-1].free == 0:
@@ -179,13 +321,39 @@ class ShardedSketchStore:
     def shard_sizes(self) -> list[int]:
         return [shard.size for shard in self._shards]
 
-    def shard_batch(self, i: int) -> SketchBatch:
-        """Shard ``i`` as a :class:`SketchBatch` sharing the buffer.
+    @property
+    def resident_shards(self) -> int:
+        """Shards whose rows are resident in memory.
 
-        Labels are carried through as stored (stringification only
-        happens on :meth:`save`, where it is the serialization format's
-        contract).
+        In-memory shards always count; memory-mapped shards count only
+        once a query has touched them.  ``resident_shards < n_shards``
+        on an mmap-loaded store is the observable signature of lazy
+        loading (and of the prefilter skipping shards outright).
         """
+        return sum(
+            1 for shard in self._shards if getattr(shard, "materialized", True)
+        )
+
+    def snapshot(self) -> list[ShardView]:
+        """A consistent point-in-time view of the store, one entry per shard.
+
+        Shard sizes are read once; rows appended afterwards are
+        invisible to the snapshot, and rows inside it are fully written
+        (sizes are published after their rows).  Queries built on a
+        snapshot therefore see a consistent prefix of the store even
+        while a writer keeps appending.
+        """
+        views = []
+        start = 0
+        for shard in list(self._shards):
+            size = shard.size
+            if size:
+                views.append(ShardView(start, size, shard))
+            start += size
+        return views
+
+    def shard_batch(self, i: int) -> SketchBatch:
+        """Shard ``i`` as a :class:`SketchBatch` sharing the buffer."""
         start = sum(s.size for s in self._shards[:i])
         return _with_values(
             self._template,
@@ -194,10 +362,7 @@ class ShardedSketchStore:
         )
 
     def to_batch(self) -> SketchBatch:
-        """Materialise the whole store as one batch (copies all rows).
-
-        Labels are carried through as stored, not stringified.
-        """
+        """Materialise the whole store as one batch (copies all rows)."""
         if self._template is None:
             raise ValueError("the store is empty")
         values = (
@@ -207,37 +372,137 @@ class ShardedSketchStore:
         )
         return _with_values(self._template, values, tuple(self._labels))
 
+    # -- maintenance ---------------------------------------------------------
+
+    def compact(self) -> "ShardedSketchStore":
+        """Rewrite the shards so every shard except the last is full.
+
+        Partial shards accumulate when batches straddle shard
+        boundaries across mmap-loads and appends; compaction repacks
+        the rows (in order — labels and query results are unchanged)
+        into capacity-sized shards.  Memory-mapped shards are
+        materialised in the process: the compacted store lives in
+        memory; :meth:`save` it to persist the compact layout.
+        Returns ``self`` for chaining.
+        """
+        old = self._shards
+        self._shards = []
+        for shard in old:
+            self._fill(shard.values)
+        return self
+
+    @classmethod
+    def merge(
+        cls, *stores: "ShardedSketchStore", shard_capacity: int | None = None
+    ) -> "ShardedSketchStore":
+        """Fuse compatible stores into one new, compacted store.
+
+        Rows keep their per-store order, stores are concatenated in
+        argument order, and labels travel with their rows.  All stores
+        must share one public configuration (the usual compatibility
+        rule); empty stores are skipped.  Combine with
+        ``load(path, mmap=True)`` and :meth:`save` to fuse on-disk
+        stores: shard pages stream through the memory maps as they are
+        copied into the merged shards.
+        """
+        if not stores:
+            raise ValueError("merge needs at least one store")
+        capacity = (
+            max(store.shard_capacity for store in stores)
+            if shard_capacity is None
+            else shard_capacity
+        )
+        merged = cls(shard_capacity=capacity)
+        for store in stores:
+            if store._template is None:
+                continue
+            if merged._template is None:
+                merged._template = store._template
+            else:
+                estimators.check_compatible(merged._template, store._template)
+            views = store.snapshot()
+            n_rows = sum(view.size for view in views)
+            merged._labels.extend(store._labels[:n_rows])
+            for view in views:
+                merged._fill(view.values)
+        return merged
+
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | os.PathLike) -> None:
-        """Persist the store into directory ``path`` (created if needed).
+        """Persist the store into directory ``path``, atomically.
 
-        One versioned binary blob per shard plus a manifest; labels are
-        stringified (the same contract as :meth:`SketchBatch.to_bytes`).
-        A store with zero rows cannot be saved — there would be no shard
-        to carry the metadata, so the round trip could not be faithful.
+        One versioned binary blob per shard plus a manifest, written
+        into a temporary sibling directory that is swapped into place
+        only once complete — a crash mid-save leaves an existing store
+        untouched, and overwriting a store that previously had more
+        shards leaves no stale shard files behind.  Labels are stored
+        with their types (typed JSON encoding in the shard headers).
+
+        The guarantee is *no corruption*, not full atomicity: a plain
+        ``os.replace`` cannot exchange two directories, so there is a
+        tiny window (between the two renames in the swap) in which a
+        hard crash leaves ``path`` absent while the previous store sits
+        intact at a hidden ``.<name>.retired-<pid>`` sibling — recover
+        it with a rename; nothing is ever partially overwritten.
+
+        Saving over a directory counts as *writing that directory's
+        store*: other handles that mmap-loaded it and have not yet
+        touched all their shards would map the replacement's bytes at
+        stale offsets.  Re-``load`` such readers after the save.
+        (Saving a store over its *own* source directory is safe — the
+        write materialises every one of its shards first.)
+
+        A store with zero rows cannot be saved — there would be no
+        shard to carry the metadata, so the round trip could not be
+        faithful.
         """
         if not len(self):
             raise ValueError("cannot save an empty store")
         root = Path(path)
-        root.mkdir(parents=True, exist_ok=True)
-        offset = 0
-        for i, shard in enumerate(self._shards):
-            labels = tuple(str(l) for l in self._labels[offset : offset + shard.size])
-            offset += shard.size
-            write_batch(root / _SHARD_PATTERN.format(i), _with_values(self._template, shard.values, labels))
-        manifest = {
-            "manifest_version": _MANIFEST_VERSION,
-            "shard_capacity": self.shard_capacity,
-            "n_shards": len(self._shards),
-            "n_rows": len(self),
-            "config_digest": self._template.config_digest,
-        }
-        (root / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        root.parent.mkdir(parents=True, exist_ok=True)
+        staging = root.with_name(f".{root.name}.saving-{os.getpid()}")
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        try:
+            views = self.snapshot()
+            offset = 0
+            for i, view in enumerate(views):
+                labels = tuple(self._labels[offset : offset + view.size])
+                offset += view.size
+                write_batch(
+                    staging / _SHARD_PATTERN.format(i),
+                    _with_values(self._template, view.values, labels),
+                )
+            manifest = {
+                "manifest_version": _MANIFEST_VERSION,
+                "shard_capacity": self.shard_capacity,
+                "n_shards": len(views),
+                "n_rows": offset,
+                "config_digest": self._template.config_digest,
+            }
+            (staging / _MANIFEST_NAME).write_text(
+                json.dumps(manifest, indent=2, sort_keys=True)
+            )
+            _swap_into_place(staging, root)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
 
     @classmethod
-    def load(cls, path: str | os.PathLike) -> "ShardedSketchStore":
-        """Rebuild a store saved by :meth:`save` (values are bit-exact)."""
+    def load(cls, path: str | os.PathLike, *, mmap: bool = False) -> "ShardedSketchStore":
+        """Rebuild a store saved by :meth:`save` (values are bit-exact).
+
+        With ``mmap=True`` each shard attaches as a lazy memory map:
+        nothing is read until a query touches the shard, per-shard norm
+        caches are computed on first touch, and the OS pages rows in
+        and out on demand — stores larger than RAM stay queryable.  The
+        trade-off: the per-shard values digests are only verified on
+        eager loads.  Both the current format and PR-2's format-1 blobs
+        are readable (format-1 labels come back as the strings that
+        format recorded).
+        """
         root = Path(path)
         manifest_path = root / _MANIFEST_NAME
         if not manifest_path.exists():
@@ -253,18 +518,21 @@ class ShardedSketchStore:
                 f"unsupported manifest version {manifest.get('manifest_version')!r}"
             )
         try:
-            return cls._load_shards(root, manifest)
+            return cls._load_shards(root, manifest, mmap)
         except KeyError as exc:
             raise SerializationError(
                 f"manifest at {manifest_path} is missing required field {exc}"
             ) from exc
 
     @classmethod
-    def _load_shards(cls, root: Path, manifest: dict) -> "ShardedSketchStore":
+    def _load_shards(cls, root: Path, manifest: dict, mmap: bool) -> "ShardedSketchStore":
         store = cls(shard_capacity=manifest["shard_capacity"])
         for i in range(manifest["n_shards"]):
-            batch = read_batch(root / _SHARD_PATTERN.format(i))
-            store.add_batch(batch)
+            shard_path = root / _SHARD_PATTERN.format(i)
+            if mmap:
+                store._attach_mapped(read_batch_info(shard_path))
+            else:
+                store.add_batch(read_batch(shard_path))
         if len(store) != manifest["n_rows"]:
             raise SerializationError(
                 f"store at {root} holds {len(store)} rows, manifest says "
@@ -280,6 +548,36 @@ class ShardedSketchStore:
                 f"{manifest['config_digest']} — directory contents were swapped"
             )
         return store
+
+    def _attach_mapped(self, info: BatchInfo) -> None:
+        """Attach one stored shard as a lazy memory-mapped shard."""
+        if self._template is None:
+            self._template = info.meta
+        else:
+            estimators.check_compatible(self._template, info.meta)
+        if info.n_rows:
+            start = len(self._labels)
+            self._labels.extend(
+                info.labels or range(start, start + info.n_rows)
+            )
+            self._shards.append(_MappedShard(info))
+
+
+def _swap_into_place(staging: Path, root: Path) -> None:
+    """Atomically replace ``root`` with the fully written ``staging`` dir."""
+    if root.exists():
+        retired = root.with_name(f".{root.name}.retired-{os.getpid()}")
+        if retired.exists():
+            shutil.rmtree(retired)
+        os.replace(root, retired)
+        try:
+            os.replace(staging, root)
+        except BaseException:
+            os.replace(retired, root)  # roll the old store back
+            raise
+        shutil.rmtree(retired)
+    else:
+        os.replace(staging, root)
 
 
 def _as_template(release) -> SketchBatch:

@@ -20,7 +20,11 @@ from repro.serving.serialization import (
     SerializationError,
     batch_from_bytes,
     batch_to_bytes,
+    decode_label,
+    encode_label,
+    map_values,
     read_batch,
+    read_batch_info,
     write_batch,
 )
 
@@ -124,15 +128,52 @@ class TestBinaryFormat:
         restored = batch_from_bytes(batch_to_bytes(strided))
         np.testing.assert_array_equal(restored.values, strided.values)
 
-    def test_object_labels_stringified(self):
-        batch = _batch(2, labels=(42, [1, 2]))
+    def test_label_types_preserved(self):
+        # the v2 typed encoding: load(save(...)) gives back *equal* labels,
+        # where the v1 container stringified everything
+        labels = (42, None, 3.5, True, "s", ("a", 1), [1, 2], {"k": (7,)})
+        batch = _batch(len(labels), labels=labels)
         restored = batch_from_bytes(batch_to_bytes(batch))
-        assert restored.labels == ("42", "[1, 2]")
+        assert restored.labels == labels
+        assert [type(l) for l, _ in zip(restored.labels, labels)] == [
+            type(l) for l in labels
+        ]
+
+    def test_unencodable_label_degrades_visibly(self):
+        marker = object()
+        batch = _batch(1, labels=(marker,))
+        restored = batch_from_bytes(batch_to_bytes(batch))
+        assert restored.labels == (str(marker),)
 
     def test_file_roundtrip(self, tmp_path):
         batch = _batch(6, seed=9)
         write_batch(tmp_path / "batch.skb", batch)
         _assert_batches_equal(batch, read_batch(tmp_path / "batch.skb"))
+
+    def test_values_segment_is_aligned(self, tmp_path):
+        write_batch(tmp_path / "batch.skb", _batch(3))
+        info = read_batch_info(tmp_path / "batch.skb")
+        assert info.values_offset % 64 == 0
+
+    def test_header_only_parse_then_map(self, tmp_path):
+        batch = _batch(12, seed=4, labels=tuple(range(12)))
+        write_batch(tmp_path / "batch.skb", batch)
+        info = read_batch_info(tmp_path / "batch.skb")
+        assert info.n_rows == 12
+        assert info.labels == tuple(range(12))
+        assert info.meta.config_digest == batch.config_digest
+        mapped = map_values(info)
+        assert isinstance(mapped, np.memmap)
+        assert not mapped.flags.writeable
+        np.testing.assert_array_equal(np.asarray(mapped), batch.values)
+
+    def test_map_values_rejects_truncated_file(self, tmp_path):
+        path = tmp_path / "batch.skb"
+        write_batch(path, _batch(8))
+        info = read_batch_info(path)
+        path.write_bytes(path.read_bytes()[:-16])
+        with pytest.raises(SerializationError, match="truncated"):
+            map_values(info)
 
     # -- rejection paths ------------------------------------------------------
 
@@ -173,7 +214,7 @@ class TestBinaryFormat:
         blob = batch_to_bytes(_batch(2))
         header_len = int.from_bytes(blob[6:10], "big")
         header = json.loads(blob[10 : 10 + header_len])
-        del header["payload_sha256"]
+        del header["values_sha256"]
         new_header = json.dumps(header).encode("utf-8")
         forged = (
             blob[:6]
@@ -197,3 +238,145 @@ class TestBinaryFormat:
         )
         with pytest.raises(SerializationError, match="JSON"):
             batch_from_bytes(forged)
+
+    def test_label_count_mismatch_rejected_by_header_parse(self, tmp_path):
+        # a buggy writer can produce a self-consistent header whose
+        # label count disagrees with n_rows; the header-only (mmap)
+        # parse must reject it just like the eager path does
+        import json as _json
+
+        from repro.serving.serialization import _PREFIX_LEN, _meta_digest
+
+        path = tmp_path / "batch.skb"
+        write_batch(path, _batch(5, labels=tuple("abcde")))
+        blob = path.read_bytes()
+        header_len = int.from_bytes(blob[6:10], "big")
+        header = _json.loads(blob[_PREFIX_LEN : _PREFIX_LEN + header_len])
+        header["labels"] = header["labels"][:2]  # 2 labels, 5 rows
+        meta = {k: v for k, v in header.items() if not k.endswith("sha256")}
+        header["meta_sha256"] = _meta_digest(meta)
+        forged_header = _json.dumps(header, sort_keys=True).encode()
+        path.write_bytes(
+            blob[:6]
+            + len(forged_header).to_bytes(4, "big")
+            + forged_header
+            + blob[_PREFIX_LEN + header_len :]
+        )
+        with pytest.raises(SerializationError, match="2 labels for 5 rows"):
+            read_batch_info(path)
+
+    def test_metadata_corruption_rejected_without_reading_values(self, tmp_path):
+        # a flipped bit in the header fails the metadata digest even on
+        # the header-only parse that mmap loading uses
+        path = tmp_path / "batch.skb"
+        write_batch(path, _batch(4))
+        blob = bytearray(path.read_bytes())
+        target = blob.index(b'"perturbation"')
+        blob[target + 1] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SerializationError):
+            read_batch_info(path)
+
+
+class TestBinaryFormatV1:
+    """The PR-2 container is still readable — the migration path."""
+
+    def test_v1_roundtrip_stringifies_labels(self):
+        batch = _batch(3, labels=(7, None, ("a", 1)))
+        restored = batch_from_bytes(batch_to_bytes(batch, version=1))
+        _assert_batches_equal(batch, restored)
+        assert restored.labels == ("7", "None", "('a', 1)")
+
+    def test_v1_file_reads_eagerly_and_mapped(self, tmp_path):
+        batch = _batch(9, seed=3, labels=tuple(f"v{i}" for i in range(9)))
+        path = tmp_path / "legacy.skb"
+        write_batch(path, batch, version=1)
+        _assert_batches_equal(batch, read_batch(path))
+        info = read_batch_info(path)
+        assert info.version == 1
+        assert info.labels == batch.labels
+        np.testing.assert_array_equal(np.asarray(map_values(info)), batch.values)
+
+    def test_v1_digest_still_verified_on_eager_read(self, tmp_path):
+        path = tmp_path / "legacy.skb"
+        write_batch(path, _batch(2), version=1)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SerializationError, match="digest mismatch"):
+            read_batch(path)
+
+    def test_unknown_write_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            batch_to_bytes(_batch(1), version=7)
+
+
+class TestLabelCodec:
+    @pytest.mark.parametrize(
+        "label",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            2**63,
+            3.5,
+            float("inf"),
+            "plain",
+            "",
+            (),
+            (1, "a"),
+            ((1, 2), [3, {"x": None}]),
+            [1, [2, [3]]],
+            {"a": 1, 2: (3,)},
+        ],
+    )
+    def test_roundtrip_preserves_value_and_type(self, label):
+        decoded = decode_label(encode_label(label))
+        assert decoded == label
+        assert type(decoded) is type(label)
+
+    def test_nan_label_roundtrips(self):
+        decoded = decode_label(encode_label(float("nan")))
+        assert isinstance(decoded, float) and decoded != decoded
+
+    def test_numpy_scalar_labels_decode_as_python_scalars(self):
+        # regression: np.arange labels are np.int64, which is not an
+        # `int` — they must survive as equal integers, not as strings
+        for label, expected_type in [
+            (np.int64(7), int),
+            (np.int32(-3), int),
+            (np.float64(2.5), float),
+            (np.float32(0.5), float),
+            (np.bool_(True), bool),
+        ]:
+            decoded = decode_label(encode_label(label))
+            assert decoded == label
+            assert type(decoded) is expected_type
+
+    def test_random_nested_labels_roundtrip(self):
+        rng = np.random.default_rng(0)
+
+        def make(depth):
+            kind = rng.integers(0, 7 if depth else 5)
+            if kind == 0:
+                return int(rng.integers(-1000, 1000))
+            if kind == 1:
+                return float(rng.standard_normal())
+            if kind == 2:
+                return str(rng.integers(0, 1000))
+            if kind == 3:
+                return None
+            if kind == 4:
+                return bool(rng.integers(0, 2))
+            children = [make(depth - 1) for _ in range(int(rng.integers(0, 4)))]
+            return tuple(children) if kind == 5 else children
+
+        for _ in range(200):
+            label = make(3)
+            assert decode_label(encode_label(label)) == label
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(SerializationError, match="label"):
+            decode_label({"__label__": "mystery"})

@@ -160,10 +160,36 @@ class TestStorePersistence:
         service = DistanceService(store)
         reloaded = DistanceService(ShardedSketchStore.load(tmp_path / "store"))
         query = sk.sketch(np.ones(128), noise_rng=9)
-        want = service.top_k(query, 5)
-        got = reloaded.top_k(query, 5)
-        assert [est for _, est in got] == [est for _, est in want]
-        assert [str(l) for l, _ in want] == [l for l, _ in got]  # labels stringified
+        # labels round-trip with their types: integer labels stay integers,
+        # so the full (label, estimate) rankings are equal
+        assert reloaded.top_k(query, 5) == service.top_k(query, 5)
+
+    def test_integer_labels_survive_save_load(self, tmp_path):
+        # regression: the PR-2 store stringified labels on save, so top_k
+        # results changed type after a reload (2 became "2")
+        sk = _sketcher()
+        store = ShardedSketchStore(shard_capacity=4)
+        store.add_batch(_batch(sk, 9, 3))  # default labels: global positions
+        store.save(tmp_path / "store")
+        loaded = ShardedSketchStore.load(tmp_path / "store")
+        assert loaded.labels == list(range(9))
+        assert all(type(label) is int for label in loaded.labels)
+        mixed = ShardedSketchStore(shard_capacity=4)
+        mixed.add_batch(_batch(sk, 4, 5), labels=[0, ("a", 1), None, 2.5])
+        mixed.save(tmp_path / "mixed")
+        assert ShardedSketchStore.load(tmp_path / "mixed").labels == [
+            0,
+            ("a", 1),
+            None,
+            2.5,
+        ]
+        # np.arange labels (np.int64, not int) must come back as equal ints
+        numeric = ShardedSketchStore(shard_capacity=4)
+        numeric.add_batch(_batch(sk, 6, 8), labels=np.arange(10, 16))
+        numeric.save(tmp_path / "numeric")
+        reloaded = ShardedSketchStore.load(tmp_path / "numeric").labels
+        assert reloaded == list(range(10, 16))
+        assert all(type(label) is int for label in reloaded)
 
     def test_save_empty_store_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="empty"):
@@ -281,12 +307,40 @@ class TestDistanceService:
         with pytest.raises(IndexError):
             service.pairwise_submatrix([0, 99])
 
-    def test_empty_store_rejected(self):
+    def test_unpinned_empty_store_rejected_consistently(self):
+        # a store that never saw a release has nothing to validate
+        # queries against: all three query methods refuse alike
         sk = _sketcher()
         service = DistanceService(ShardedSketchStore())
+        query = sk.sketch(np.ones(128), noise_rng=0)
         with pytest.raises(ValueError, match="empty"):
-            service.top_k(sk.sketch(np.ones(128), noise_rng=0))
-        assert service.radius(sk.sketch(np.ones(128), noise_rng=0), 1.0) == []
+            service.top_k(query)
+        with pytest.raises(ValueError, match="empty"):
+            service.radius(query, 1.0)
+        with pytest.raises(ValueError, match="empty"):
+            service.cross(query)
+
+    def test_pinned_empty_store_validates_then_returns_empty(self):
+        # regression: radius used to return [] before validation ran, so
+        # incompatible queries slipped through silently on empty stores
+        sk = _sketcher()
+        store = ShardedSketchStore()
+        store.add_batch(_batch(sk, 3, 1)[0:0])  # zero rows, metadata pinned
+        service = DistanceService(store)
+        foreign = PrivateSketcher(dataclasses.replace(_CONFIG, seed=12)).sketch(
+            np.ones(128), noise_rng=0
+        )
+        with pytest.raises(ValueError, match="different configurations"):
+            service.radius(foreign, 1.0)
+        with pytest.raises(ValueError, match="different configurations"):
+            service.top_k(foreign)
+        with pytest.raises(ValueError, match="different configurations"):
+            service.cross(foreign)
+        query = sk.sketch(np.ones(128), noise_rng=0)
+        assert service.radius(query, 1.0) == []
+        assert service.top_k(query, 3) == []
+        assert service.top_k_batch(_batch(sk, 2, 2), 3) == [[], []]
+        assert service.cross(query).shape == (1, 0)
 
     def test_k_validated(self):
         sk, _, service = self._service_and_batches()

@@ -1,0 +1,57 @@
+"""Property tests for the serving layer's selection kernel.
+
+``stable_smallest_k`` is the heart of every top-``k`` merge: it must
+agree with ``np.argsort(values, kind="stable")[:k]`` for *every* input
+— duplicates, ties across the ``k``-th boundary, ``±inf``, and NaN
+(which a partition-based selection historically mishandled: a NaN
+``k``-th pivot made the tie scan select nothing).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import stable_smallest_k
+
+# floats with heavy mass on ties and non-finite values
+_gnarly_floats = st.one_of(
+    st.sampled_from([0.0, -0.0, 1.0, -1.0, np.inf, -np.inf, np.nan]),
+    st.integers(min_value=-3, max_value=3).map(float),
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+)
+
+
+@given(
+    values=st.lists(_gnarly_floats, min_size=0, max_size=64),
+    k=st.integers(min_value=-2, max_value=80),
+)
+@settings(max_examples=400, deadline=None)
+def test_matches_stable_argsort_on_any_input(values, k):
+    values = np.asarray(values, dtype=np.float64)
+    expected = np.argsort(values, kind="stable")[: max(k, 0)]
+    np.testing.assert_array_equal(stable_smallest_k(values, k), expected)
+
+
+def test_nan_kth_pivot_regression():
+    # regression: with more NaNs than non-NaNs the k-th pivot is NaN;
+    # `values == nan` selects nothing, so the old implementation
+    # returned fewer than k indices
+    values = np.array([np.nan, np.nan, 1.0])
+    np.testing.assert_array_equal(stable_smallest_k(values, 2), [2, 0])
+    values = np.array([np.nan, 5.0, np.nan, np.nan, 2.0])
+    np.testing.assert_array_equal(stable_smallest_k(values, 4), [4, 1, 0, 2])
+
+
+def test_all_nan_input_keeps_index_order():
+    values = np.full(6, np.nan)
+    np.testing.assert_array_equal(stable_smallest_k(values, 3), [0, 1, 2])
+
+
+def test_infinities_order_before_nans():
+    values = np.array([np.nan, np.inf, -np.inf, 0.0])
+    np.testing.assert_array_equal(stable_smallest_k(values, 4), [2, 3, 1, 0])
+
+
+def test_duplicates_across_boundary_prefer_earlier_index():
+    values = np.array([2.0, 1.0, 1.0, 1.0, 0.5])
+    np.testing.assert_array_equal(stable_smallest_k(values, 3), [4, 1, 2])

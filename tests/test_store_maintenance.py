@@ -1,0 +1,329 @@
+"""Store persistence hardening: atomic saves, mmap loads, compact/merge.
+
+Regression coverage for the PR-3 persistence bugfixes (non-atomic
+``save`` corrupting existing stores, stale shard files surviving an
+overwrite) plus the new larger-than-RAM machinery: lazy memory-mapped
+shard loading, compaction and merging.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import PrivateSketcher, SketchConfig
+from repro.serving import (
+    DistanceService,
+    ExecutionPolicy,
+    SerializationError,
+    ShardedSketchStore,
+    write_batch,
+)
+from repro.serving import store as store_module
+
+_CONFIG = SketchConfig(input_dim=128, epsilon=8.0, output_dim=64, sparsity=4, seed=11)
+
+
+def _sketcher():
+    return PrivateSketcher(_CONFIG)
+
+
+def _batch(sk, n, seed, labels=()):
+    rng = np.random.default_rng(seed)
+    return sk.sketch_batch(rng.standard_normal((n, 128)), noise_rng=seed, labels=labels)
+
+
+def _assert_same_store(a: ShardedSketchStore, b: ShardedSketchStore) -> None:
+    assert len(a) == len(b)
+    assert a.labels == b.labels
+    stacked_a = np.concatenate([a.shard_values(i) for i in range(a.n_shards)])
+    stacked_b = np.concatenate([b.shard_values(i) for i in range(b.n_shards)])
+    np.testing.assert_array_equal(stacked_a, stacked_b)
+
+
+class TestAtomicSave:
+    def test_overwrite_leaves_no_stale_shards(self, tmp_path):
+        # regression: the PR-2 save wrote shards in place, so saving a
+        # 3-shard store over a 5-shard directory left shard-0000{3,4}
+        # behind — and a subsequent load picked up a corrupted mixture
+        sk = _sketcher()
+        big = ShardedSketchStore(shard_capacity=4)
+        big.add_batch(_batch(sk, 18, 1))  # 5 shards
+        big.save(tmp_path / "store")
+        assert len(list((tmp_path / "store").glob("shard-*.skb"))) == 5
+        small = ShardedSketchStore(shard_capacity=8)
+        small.add_batch(_batch(sk, 10, 2))  # 2 shards
+        small.save(tmp_path / "store")
+        names = sorted(p.name for p in (tmp_path / "store").iterdir())
+        assert names == ["manifest.json", "shard-00000.skb", "shard-00001.skb"]
+        _assert_same_store(ShardedSketchStore.load(tmp_path / "store"), small)
+
+    def test_failed_save_preserves_existing_store(self, tmp_path, monkeypatch):
+        # regression: a crash mid-save must not corrupt the store that
+        # was already on disk
+        sk = _sketcher()
+        original = ShardedSketchStore(shard_capacity=4)
+        original.add_batch(_batch(sk, 10, 3))
+        original.save(tmp_path / "store")
+        on_disk = (tmp_path / "store").glob("**/*")
+        before = {p: p.read_bytes() for p in on_disk if p.is_file()}
+
+        calls = {"n": 0}
+        real = store_module.write_batch
+
+        def explode_on_second(path, batch, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("disk full")
+            return real(path, batch, **kwargs)
+
+        monkeypatch.setattr(store_module, "write_batch", explode_on_second)
+        doomed = ShardedSketchStore(shard_capacity=4)
+        doomed.add_batch(_batch(sk, 12, 4))
+        with pytest.raises(OSError, match="disk full"):
+            doomed.save(tmp_path / "store")
+        monkeypatch.undo()
+
+        after = {
+            p: p.read_bytes() for p in (tmp_path / "store").glob("**/*") if p.is_file()
+        }
+        assert after == before  # bit-for-bit untouched
+        _assert_same_store(ShardedSketchStore.load(tmp_path / "store"), original)
+        # and no staging litter next to the store
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["store"]
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        sk = _sketcher()
+        store = ShardedSketchStore()
+        store.add_batch(_batch(sk, 3, 1))
+        store.save(tmp_path / "a" / "b" / "store")
+        assert len(ShardedSketchStore.load(tmp_path / "a" / "b" / "store")) == 3
+
+
+class TestMmapLoad:
+    def _saved(self, tmp_path, n=30, shard_capacity=8, labels=()):
+        sk = _sketcher()
+        store = ShardedSketchStore(shard_capacity=shard_capacity)
+        store.add_batch(_batch(sk, n, 7, labels=labels))
+        store.save(tmp_path / "store")
+        return sk, store
+
+    def test_mmap_roundtrip_bit_exact(self, tmp_path):
+        sk, store = self._saved(tmp_path)
+        mapped = ShardedSketchStore.load(tmp_path / "store", mmap=True)
+        assert len(mapped) == len(store)
+        assert mapped.labels == store.labels
+        for i in range(store.n_shards):
+            np.testing.assert_array_equal(
+                np.asarray(mapped.shard_values(i)), store.shard_values(i)
+            )
+            np.testing.assert_array_equal(
+                mapped.shard_sq_norms(i), store.shard_sq_norms(i)
+            )
+
+    def test_shards_materialise_lazily(self, tmp_path):
+        sk, store = self._saved(tmp_path)
+        mapped = ShardedSketchStore.load(tmp_path / "store", mmap=True)
+        assert all(not shard.materialized for shard in mapped._shards)
+        # touching rows of shard 0 must not map the other shards
+        DistanceService(mapped).pairwise_submatrix([0, 1])
+        assert mapped._shards[0].materialized
+        assert all(not shard.materialized for shard in mapped._shards[1:])
+
+    def test_prefilter_skips_mapped_shards_without_reading_them(self, tmp_path):
+        # regression: norm bounds used to be computed from the values,
+        # so the prefilter itself materialised every mapped shard; they
+        # now ride in the shard headers and skipped shards stay unread
+        sk = _sketcher()
+        base = _batch(sk, 32, 0)
+        values = np.zeros((32, 64))
+        values[:, 0] = np.repeat(np.arange(4.0) * 1e6, 8)  # separated norms
+        store = ShardedSketchStore(shard_capacity=8)
+        store.add_batch(dataclasses.replace(base, values=values, labels=()))
+        store.save(tmp_path / "separated")
+        query = dataclasses.replace(base.row(0), values=np.zeros(64))
+
+        mapped = ShardedSketchStore.load(tmp_path / "separated", mmap=True)
+        got = DistanceService(mapped, ExecutionPolicy(prefilter=True)).top_k(query, 3)
+        want = DistanceService(store, ExecutionPolicy(prefilter=False)).top_k(query, 3)
+        assert got == want
+        assert mapped._shards[0].materialized  # the only shard that can win
+        assert all(not shard.materialized for shard in mapped._shards[1:])
+
+    def test_mmap_store_answers_identical_queries(self, tmp_path):
+        sk, store = self._saved(tmp_path)
+        eager = DistanceService(ShardedSketchStore.load(tmp_path / "store"))
+        with DistanceService(
+            ShardedSketchStore.load(tmp_path / "store", mmap=True),
+            ExecutionPolicy(workers=4),
+        ) as mapped:
+            queries = _batch(sk, 3, 70)
+            assert mapped.top_k_batch(queries, 6) == eager.top_k_batch(queries, 6)
+            np.testing.assert_array_equal(mapped.cross(queries), eager.cross(queries))
+            query = queries.row(0)
+            cutoff = float(np.median(eager.cross(query)))
+            assert mapped.radius(query, cutoff) == eager.radius(query, cutoff)
+
+    def test_appends_after_mmap_load_go_to_new_shards(self, tmp_path):
+        sk, store = self._saved(tmp_path)
+        mapped = ShardedSketchStore.load(tmp_path / "store", mmap=True)
+        extra = _batch(sk, 5, 90)
+        mapped.add_batch(extra)
+        assert len(mapped) == len(store) + 5
+        # the mapped shards are sealed: new rows landed in a fresh shard
+        assert mapped.shard_sizes()[-1] == 5
+        np.testing.assert_array_equal(
+            mapped.shard_values(mapped.n_shards - 1), extra.values
+        )
+        # and a mixed mapped+in-memory store keeps serving correctly
+        combined = ShardedSketchStore(shard_capacity=8)
+        combined.add_batch(_batch(sk, 30, 7))
+        combined.add_batch(extra)
+        want = DistanceService(combined).top_k(extra.row(0), 4)
+        assert DistanceService(mapped).top_k(extra.row(0), 4) == want
+
+    def test_mmap_store_resaves_faithfully(self, tmp_path):
+        sk, store = self._saved(tmp_path, labels=tuple(range(30)))
+        mapped = ShardedSketchStore.load(tmp_path / "store", mmap=True)
+        mapped.save(tmp_path / "copy")
+        _assert_same_store(ShardedSketchStore.load(tmp_path / "copy"), store)
+
+    def test_mmap_save_over_own_directory(self, tmp_path):
+        sk, store = self._saved(tmp_path)
+        mapped = ShardedSketchStore.load(tmp_path / "store", mmap=True)
+        mapped.add_batch(_batch(sk, 4, 91))
+        mapped.save(tmp_path / "store")  # reads the maps it is replacing
+        reloaded = ShardedSketchStore.load(tmp_path / "store")
+        assert len(reloaded) == 34
+        _assert_same_store(reloaded, mapped)
+
+    def test_v1_store_still_loads(self, tmp_path):
+        # a store saved by the PR-2 writer: v1 shard blobs + manifest
+        sk = _sketcher()
+        batch = _batch(sk, 10, 5, labels=tuple(f"r{i}" for i in range(10)))
+        root = tmp_path / "legacy"
+        root.mkdir()
+        write_batch(root / "shard-00000.skb", batch[:6], version=1)
+        write_batch(root / "shard-00001.skb", batch[6:], version=1)
+        (root / "manifest.json").write_text(
+            json.dumps(
+                {
+                    "manifest_version": 1,
+                    "shard_capacity": 6,
+                    "n_shards": 2,
+                    "n_rows": 10,
+                    "config_digest": batch.config_digest,
+                }
+            )
+        )
+        for mmap in (False, True):
+            loaded = ShardedSketchStore.load(root, mmap=mmap)
+            assert loaded.labels == [f"r{i}" for i in range(10)]
+            stacked = np.concatenate(
+                [np.asarray(loaded.shard_values(i)) for i in range(loaded.n_shards)]
+            )
+            np.testing.assert_array_equal(stacked, batch.values)
+        # migration: one save rewrites the store in the current format
+        upgraded_path = tmp_path / "upgraded"
+        ShardedSketchStore.load(root, mmap=True).save(upgraded_path)
+        upgraded = ShardedSketchStore.load(upgraded_path)
+        assert upgraded.labels == [f"r{i}" for i in range(10)]
+
+
+class TestCompact:
+    def test_compact_packs_partial_shards(self, tmp_path):
+        sk = _sketcher()
+        store = ShardedSketchStore(shard_capacity=8)
+        store.add_batch(_batch(sk, 30, 7))
+        store.save(tmp_path / "store")
+        # mmap-loading preserves the on-disk shard layout (8/8/8/6);
+        # appending then yields partial shards mid-store
+        mapped = ShardedSketchStore.load(tmp_path / "store", mmap=True)
+        mapped.add_batch(_batch(sk, 5, 8))
+        assert mapped.shard_sizes() == [8, 8, 8, 6, 5]
+        query = sk.sketch(np.ones(128), noise_rng=9)
+        before = DistanceService(mapped).top_k(query, 10)
+        labels = mapped.labels
+        mapped.compact()
+        assert mapped.shard_sizes() == [8, 8, 8, 8, 3]
+        assert mapped.labels == labels
+        assert DistanceService(mapped).top_k(query, 10) == before
+
+    def test_compact_empty_store_is_noop(self):
+        store = ShardedSketchStore()
+        assert store.compact() is store
+        assert store.n_shards == 0
+
+    def test_compact_then_save_roundtrips(self, tmp_path):
+        sk = _sketcher()
+        store = ShardedSketchStore(shard_capacity=8)
+        for seed in range(4):
+            store.add_batch(_batch(sk, 5, seed))  # 5+5+5+5 across shards
+        store.compact().save(tmp_path / "store")
+        loaded = ShardedSketchStore.load(tmp_path / "store")
+        assert loaded.shard_sizes() == [8, 8, 4]
+        _assert_same_store(loaded, store)
+
+
+class TestMerge:
+    def test_merge_concatenates_stores_in_order(self):
+        sk = _sketcher()
+        batch = _batch(sk, 24, 7, labels=tuple(range(24)))
+        parts = []
+        for lo, hi in ((0, 9), (9, 14), (14, 24)):
+            part = ShardedSketchStore(shard_capacity=4)
+            part.add_batch(batch[lo:hi], labels=list(range(lo, hi)))
+            parts.append(part)
+        merged = ShardedSketchStore.merge(*parts)
+        reference = ShardedSketchStore(shard_capacity=4)
+        reference.add_batch(batch)
+        _assert_same_store(merged, reference)
+        query = sk.sketch(np.zeros(128), noise_rng=1)
+        assert DistanceService(merged).top_k(query, 6) == DistanceService(
+            reference
+        ).top_k(query, 6)
+
+    def test_merge_skips_empty_stores_and_respects_capacity(self):
+        sk = _sketcher()
+        a = ShardedSketchStore(shard_capacity=4)
+        a.add_batch(_batch(sk, 6, 1))
+        merged = ShardedSketchStore.merge(
+            ShardedSketchStore(), a, shard_capacity=16
+        )
+        assert merged.shard_capacity == 16
+        assert merged.shard_sizes() == [6]
+        assert len(merged) == 6
+
+    def test_merge_rejects_incompatible_stores(self):
+        a = ShardedSketchStore()
+        a.add_batch(_batch(_sketcher(), 3, 1))
+        other = PrivateSketcher(dataclasses.replace(_CONFIG, seed=12))
+        b = ShardedSketchStore()
+        b.add_batch(
+            other.sketch_batch(
+                np.random.default_rng(0).standard_normal((3, 128)), noise_rng=0
+            )
+        )
+        with pytest.raises(ValueError, match="different configurations"):
+            ShardedSketchStore.merge(a, b)
+
+    def test_merge_requires_a_store(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ShardedSketchStore.merge()
+
+    def test_merge_mmap_stores_fuses_on_disk_data(self, tmp_path):
+        sk = _sketcher()
+        halves = []
+        for i, (lo, hi) in enumerate(((0, 13), (13, 30))):
+            part = ShardedSketchStore(shard_capacity=8)
+            part.add_batch(_batch(sk, 30, 7)[lo:hi], labels=list(range(lo, hi)))
+            part.save(tmp_path / f"part{i}")
+            halves.append(ShardedSketchStore.load(tmp_path / f"part{i}", mmap=True))
+        merged = ShardedSketchStore.merge(*halves)
+        merged.save(tmp_path / "merged")
+        loaded = ShardedSketchStore.load(tmp_path / "merged")
+        assert loaded.labels == list(range(30))
+        reference = ShardedSketchStore(shard_capacity=8)
+        reference.add_batch(_batch(sk, 30, 7), labels=list(range(30)))
+        _assert_same_store(loaded, reference)
