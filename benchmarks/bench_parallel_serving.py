@@ -26,7 +26,13 @@ import time
 import numpy as np
 
 from repro.core.sketch import PrivateSketcher, SketchConfig
-from repro.serving import DistanceService, ExecutionPolicy, ShardedSketchStore
+from repro.serving import (
+    CrossQuery,
+    DistanceService,
+    ExecutionPolicy,
+    ShardedSketchStore,
+    TopKQuery,
+)
 
 _D, _K, _S = 128, 64, 4
 _ROWS = 105_000        # stored rows (>= 1e5 per the acceptance gate)
@@ -64,8 +70,8 @@ def _time_workload(service, queries):
     result = None
     for _ in range(_REPEATS):
         t0 = time.perf_counter()
-        top = service.top_k_batch(queries, _TOP)
-        cross = service.cross(queries[:4])
+        top = service.execute(TopKQuery(queries=queries, k=_TOP)).payload
+        cross = service.execute(CrossQuery(queries=queries[:4])).payload
         best = min(best, time.perf_counter() - t0)
         result = (top, cross)
     return best, result
@@ -128,13 +134,17 @@ def test_prefilter_skips_work_on_separable_stores():
 
     on = DistanceService(store, ExecutionPolicy(prefilter=True))
     off = DistanceService(store, ExecutionPolicy(prefilter=False))
+    top_k = TopKQuery(queries=query, k=_TOP)
     t0 = time.perf_counter()
-    hits_off = [off.top_k(query, _TOP) for _ in range(20)]
+    hits_off = [off.execute(top_k).payload[0] for _ in range(20)]
     off_seconds = time.perf_counter() - t0
     t0 = time.perf_counter()
-    hits_on = [on.top_k(query, _TOP) for _ in range(20)]
+    results_on = [on.execute(top_k) for _ in range(20)]
     on_seconds = time.perf_counter() - t0
+    hits_on = [result.payload[0] for result in results_on]
     assert hits_on == hits_off  # exactness is hard
+    # the stats must show the prefilter actually skipping shards
+    assert all(result.stats.shards_pruned >= shards // 2 for result in results_on)
     print(
         f"\nprefilter off: {off_seconds * 1e3:7.1f} ms / 20 queries"
         f"\nprefilter on:  {on_seconds * 1e3:7.1f} ms / 20 queries "

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core import estimators
 from repro.core.sketch import PrivateSketcher, SketchConfig
-from repro.serving import DistanceService, ShardedSketchStore
+from repro.serving import DistanceService, ShardedSketchStore, TopKQuery
 
 _D, _K, _S = 128, 64, 4
 _SEED_ROWS = 100_000   # rows in the store before the timed workload
@@ -131,16 +131,19 @@ def test_serving_beats_legacy_rebuild_at_100k():
     for r in range(_ROUNDS):
         store.add_batch(adds[r])
         for q in queries:
-            serving_results.append(service.top_k(q, _TOP))
+            serving_results.append(
+                service.execute(TopKQuery(queries=q, k=_TOP)).payload[0]
+            )
     serving_seconds = time.perf_counter() - start
 
     # correctness is hard: same winners, same estimates (ulp-level BLAS
-    # differences aside), regardless of how the rows are laid out
+    # differences aside; the query plane clamps reported estimates at 0),
+    # regardless of how the rows are laid out
     assert len(serving_results) == len(legacy_results)
     for served, legacy_row in zip(serving_results, legacy_results):
         assert [label for label, _ in served] == [label for label, _ in legacy_row]
         for (_, est_a), (_, est_b) in zip(served, legacy_row):
-            assert abs(est_a - est_b) < 1e-6
+            assert abs(est_a - max(est_b, 0.0)) < 1e-6
 
     n_final = _SEED_ROWS + _ROUNDS * _ADD_ROWS
     per_query_legacy = legacy_seconds / len(legacy_results)

@@ -13,8 +13,11 @@ an analyst estimates all pairwise distances at once
 The final sections show the serving workflow: accumulate releases into
 a `ShardedSketchStore`, persist it to disk (atomically), reload it in a
 fresh process — either eagerly or as lazy memory maps for stores larger
-than RAM — and answer top-k queries through a `DistanceService`,
-serially or across a thread pool of shard workers.
+than RAM — and answer typed queries (`TopKQuery`, `RadiusQuery`, ...)
+through `DistanceService.execute()`, serially or across a thread pool
+of shard workers; then serve the same store **over the network** with
+`SketchQueryServer` and query it through a `DistanceClient`, which
+speaks the same `execute()` protocol and returns bit-identical results.
 
 Run:  python examples/quickstart.py
 """
@@ -25,11 +28,14 @@ from pathlib import Path
 import numpy as np
 
 from repro import (
+    DistanceClient,
     DistanceService,
     ExecutionPolicy,
     PrivateSketcher,
     ShardedSketchStore,
     SketchConfig,
+    SketchQueryServer,
+    TopKQuery,
 )
 
 
@@ -98,14 +104,21 @@ def main() -> None:
         store.save(store_dir)                    # manifest + one blob per shard
         reloaded = ShardedSketchStore.load(store_dir)  # e.g. in another process
 
+        # Every query is a typed object answered by one entry point:
+        # execute() returns the payload plus stats (shards visited /
+        # pruned by the norm-bound prefilter, rows scanned, wall time).
         service = DistanceService(reloaded)      # or session.serve(batch)
-        neighbors = service.top_k(query, k=3)
+        result = service.execute(TopKQuery(queries=query, k=3))
+        neighbors = result.payload[0]
         print(f"\nstore: {len(reloaded)} rows in {reloaded.n_shards} shards, "
               f"saved + reloaded bit-exactly")
         print("3 nearest stored rows to a fresh sketch of row-0 "
               "(label, estimated squared distance):")
         for label, estimate in neighbors:
             print(f"  {label:>6}  {estimate:10.3f}")
+        print(f"stats: {result.stats.shards_visited} shards visited, "
+              f"{result.stats.shards_pruned} pruned, "
+              f"{result.stats.rows_scanned} rows scanned")
 
         # -- larger-than-RAM + parallel: mmap-load and fan out queries -----
         # mmap=True attaches each shard as a lazy memory map: nothing is
@@ -117,10 +130,30 @@ def main() -> None:
         # faster on multi-core machines.
         mapped = ShardedSketchStore.load(store_dir, mmap=True)
         with DistanceService(mapped, ExecutionPolicy(workers=4)) as parallel:
-            assert parallel.top_k(query, k=3) == neighbors  # identical answers
+            parallel_hits = parallel.execute(TopKQuery(queries=query, k=3)).payload[0]
+            assert parallel_hits == neighbors    # identical answers
         print(f"mmap-loaded store answers identically "
               f"({mapped.resident_shards}/{mapped.n_shards} shards touched "
               f"lazily, 4 query workers)")
+
+        # -- serve over the network ----------------------------------------
+        # The saved store can be served to remote analysts with zero extra
+        # dependencies.  From a shell you would run
+        #
+        #     python -m repro.serving.server --store sketch-store --port 8790
+        #
+        # (start one process per core: the mmap-loaded shards are shared
+        # read-only through the page cache).  Here we start the same server
+        # in-process; DistanceClient implements the same execute() protocol
+        # as DistanceService, so local and remote are interchangeable —
+        # and the payloads are bit-identical, not approximately equal.
+        with SketchQueryServer.from_store_dir(store_dir, port=0).start() as server:
+            client = DistanceClient(server.url)
+            remote = client.execute(TopKQuery(queries=query, k=3))
+            assert remote.payload[0] == neighbors   # bit-identical over HTTP
+            print(f"served at {server.url}: {client.health()['rows']} rows; "
+                  f"remote top-3 identical to local "
+                  f"(server-side {remote.stats.elapsed_seconds * 1e3:.2f} ms)")
 
 
 if __name__ == "__main__":

@@ -44,13 +44,44 @@ from repro.core import (
     sq_norms,
 )
 from repro.dp import PrivacyAccountant, PrivacyGuarantee
-from repro.serving import DistanceService, ExecutionPolicy, ShardedSketchStore
+from repro.serving import (
+    CrossQuery,
+    DistanceClient,
+    DistanceService,
+    ExecutionPolicy,
+    NormsQuery,
+    PairwiseQuery,
+    QueryResult,
+    QueryStats,
+    RadiusQuery,
+    ShardedSketchStore,
+    TopKQuery,
+)
 from repro.transforms import create_transform
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name):
+    # lazy for the same reason as repro.serving: keep the
+    # `python -m repro.serving.server` entry point import-clean
+    if name == "SketchQueryServer":
+        from repro.serving.server import SketchQueryServer
+
+        return SketchQueryServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "CrossQuery",
+    "DistanceClient",
     "DistanceService",
+    "NormsQuery",
+    "PairwiseQuery",
+    "QueryResult",
+    "QueryStats",
+    "RadiusQuery",
+    "SketchQueryServer",
+    "TopKQuery",
     "EnsembleSketch",
     "EnsembleSketcher",
     "ExecutionPolicy",

@@ -33,12 +33,32 @@ except ImportError:  # pragma: no cover - exercised only without scipy
     _dsyrk = None
 
 
+#: Metadata fields that the estimators consume; two releases claiming
+#: the same configuration digest must agree on every one of them, or
+#: the debias corrections would silently mix constants from different
+#: mechanisms.
+_ESTIMATION_METADATA = (
+    "input_dim",
+    "output_dim",
+    "perturbation",
+    "noise_spec",
+    "noise_second_moment",
+    "guarantee",
+)
+
+
 def check_compatible(a, b) -> None:
     """Ensure two releases (sketches or batches) share a public config.
 
     Compares the sketch dimension — the *last* axis of ``values`` — so a
     1-D sketch and a 2-D batch (or two batches with different row
-    counts) are judged on the same quantity.
+    counts) are judged on the same quantity.  Beyond the digest, the
+    estimator-relevant metadata must also agree: a release whose digest
+    matches but whose noise metadata differs (a tampered or corrupted
+    header — legitimate sketchers derive both from the same config) is
+    rejected here, so every construction path that funnels releases
+    together — stores, services, estimators — fails fast instead of
+    mixing debias constants.
     """
     if a.config_digest != b.config_digest:
         raise ValueError(
@@ -49,6 +69,14 @@ def check_compatible(a, b) -> None:
         raise ValueError(
             f"sketch dimensions differ: {a.values.shape[-1]} vs {b.values.shape[-1]}"
         )
+    for field in _ESTIMATION_METADATA:
+        if getattr(a, field) != getattr(b, field):
+            raise ValueError(
+                f"releases claim the same configuration ({a.config_digest}) but "
+                f"disagree on {field} ({getattr(a, field)!r} vs "
+                f"{getattr(b, field)!r}); the metadata was tampered with or "
+                "corrupted, and estimates would be meaningless"
+            )
 
 
 def noise_coordinates(sketch) -> int:
@@ -66,6 +94,41 @@ def sq_distance_correction(release) -> float:
     return 2.0 * noise_coordinates(release) * release.noise_second_moment
 
 
+def sq_norm_correction(release) -> float:
+    """The squared-norm estimator's debias term ``m E[eta^2]``.
+
+    Half of :func:`sq_distance_correction` (one noise vector instead of
+    two); the single owner shared by :func:`estimate_sq_norm`,
+    :func:`sq_norms` and the serving layer's norms query.
+    """
+    return noise_coordinates(release) * release.noise_second_moment
+
+
+def clamp_sq_estimates(values):
+    """Clamp debiased squared estimates at ``0.0`` — the single owner.
+
+    The unbiased correction of :func:`sq_distance_correction` can
+    overshoot at tiny true distances and produce a *negative* squared
+    estimate.  Whenever a negative estimate must be presented as a
+    distance-like quantity, it clamps to zero **here and only here** —
+    :func:`estimate_distance` and the serving query plane's top-k /
+    radius payloads all route through this function, so the policy is
+    decided exactly once instead of per call site.
+
+    The raw unbiased values stay available where unbiasedness matters:
+    :func:`estimate_sq_distance` and the matrix estimators
+    (:func:`pairwise_sq_distances`, :func:`cross_sq_distances`,
+    :func:`sq_norms`) never clamp.  Clamping happens *after* ordering
+    decisions — rankings and radius membership are computed on the raw
+    values, so the constant-shift ordering argument is unaffected.
+
+    Accepts a scalar or an array; returns the same shape.
+    """
+    if np.isscalar(values):
+        return max(float(values), 0.0)
+    return np.maximum(values, 0.0)
+
+
 def estimate_sq_distance(a, b) -> float:
     """Unbiased squared-Euclidean-distance estimator (Lemma 3 / Lemma 8)."""
     check_compatible(a, b)
@@ -74,19 +137,19 @@ def estimate_sq_distance(a, b) -> float:
 
 
 def estimate_distance(a, b) -> float:
-    """Distance estimate ``sqrt(max(estimate, 0))``.
+    """Distance estimate ``sqrt(clamp(estimate))``.
 
     The square root introduces (vanishing) bias; use
-    :func:`estimate_sq_distance` when unbiasedness matters.
+    :func:`estimate_sq_distance` when unbiasedness matters.  Negative
+    debiased estimates clamp through :func:`clamp_sq_estimates`.
     """
-    return math.sqrt(max(estimate_sq_distance(a, b), 0.0))
+    return math.sqrt(clamp_sq_estimates(estimate_sq_distance(a, b)))
 
 
 def estimate_sq_norm(sketch) -> float:
     """Unbiased squared-norm estimator from a single sketch."""
     values = sketch.values
-    correction = noise_coordinates(sketch) * sketch.noise_second_moment
-    return float(np.dot(values, values)) - correction
+    return float(np.dot(values, values)) - sq_norm_correction(sketch)
 
 
 def estimate_inner_product(a, b) -> float:
@@ -125,8 +188,7 @@ def _pairwise_from_values(values: np.ndarray, correction: float) -> np.ndarray:
 def sq_norms(batch) -> np.ndarray:
     """Unbiased squared-norm estimates for every row of a batch."""
     values = _as_rows(batch)
-    correction = noise_coordinates(batch) * batch.noise_second_moment
-    return np.einsum("ij,ij->i", values, values) - correction
+    return np.einsum("ij,ij->i", values, values) - sq_norm_correction(batch)
 
 
 def pairwise_sq_distances(batch) -> np.ndarray:

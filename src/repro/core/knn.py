@@ -12,17 +12,21 @@ privacy budget beyond the release itself.
 The heavy lifting lives in :mod:`repro.serving`: the index is a thin
 facade over a :class:`~repro.serving.store.ShardedSketchStore` (appends
 land in preallocated shards — no full-matrix recopy per insert) queried
-through a :class:`~repro.serving.service.DistanceService` (per-shard
-cached norms, ``argpartition``-based top-``k`` selection instead of a
-full sort).  See the serving module's docstring for the one caveat that
-applies to every estimate this index returns: unbiased estimates can be
-negative, and orderings remain meaningful regardless.
+through :meth:`~repro.serving.service.DistanceService.execute` with the
+typed queries of :mod:`repro.serving.queries` (per-shard cached norms,
+``argpartition``-based top-``k`` selection instead of a full sort).
+Rankings order by the raw unbiased estimates, whose debias correction
+can overshoot at tiny distances; the *reported* estimates are clamped
+at zero through :func:`repro.core.estimators.clamp_sq_estimates` (the
+single owner of that rule), so this index never returns a negative
+distance estimate.
 """
 
 from __future__ import annotations
 
 from repro.core.sketch import PrivateSketch, SketchBatch
 from repro.serving.execution import ExecutionPolicy
+from repro.serving.queries import RadiusQuery, TopKQuery
 from repro.serving.service import DistanceService
 from repro.serving.store import DEFAULT_SHARD_CAPACITY, ShardedSketchStore
 
@@ -93,7 +97,7 @@ class PrivateNeighborIndex:
         Returns ``(label, estimated squared distance)`` pairs in
         ascending distance order, ties broken by insertion order.
         """
-        return self._service.top_k(sketch, top)
+        return self._service.execute(TopKQuery(queries=sketch, k=top)).payload[0]
 
     def query_batch(self, batch: SketchBatch, top: int = 1) -> list[list[tuple[object, float]]]:
         """Answer one top-``m`` query per row of ``batch`` in a single pass.
@@ -102,8 +106,10 @@ class PrivateNeighborIndex:
         estimators; the result is a list of :meth:`query`-style
         rankings, one per row.
         """
-        return self._service.top_k_batch(batch, top)
+        return self._service.execute(TopKQuery(queries=batch, k=top)).payload
 
     def query_radius(self, sketch: PrivateSketch, radius_sq: float) -> list[tuple[object, float]]:
         """All entries with estimated squared distance at most ``radius_sq``."""
-        return self._service.radius(sketch, radius_sq)
+        return self._service.execute(
+            RadiusQuery(query=sketch, radius_sq=radius_sq)
+        ).payload

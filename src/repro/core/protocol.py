@@ -110,26 +110,26 @@ class SketchingSession:
 
         Builds a :class:`~repro.serving.store.ShardedSketchStore`,
         appends any ``batches`` already released, and returns the
-        :class:`~repro.serving.service.DistanceService` that answers
-        top-k / radius / cross / pairwise-submatrix queries.  The store
-        stays reachable via ``service.store`` for incremental adds and
-        for persistence (``store.save`` / ``ShardedSketchStore.load``).
-        ``policy`` selects serial or shard-parallel query execution
+        :class:`~repro.serving.service.DistanceService` whose
+        :meth:`~repro.serving.service.DistanceService.execute` answers
+        the typed query algebra of :mod:`repro.serving.queries`.  The
+        store stays reachable via ``service.store`` for incremental
+        adds and for persistence (``store.save`` /
+        ``ShardedSketchStore.load``).  ``policy`` selects serial or
+        shard-parallel query execution
         (:class:`~repro.serving.execution.ExecutionPolicy`).
 
-        Every batch must come from this session's configuration — the
-        session entry point enforces the linkage that a bare
-        :meth:`DistanceService.from_batches` cannot.
+        The store is pinned to this session's configuration digest, so
+        every batch — here and in any later ``service.store.add_batch``
+        — must come from this session's configuration or is rejected
+        up front (the check lives in the store layer; see
+        ``ShardedSketchStore(expected_digest=...)``).
         """
-        digest = self.config.digest()
-        for batch in batches:
-            if batch.config_digest != digest:
-                raise ValueError(
-                    f"batch {batch.config_digest} comes from a different "
-                    f"configuration than this session ({digest})"
-                )
         return DistanceService.from_batches(
-            *batches, shard_capacity=shard_capacity, policy=policy
+            *batches,
+            shard_capacity=shard_capacity,
+            policy=policy,
+            expected_digest=self.config.digest(),
         )
 
     # Estimation requires only published sketches, so these simply proxy

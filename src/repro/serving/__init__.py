@@ -1,15 +1,29 @@
-"""Serving layer: persistent sharded storage + distance query serving.
+"""Serving layer: sharded storage, a typed query plane, and a network frontend.
 
 The paper's Section 2 point is that *anyone* can estimate distances
 from published sketches; this package is the infrastructure for doing
 that at scale.  :class:`ShardedSketchStore` accumulates released rows
 into preallocated shards (amortised O(1) appends, cached per-shard
 norms and norm bounds, atomic binary persistence, lazy memory-mapped
-loading for stores larger than RAM, compaction and merge tooling);
-:class:`DistanceService` answers top-k, radius, cross-batch and
-pairwise-submatrix queries by streaming those shards through the
-vectorised estimators — serially or across a thread pool, as selected
-by an :class:`ExecutionPolicy`.
+loading for stores larger than RAM, compaction and merge tooling).
+Above it sits one protocol:
+
+* :mod:`repro.serving.queries` — the typed query algebra
+  (:class:`TopKQuery`, :class:`RadiusQuery`, :class:`CrossQuery`,
+  :class:`PairwiseQuery`, :class:`NormsQuery`), answered as
+  :class:`QueryResult` objects carrying payload + :class:`QueryStats`;
+* :class:`DistanceService` — the local backend:
+  ``execute(query)`` / ``execute_many(queries)`` stream the shards
+  through the vectorised estimators, serially or across a thread pool
+  (:class:`ExecutionPolicy`);
+* :mod:`repro.serving.wire` — versioned JSON envelopes for queries,
+  results and errors (sketch payloads ride as the v2 binary container,
+  bit-exact; typed labels survive);
+* :class:`SketchQueryServer` / :class:`DistanceClient` — a stdlib-only
+  HTTP frontend over a saved store (memory-mapped, so N worker
+  processes share the same shard files) and the client that implements
+  the *same* ``execute()`` protocol, making local and remote backends
+  interchangeable.
 
 **Concurrency contract.**  One writer at a time may append to a store;
 any number of readers may query it concurrently.  Every query freezes a
@@ -28,14 +42,34 @@ inequality over the shard's cached norm range — minus a safety slack
 that dominates floating-point rounding — proves every distance in the
 shard is strictly worse than the current threshold.  Query results with
 the prefilter on are identical to results with it off, ties included;
-it is a work-skipping optimisation, never an approximation.
+it is a work-skipping optimisation, never an approximation.  Skipped
+shards are visible in ``QueryResult.stats.shards_pruned``.
+
+**Deprecation policy.**  The pre-query-plane ``DistanceService``
+methods (``top_k``, ``top_k_batch``, ``radius``, ``cross``,
+``pairwise_submatrix``) are shims over ``execute()``: bit-identical
+results plus a ``DeprecationWarning``.  They remain for at least two
+further releases; new code should build typed queries.  The wire format
+and the binary container are versioned independently and reject
+unknown versions up front.
 
 The analyst-side index :class:`~repro.core.knn.PrivateNeighborIndex`
 delegates to this layer, and a :class:`~repro.core.protocol.SketchingSession`
 exposes it via :meth:`~repro.core.protocol.SketchingSession.serve`.
 """
 
+from repro.serving.client import DistanceClient
 from repro.serving.execution import ExecutionPolicy
+from repro.serving.queries import (
+    QUERY_TYPES,
+    CrossQuery,
+    NormsQuery,
+    PairwiseQuery,
+    QueryResult,
+    QueryStats,
+    RadiusQuery,
+    TopKQuery,
+)
 from repro.serving.serialization import (
     BatchInfo,
     SerializationError,
@@ -54,19 +88,55 @@ from repro.serving.store import (
     ShardedSketchStore,
     ShardView,
 )
+from repro.serving.wire import (
+    WIRE_VERSION,
+    WireError,
+    decode_query,
+    decode_result,
+    encode_query,
+    encode_result,
+)
+
+
+def __getattr__(name):
+    # the HTTP server is the `python -m repro.serving.server` entry
+    # point: importing it eagerly here would put the module in
+    # sys.modules before runpy executes it as __main__ (the classic
+    # double-import warning), so it loads on first attribute access
+    if name == "SketchQueryServer":
+        from repro.serving.server import SketchQueryServer
+
+        return SketchQueryServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "BatchInfo",
+    "CrossQuery",
     "DEFAULT_SHARD_CAPACITY",
+    "DistanceClient",
     "DistanceService",
     "ExecutionPolicy",
+    "NormsQuery",
+    "PairwiseQuery",
+    "QUERY_TYPES",
+    "QueryResult",
+    "QueryStats",
+    "RadiusQuery",
     "SerializationError",
     "ShardView",
     "ShardedSketchStore",
+    "SketchQueryServer",
+    "TopKQuery",
+    "WIRE_VERSION",
+    "WireError",
     "batch_from_bytes",
     "batch_to_bytes",
     "decode_label",
+    "decode_query",
+    "decode_result",
     "encode_label",
+    "encode_query",
+    "encode_result",
     "map_values",
     "read_batch",
     "read_batch_info",

@@ -1,0 +1,145 @@
+"""HTTP client speaking the same ``execute()`` protocol as the local service.
+
+:class:`DistanceClient` is the remote counterpart of
+:class:`~repro.serving.service.DistanceService`: it implements
+``execute(query)`` / ``execute_many(queries)`` over the typed query
+algebra of :mod:`repro.serving.queries`, so code written against the
+protocol runs unchanged against a local store or a
+:class:`~repro.serving.server.SketchQueryServer` across the network —
+payloads are bit-identical (the wire codec moves float64 exactly) and
+``QueryResult.stats`` carries the *server-side* counters, so shard
+pruning stays observable remotely.
+
+Error behaviour matches local execution: an incompatible query, an
+empty store or a malformed parameter raises the same exception class a
+local ``execute()`` raises (the server transports it in an error
+envelope).  Transport-level failures — refused connection, dead server
+— raise :class:`ConnectionError`.
+
+Only the standard library is used (``urllib.request`` — one connection
+per request; pooled/async transports are future work, see ROADMAP), so
+there is nothing to install on the analyst side.  Amortise transport
+cost with :meth:`DistanceClient.execute_many`, which answers a whole
+sequence of queries in a single round trip.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.error
+import urllib.request
+
+from repro.serving import wire
+from repro.serving.queries import QueryResult
+
+
+class DistanceClient:
+    """Execute typed distance queries against a remote sketch store.
+
+    Parameters
+    ----------
+    base_url:
+        The server root, e.g. ``"http://127.0.0.1:8790"`` (the URL a
+        :class:`~repro.serving.server.SketchQueryServer` prints).
+    timeout:
+        Per-request timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- the execute() protocol ----------------------------------------------
+
+    def execute(self, query) -> QueryResult:
+        """Answer one typed query on the server; local-identical payloads."""
+        blob = self._post("/query", wire.encode_query(query))
+        return wire.decode_result(blob)
+
+    def execute_many(self, queries) -> list[QueryResult]:
+        """Answer a sequence of queries in one round trip, in order."""
+        queries = list(queries)
+        if not queries:
+            return []
+        blob = self._post("/query-many", wire.encode_queries(queries))
+        results = wire.decode_results(blob)
+        if len(results) != len(queries):
+            raise wire.WireError(
+                f"server answered {len(results)} results for {len(queries)} queries"
+            )
+        return results
+
+    # -- introspection -------------------------------------------------------
+
+    def health(self) -> dict:
+        """The server's ``/healthz`` payload (rows, shards, digest)."""
+        return json.loads(self._get("/healthz").decode("utf-8"))
+
+    def meta(self) -> dict:
+        """The server's ``/meta`` payload (store metadata, policy)."""
+        return json.loads(self._get("/meta").decode("utf-8"))
+
+    def __len__(self) -> int:
+        return int(self.health()["rows"])
+
+    def close(self) -> None:
+        """Symmetry with :class:`DistanceService`; nothing is pooled."""
+
+    def __enter__(self) -> "DistanceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- transport -----------------------------------------------------------
+
+    def _post(self, path: str, body: bytes) -> bytes:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._send(request)
+
+    def _get(self, path: str) -> bytes:
+        request = urllib.request.Request(self.base_url + path, method="GET")
+        return self._send(request)
+
+    def _send(self, request) -> bytes:
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            if exc.code >= 500:
+                # a server fault, not a bad query: surface it as a
+                # transport-class error so retry logic treats it like a
+                # dead server rather than a permanently-invalid request —
+                # but keep the server's message when it sent one
+                try:
+                    detail = f": {wire.decode_error(body)}"
+                except wire.WireError:
+                    detail = ""
+                raise ConnectionError(
+                    f"sketch query server at {self.base_url} failed with "
+                    f"HTTP {exc.code}{detail}"
+                ) from exc
+            try:
+                error = wire.decode_error(body)
+            except wire.WireError:
+                raise ConnectionError(
+                    f"server returned HTTP {exc.code} with a non-wire body"
+                ) from exc
+            raise error from None  # the exception a local execute() would raise
+        except urllib.error.URLError as exc:
+            raise ConnectionError(
+                f"cannot reach sketch query server at {self.base_url}: {exc.reason}"
+            ) from exc
+        except (http.client.HTTPException, OSError) as exc:
+            # read timeouts, truncated bodies, resets mid-response — all
+            # transport failures, all promised to surface as ConnectionError
+            raise ConnectionError(
+                f"transport failure talking to {self.base_url}: {exc!r}"
+            ) from exc

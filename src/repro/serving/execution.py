@@ -21,10 +21,44 @@ from dataclasses import dataclass
 
 _WORKERS_ENV = "REPRO_SERVING_WORKERS"
 _PREFILTER_ENV = "REPRO_SERVING_PREFILTER"
+_TRUE_VALUES = ("1", "true", "on", "yes")
 _FALSE_VALUES = ("0", "false", "off", "no")
 
 
-@dataclass(frozen=True)
+def _workers_from_env() -> int:
+    raw = os.environ.get(_WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{_WORKERS_ENV}={raw!r} is not a valid worker count: expected a "
+            "positive integer such as 4 (unset it for serial execution)"
+        ) from None
+    if workers < 1:
+        raise ValueError(
+            f"{_WORKERS_ENV}={raw!r} is not a valid worker count: must be "
+            ">= 1 (unset it for serial execution)"
+        )
+    return workers
+
+
+def _prefilter_from_env() -> bool:
+    raw = os.environ.get(_PREFILTER_ENV, "").strip().lower()
+    if not raw:  # unset or empty means the default, same as the workers var
+        return True
+    if raw in _TRUE_VALUES:
+        return True
+    if raw in _FALSE_VALUES:
+        return False
+    raise ValueError(
+        f"{_PREFILTER_ENV}={raw!r} is not a valid switch: use one of "
+        f"{'/'.join(_TRUE_VALUES)} or {'/'.join(_FALSE_VALUES)}"
+    )
+
+
+@dataclass(frozen=True, repr=False)
 class ExecutionPolicy:
     """How a :class:`DistanceService` schedules per-shard query work.
 
@@ -47,6 +81,10 @@ class ExecutionPolicy:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
 
+    def __repr__(self) -> str:
+        mode = "serial" if self.workers == 1 else f"workers={self.workers}"
+        return f"ExecutionPolicy({mode}, prefilter={'on' if self.prefilter else 'off'})"
+
     @property
     def parallel(self) -> bool:
         return self.workers > 1
@@ -59,16 +97,9 @@ class ExecutionPolicy:
         run the whole serving test suite under a 4-worker pool without
         touching the tests — and ``REPRO_SERVING_PREFILTER=0`` disables
         the prefilter (an A/B lever for debugging; the prefilter is
-        exact, so results never depend on it).
+        exact, so results never depend on it).  Malformed values raise
+        ``ValueError`` naming the variable, the offending value and the
+        accepted forms — a typo in a deployment manifest should fail
+        loudly at service construction, not silently fall back.
         """
-        raw = os.environ.get(_WORKERS_ENV, "").strip()
-        try:
-            workers = max(1, int(raw)) if raw else 1
-        except ValueError:
-            raise ValueError(
-                f"{_WORKERS_ENV}={raw!r} is not an integer worker count"
-            ) from None
-        prefilter = (
-            os.environ.get(_PREFILTER_ENV, "1").strip().lower() not in _FALSE_VALUES
-        )
-        return cls(workers=workers, prefilter=prefilter)
+        return cls(workers=_workers_from_env(), prefilter=_prefilter_from_env())

@@ -30,7 +30,11 @@ Labels are stored with a **typed JSON encoding** (:func:`encode_label`):
 tuples/lists/dicts survive recursively, and anything else degrades to
 its ``str()`` with an explicit marker — so ``load(save(store))`` gives
 back labels *equal to the originals*, where format 1 stringified
-everything.
+everything.  Non-finite float labels (``nan``/``inf``) carry an ``f8``
+hex tag so the header stays strict RFC 8259 JSON; readers predating the
+tag reject only stores containing such labels (with an unknown-encoding
+error), which was judged better than bumping the container version and
+breaking every older reader for an edge case.
 
 Format version 1 (the PR-2 writer: JSON envelope around the verbatim
 ``SketchBatch.to_bytes`` blob, one SHA-256 over the whole payload) is
@@ -45,6 +49,7 @@ import dataclasses
 import hashlib
 import io
 import json
+import math
 import numbers
 import os
 
@@ -87,7 +92,11 @@ def encode_label(label) -> object:
     if isinstance(label, numbers.Integral):
         return int(label)
     if isinstance(label, numbers.Real):  # normalises np.float64 and friends
-        return float(label)
+        value = float(label)
+        if not math.isfinite(value):
+            # bare NaN/Infinity tokens are not strict JSON; hex-tag them
+            return {_LABEL_KEY: "f8", "value": value.hex()}
+        return value
     if isinstance(label, tuple):
         return {_LABEL_KEY: "tuple", "items": [encode_label(x) for x in label]}
     if isinstance(label, list):
@@ -113,6 +122,8 @@ def decode_label(encoded) -> object:
         return {decode_label(k): decode_label(v) for k, v in encoded["items"]}
     if kind == "str":
         return encoded["value"]
+    if kind == "f8":
+        return float.fromhex(encoded["value"])
     raise SerializationError(f"unknown label encoding {encoded!r}")
 
 

@@ -1,0 +1,390 @@
+"""Network query frontend: serve a saved sketch store over HTTP.
+
+:class:`SketchQueryServer` exposes one
+:class:`~repro.serving.service.DistanceService` over plain HTTP using
+only the standard library (``http.server.ThreadingHTTPServer`` — one
+thread per connection; the heavy lifting inside a query is BLAS, which
+releases the GIL, and the service's own
+:class:`~repro.serving.execution.ExecutionPolicy` fans shard blocks
+across its worker pool independently of connection threads).
+
+Endpoints (all bodies are :mod:`repro.serving.wire` envelopes):
+
+=====================  =======================================================
+``POST /query``        one query envelope in, one result envelope out
+``POST /query-many``   a JSON array of query envelopes in, results out
+``GET /healthz``       liveness + store shape: rows, shards, config digest
+``GET /meta``          the store's public metadata header (no values)
+=====================  =======================================================
+
+Client-side errors — a malformed envelope, an incompatible query, an
+empty store — come back as status 400 with an *error envelope* carrying
+the exception class and message, so
+:class:`~repro.serving.client.DistanceClient` re-raises exactly what a
+local ``execute()`` would have raised.  Unexpected server faults are
+500 with a generic message (internals never leak to the wire).
+
+Scale-out is process-level and free: the store directory is opened with
+``mmap=True`` by default, so ``N`` server processes on ``N`` ports map
+the *same* shard files read-only and share page cache — start as many
+as the machine has cores and put any HTTP load balancer in front.
+
+Run from the command line::
+
+    python -m repro.serving.server --store path/to/store --port 8790
+
+and point a :class:`~repro.serving.client.DistanceClient` at the
+printed URL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import threading
+import traceback
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serving import wire
+from repro.serving.execution import ExecutionPolicy
+from repro.serving.queries import CrossQuery, PairwiseQuery, TopKQuery
+from repro.serving.service import DistanceService
+from repro.serving.store import ShardedSketchStore
+
+#: Default port; chosen out of the way of common dev servers.
+DEFAULT_PORT = 8790
+
+#: Request bodies above this size are rejected with 413 — a query is a
+#: handful of sketch rows, not a bulk upload.  (256 MiB admits ~500k
+#: base64-encoded rows of a k=256 sketch, far beyond any sane query.)
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+#: Matrix results above this many float64 cells (~1 GiB) are refused:
+#: a bytes-cheap request must not be able to force a quadratically
+#: larger allocation on the server (``PairwiseQuery(indices=(0,) * 1M)``
+#: is a ~3 MB body demanding an 8 TB response).  Local execution is
+#: deliberately uncapped — this is a network-frontend resource policy,
+#: and capped clients can chunk their query instead.
+MAX_RESULT_CELLS = 1 << 27
+
+
+def _query_rows(release) -> int:
+    values = getattr(release, "values", None)
+    if values is None:
+        return 0  # malformed; execute() will reject it properly
+    return 1 if getattr(values, "ndim", 1) == 1 else values.shape[0]
+
+
+def _result_cells(query, store) -> int:
+    """Upper bound on the result entries a query makes the server hold."""
+    if isinstance(query, PairwiseQuery):
+        return len(query.indices) ** 2
+    if isinstance(query, CrossQuery):
+        return _query_rows(query.queries) * len(store)
+    if isinstance(query, TopKQuery):
+        # one (label, estimate) pair per query row per winner
+        return _query_rows(query.queries) * min(query.k, len(store))
+    # norms return one entry per stored row; a radius query's worst case
+    # (radius_sq=inf) hits every stored row — neither is free, and a
+    # /query-many batch of them must not slip under the cap as zero
+    return len(store)
+
+
+def _check_result_size(queries, store) -> None:
+    """Refuse a request whose *combined* results exceed the cell cap.
+
+    Summed across a ``/query-many`` batch — ``execute_many`` holds every
+    result until the batch is encoded, so the batch is the allocation
+    unit, not the individual query.
+    """
+    cells = sum(_result_cells(query, store) for query in queries)
+    if cells > MAX_RESULT_CELLS:
+        raise ValueError(
+            f"request would produce {cells} result cells, over this server's "
+            f"{MAX_RESULT_CELLS}-cell limit — split it into smaller queries"
+        )
+
+
+class _QueryHandler(BaseHTTPRequestHandler):
+    """One HTTP request against the wrapped service (set by subclass)."""
+
+    service: DistanceService  # injected via the per-server subclass
+    server_version = "repro-sketch-query/1"
+    #: per-connection socket timeout — a client that stalls mid-body must
+    #: not pin a handler thread (and its pending read buffer) forever
+    timeout = 60
+    # HTTP/1.1 so keep-alive-capable clients (http.client, browsers, load
+    # balancers) can reuse connections; the shipped DistanceClient opens
+    # one connection per request and amortises via /query-many instead
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # queries are high-rate; logging is the load balancer's job
+
+    def _reply(self, status: int, body: bytes, content_type="application/json"):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:  # tell the client, don't just drop the socket
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes | None:
+        if self.headers.get("Transfer-Encoding"):
+            # BaseHTTPRequestHandler cannot dechunk; without a close the
+            # undrained chunk lines would be parsed as the next request
+            self.close_connection = True
+            self._reply(
+                501,
+                wire.encode_error(
+                    ValueError("chunked request bodies are not supported; "
+                               "send a Content-Length")
+                ),
+            )
+            return None
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length < 0:
+            # a negative length would turn rfile.read() into read-to-EOF,
+            # which never comes on a keep-alive connection
+            self.close_connection = True  # the body was never drained
+            self._reply(400, wire.encode_error(ValueError("bad Content-Length")))
+            return None
+        if length > MAX_BODY_BYTES:
+            # replying without draining the body would desynchronize the
+            # keep-alive stream (the next "request" would parse body bytes)
+            self.close_connection = True
+            self._reply(
+                413,
+                wire.encode_error(ValueError(f"request body over {MAX_BODY_BYTES} bytes")),
+            )
+            return None
+        return self.rfile.read(length)
+
+    # -- endpoints -----------------------------------------------------------
+
+    def do_POST(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            if self.path == "/query":
+                query = wire.decode_query(body)
+                _check_result_size([query], self.service.store)
+                result = self.service.execute(query)
+                self._reply(200, wire.encode_result(result, query))
+            elif self.path == "/query-many":
+                queries = wire.decode_queries(body)
+                _check_result_size(queries, self.service.store)
+                results = self.service.execute_many(queries)
+                self._reply(200, wire.encode_results(results, queries))
+            else:
+                self._reply(404, wire.encode_error(ValueError(f"no endpoint {self.path}")))
+        except (wire.WireError, ValueError, TypeError, IndexError) as exc:
+            # the client's fault: transport the exact exception class so
+            # DistanceClient raises what a local execute() would have
+            self._reply(400, wire.encode_error(exc))
+        except Exception:  # noqa: BLE001 - the server must not die mid-request
+            # internals stay off the wire, but the operator gets the
+            # traceback on stderr — a silent 500 is undebuggable
+            traceback.print_exc()
+            self._reply(500, wire.encode_error(ValueError("internal server error")))
+
+    def do_GET(self) -> None:
+        try:
+            self._do_get()
+        except Exception:  # noqa: BLE001 - same contract as do_POST
+            traceback.print_exc()
+            self._reply(500, wire.encode_error(ValueError("internal server error")))
+
+    def _do_get(self) -> None:
+        if self.path == "/healthz":
+            store = self.service.store
+            body = json.dumps(
+                {
+                    "status": "ok",
+                    "rows": len(store),
+                    "shards": store.n_shards,
+                    "config_digest": (
+                        None if store.metadata is None else store.metadata.config_digest
+                    ),
+                }
+            ).encode("utf-8")
+            self._reply(200, body)
+        elif self.path == "/meta":
+            store = self.service.store
+            meta = store.metadata
+            body = json.dumps(
+                {
+                    "rows": len(store),
+                    "shards": store.n_shards,
+                    "policy": repr(self.service.policy),
+                    "metadata": None
+                    if meta is None
+                    else {
+                        "input_dim": meta.input_dim,
+                        "output_dim": meta.output_dim,
+                        "perturbation": meta.perturbation,
+                        "noise_spec": meta.noise_spec,
+                        "noise_second_moment": meta.noise_second_moment,
+                        "epsilon": meta.guarantee.epsilon,
+                        "delta": meta.guarantee.delta,
+                        "config_digest": meta.config_digest,
+                    },
+                }
+            ).encode("utf-8")
+            self._reply(200, body)
+        else:
+            self._reply(404, wire.encode_error(ValueError(f"no endpoint {self.path}")))
+
+
+class SketchQueryServer:
+    """An HTTP frontend over one :class:`DistanceService`.
+
+    Wraps an existing service (any store: in-memory, eager-loaded or
+    memory-mapped) or, via :meth:`from_store_dir`, a saved store
+    directory.  ``port=0`` binds an ephemeral port — read the chosen
+    one from :attr:`url` — which is what tests and multi-process
+    launchers want.
+
+    Use :meth:`start` for a background thread (then :meth:`close`), or
+    :meth:`serve_forever` to block the calling thread (the CLI path).
+    Context-manager use starts on enter and closes on exit.
+    """
+
+    def __init__(
+        self,
+        service: DistanceService,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.service = service
+        handler = type("_BoundQueryHandler", (_QueryHandler,), {"service": service})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self._serving = False
+
+    @classmethod
+    def from_store_dir(
+        cls,
+        path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        mmap: bool = True,
+        policy: ExecutionPolicy | None = None,
+    ) -> "SketchQueryServer":
+        """Serve a directory saved by :meth:`ShardedSketchStore.save`.
+
+        ``mmap=True`` (default) attaches shards lazily, so multiple
+        server processes over one directory share the OS page cache.
+        """
+        store = ShardedSketchStore.load(path, mmap=mmap)
+        return cls(DistanceService(store, policy=policy), host=host, port=port)
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "SketchQueryServer":
+        """Serve on a daemon thread; returns ``self`` for chaining."""
+        if self._thread is None:
+            self._serving = True
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="repro-query-server", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        self._serving = True
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop accepting connections and release the service's pool.
+
+        Safe on a server that was never started: ``BaseServer.shutdown``
+        blocks on an event only a ``serve_forever`` loop ever sets, so
+        it is skipped unless a loop was launched.
+        """
+        if self._serving:
+            self._httpd.shutdown()
+            self._serving = False
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.service.close()
+
+    def __enter__(self) -> "SketchQueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def main(argv=None) -> None:
+    """CLI: ``python -m repro.serving.server --store DIR [--port N]``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.server",
+        description="Serve distance queries over a saved sketch store via HTTP.",
+    )
+    parser.add_argument("--store", required=True, help="store directory (from save())")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="0 binds an ephemeral port"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard-parallel query workers (default: REPRO_SERVING_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--eager",
+        action="store_true",
+        help="read shards into RAM up front instead of memory-mapping lazily",
+    )
+    args = parser.parse_args(argv)
+    # layer the flag over the environment policy so REPRO_SERVING_PREFILTER
+    # keeps working (and keeps failing loudly on garbage) alongside --workers
+    policy = None
+    if args.workers is not None:
+        policy = dataclasses.replace(ExecutionPolicy.from_env(), workers=args.workers)
+    server = SketchQueryServer.from_store_dir(
+        args.store, host=args.host, port=args.port, mmap=not args.eager, policy=policy
+    )
+    store = server.service.store
+    # the URL line is machine-readable: launchers (and the smoke test)
+    # parse it to discover an ephemeral port
+    print(
+        f"serving {len(store)} rows in {store.n_shards} shards "
+        f"(policy {server.service.policy!r}) at {server.url}",
+        flush=True,
+    )
+    server.serve_forever()
+
+
+if __name__ == "__main__":
+    main()

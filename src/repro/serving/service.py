@@ -1,11 +1,24 @@
-"""Distance queries over a sharded store of published sketches.
+"""The query plane: one ``execute()`` entry point over a sharded store.
 
-:class:`DistanceService` is the analyst-facing query plane: it answers
-top-``k``, radius, cross-batch and pairwise-submatrix queries by
-streaming the store's shards through the vectorised estimators of
-:mod:`repro.core.estimators`, reusing each shard's cached squared norms
-(``sq_b`` in the expanded distance formula) so a query touches every
-stored row at most once and recomputes nothing.
+:class:`DistanceService` answers the typed query algebra of
+:mod:`repro.serving.queries` — :class:`~repro.serving.queries.TopKQuery`,
+:class:`~repro.serving.queries.RadiusQuery`,
+:class:`~repro.serving.queries.CrossQuery`,
+:class:`~repro.serving.queries.PairwiseQuery`,
+:class:`~repro.serving.queries.NormsQuery` — from a
+:class:`~repro.serving.store.ShardedSketchStore`, streaming the store's
+shards through the vectorised estimators of
+:mod:`repro.core.estimators` and reusing each shard's cached squared
+norms so a query touches every stored row at most once.
+
+Everything enters through :meth:`DistanceService.execute` (or
+:meth:`~DistanceService.execute_many`), which owns — exactly once, for
+every query kind — store validation, snapshotting, the
+:class:`~repro.serving.execution.ExecutionPolicy` fan-out, and the
+:class:`~repro.serving.queries.QueryStats` accounting.  The HTTP
+:class:`~repro.serving.client.DistanceClient` implements the same
+``execute()`` protocol, so local and remote backends are
+interchangeable.
 
 Three mechanisms keep large stores fast:
 
@@ -20,41 +33,63 @@ Three mechanisms keep large stores fast:
   block.  The bound includes a relative safety slack that dominates
   floating-point rounding, so prefiltered answers are *identical* to
   unfiltered ones — it is a pure work-skipping optimisation, never an
-  approximation.
+  approximation.  Shards it skips are reported in
+  ``QueryResult.stats.shards_pruned``.
 * **Snapshot reads** — every query freezes a
   :meth:`~repro.serving.store.ShardedSketchStore.snapshot` first, so it
   sees a consistent prefix of the store even while one writer keeps
   appending (the store-level concurrency contract: one writer at a
   time, any number of readers).
 
-Empty-store behaviour is uniform across ``top_k`` / ``radius`` /
-``cross``: a store that has *never* seen a release has no pinned
-metadata to validate against, so all three raise ``ValueError``; a
-store that is empty but carries pinned metadata (e.g. a zero-row batch
-was added) validates the query normally and returns empty results.
+Empty-store behaviour is uniform across every query kind: a store that
+has *never* seen a release has no pinned metadata to validate against,
+so ``execute`` raises ``ValueError``; a store that is empty but carries
+pinned metadata (e.g. a zero-row batch was added) validates the query
+normally and returns empty results.
 
-.. note:: **Estimates can be negative.**  Every distance returned by
-   this layer is the *unbiased* squared-distance estimate of Lemma 3 /
-   Lemma 8: the noise correction ``2 m E[eta^2]`` is subtracted from the
-   raw sketch distance, and at tiny true distances the correction can
-   overshoot, producing a negative number.  Orderings (top-``k``,
-   radius cut-offs) remain meaningful because the correction is the
-   same constant shift for every entry.  This caveat applies to every
-   method below and is stated once here instead of per method.
+.. note:: **Negative estimates.**  Every distance this layer computes is
+   the *unbiased* squared-distance estimate of Lemma 3 / Lemma 8: the
+   noise correction ``2 m E[eta^2]`` is subtracted from the raw sketch
+   distance, and at tiny true distances the correction can overshoot,
+   producing a negative number.  Orderings and radius membership are
+   decided on the raw values (the correction is a constant shift, so
+   order is unaffected); ranking payloads (top-k, radius) then clamp
+   the *reported* estimates at zero through
+   :func:`repro.core.estimators.clamp_sq_estimates` — the single
+   documented owner of the clamping rule — while matrix payloads
+   (cross, pairwise, norms) stay raw and unbiased.
+
+**Deprecation policy.**  The pre-query-plane methods ``top_k`` /
+``top_k_batch`` / ``radius`` / ``cross`` / ``pairwise_submatrix`` are
+thin shims over ``execute()``: bit-identical results, plus a
+``DeprecationWarning``.  They remain for at least two further releases
+of this package before removal; new code should construct the typed
+query and call ``execute()``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import threading
+import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.core import estimators
-from repro.core.sketch import PrivateSketch, SketchBatch
+from repro.core.sketch import SketchBatch
 from repro.serving.execution import ExecutionPolicy
-from repro.serving.store import ShardedSketchStore, ShardView
+from repro.serving.queries import (
+    CrossQuery,
+    NormsQuery,
+    PairwiseQuery,
+    QueryResult,
+    QueryStats,
+    RadiusQuery,
+    TopKQuery,
+)
+from repro.serving.store import DEFAULT_SHARD_CAPACITY, ShardedSketchStore, ShardView
 
 
 def stable_smallest_k(values: np.ndarray, k: int) -> np.ndarray:
@@ -145,8 +180,33 @@ class _RunningBest:
                 self._best[q] = merged[: self._k]
 
 
+def _deprecated(old: str, replacement: str) -> None:
+    warnings.warn(
+        f"DistanceService.{old}() is deprecated and will be removed after two "
+        f"further releases; build a {replacement} and call execute() instead "
+        "(bit-identical results)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _shard_stats(views: list[ShardView], scanned_mask: list[bool]) -> QueryStats:
+    """Stats for a per-shard scan; ``scanned_mask[i]`` is False when pruned."""
+    rows_total = sum(view.size for view in views)
+    rows_scanned = sum(
+        view.size for view, scanned in zip(views, scanned_mask) if scanned
+    )
+    visited = sum(scanned_mask)
+    return QueryStats(
+        shards_visited=visited,
+        shards_pruned=len(views) - visited,
+        rows_scanned=rows_scanned,
+        rows_total=rows_total,
+    )
+
+
 class DistanceService:
-    """Serves distance queries from a :class:`ShardedSketchStore`.
+    """Serves the typed query algebra from a :class:`ShardedSketchStore`.
 
     Construct over an existing store, or use :meth:`from_batches` to
     build store and service in one step.  The service is a pure reader:
@@ -173,12 +233,21 @@ class DistanceService:
         *batches: SketchBatch,
         shard_capacity: int | None = None,
         policy: ExecutionPolicy | None = None,
+        expected_digest: str | None = None,
     ) -> "DistanceService":
-        """Build a store from released batches and wrap it."""
-        store = (
-            ShardedSketchStore()
+        """Build a store from released batches and wrap it.
+
+        ``expected_digest`` pins the store to one public configuration
+        *before* any batch arrives: every construction path then fails
+        fast on a foreign batch, exactly like
+        :meth:`~repro.core.protocol.SketchingSession.serve` (which
+        routes through here with its session's digest).
+        """
+        store = ShardedSketchStore(
+            shard_capacity=DEFAULT_SHARD_CAPACITY
             if shard_capacity is None
-            else ShardedSketchStore(shard_capacity=shard_capacity)
+            else shard_capacity,
+            expected_digest=expected_digest,
         )
         for batch in batches:
             store.add_batch(batch)
@@ -240,35 +309,53 @@ class DistanceService:
     def _correction(self) -> float:
         return estimators.sq_distance_correction(self.store.metadata)
 
-    # -- queries -------------------------------------------------------------
+    # -- the one entry point -------------------------------------------------
 
-    def top_k(self, query: PrivateSketch, k: int = 1) -> list[tuple[object, float]]:
-        """The ``k`` stored entries closest to ``query``.
+    _HANDLERS: dict = {}  # populated after the class body; type -> method name
 
-        Returns ``(label, estimated squared distance)`` pairs in
-        ascending distance order, ties broken by insertion order.
+    def execute(self, query) -> QueryResult:
+        """Answer one typed query; the single entry point for every kind.
+
+        Dispatches on the query's type, validates it against the store,
+        freezes a snapshot, fans the per-shard work out according to the
+        :class:`ExecutionPolicy`, and returns a
+        :class:`~repro.serving.queries.QueryResult` whose ``stats``
+        record what was actually scanned, pruned and how long it took.
+        Raises ``TypeError`` for an object outside the query algebra and
+        ``ValueError`` for a query the store cannot answer.
         """
-        return self.top_k_batch(query, k)[0]
+        handler = self._HANDLERS.get(type(query))
+        if handler is None:
+            raise TypeError(
+                f"execute() takes a typed query "
+                f"(one of {[t.__name__ for t in self._HANDLERS]}), "
+                f"got {type(query).__name__}"
+            )
+        started = time.perf_counter()
+        payload, stats = getattr(self, handler)(query)
+        stats = dataclasses.replace(
+            stats, elapsed_seconds=time.perf_counter() - started
+        )
+        return QueryResult(payload=payload, stats=stats)
 
-    def top_k_batch(self, queries, k: int = 1) -> list[list[tuple[object, float]]]:
-        """One top-``k`` ranking per row of ``queries`` (sketch or batch).
+    def execute_many(self, queries) -> list[QueryResult]:
+        """Execute a sequence of typed queries, results in input order.
 
-        Each shard contributes its own ``k`` best candidates (selected
-        with :func:`stable_smallest_k` against cached norms) and the
-        per-shard winners merge into the global ranking — no full
-        ``n``-row sort ever happens.  Shards whose norm bounds prove
-        they cannot beat the current ``k``-th candidate for *any* query
-        are skipped entirely; with a parallel policy the remaining
-        shard blocks run on the worker pool.  Results are identical
-        whatever the policy.
+        Each query freezes its own snapshot (so under a concurrent
+        writer, later queries may see more rows — the same rule as
+        issuing them one by one).
         """
-        if k < 1:
-            raise ValueError(f"top must be >= 1, got {k}")
-        rows = self._query_rows(queries)
+        return [self.execute(query) for query in queries]
+
+    # -- per-kind executors --------------------------------------------------
+
+    def _execute_top_k(self, query: TopKQuery) -> tuple[list, QueryStats]:
+        k = query.k
+        rows = self._query_rows(query.queries)
         views = self.store.snapshot()
         n_queries = rows.shape[0]
         if not views:
-            return [[] for _ in range(n_queries)]
+            return [[] for _ in range(n_queries)], QueryStats()
         sq_rows = np.einsum("ij,ij->i", rows, rows)
         query_norms = np.sqrt(sq_rows)
         correction = self._correction()
@@ -291,35 +378,36 @@ class DistanceService:
                 running.update(winners_est)
             return winners_idx, winners_est
 
-        candidates = [c for c in self._run_ordered(scan, views) if c is not None]
+        per_shard = self._run_ordered(scan, views)
+        candidates = [c for c in per_shard if c is not None]
         results = []
         for q in range(n_queries):
             idx = np.concatenate([c[0][q] for c in candidates])
             est = np.concatenate([c[1][q] for c in candidates])
             # ties across shards resolve by global position — the same
-            # order a stable sort over the full concatenated row gives
+            # order a stable sort over the full concatenated row gives;
+            # ordering is decided on the raw estimates, the *reported*
+            # estimate is then clamped (see estimators.clamp_sq_estimates)
             order = np.lexsort((idx, est))[:k]
             results.append(
-                [(self.store.label(int(idx[i])), float(est[i])) for i in order]
+                [
+                    (
+                        self.store.label(int(idx[i])),
+                        estimators.clamp_sq_estimates(float(est[i])),
+                    )
+                    for i in order
+                ]
             )
-        return results
+        return results, _shard_stats(views, [c is not None for c in per_shard])
 
-    def radius(self, query: PrivateSketch, radius_sq: float) -> list[tuple[object, float]]:
-        """All stored entries with estimated squared distance <= ``radius_sq``.
-
-        Hits come back in ascending distance order; only the hits are
-        sorted (the non-matching rows are filtered out first).  Shards
-        whose norm bounds put every row strictly outside the radius are
-        skipped without computing their block.
-        """
-        if radius_sq < 0:
-            raise ValueError(f"radius_sq must be >= 0, got {radius_sq}")
-        rows = self._query_rows(query)
+    def _execute_radius(self, query: RadiusQuery) -> tuple[list, QueryStats]:
+        radius_sq = query.radius_sq
+        rows = self._query_rows(query.query)
         if rows.shape[0] != 1:
             raise ValueError("radius queries take a single sketch")
         views = self.store.snapshot()
         if not views:
-            return []
+            return [], QueryStats()
         sq_rows = np.einsum("ij,ij->i", rows, rows)
         query_norms = np.sqrt(sq_rows)
         correction = self._correction()
@@ -336,23 +424,25 @@ class DistanceService:
             hits = np.flatnonzero(block <= radius_sq)
             return hits + view.start, block[hits]
 
-        per_shard = [r for r in self._run_ordered(scan, views) if r is not None]
-        if not per_shard:
-            return []
-        idx = np.concatenate([r[0] for r in per_shard])
-        est = np.concatenate([r[1] for r in per_shard])
+        per_shard = self._run_ordered(scan, views)
+        stats = _shard_stats(views, [r is not None for r in per_shard])
+        hits = [r for r in per_shard if r is not None]
+        if not hits:
+            return [], stats
+        idx = np.concatenate([r[0] for r in hits])
+        est = np.concatenate([r[1] for r in hits])
         order = np.lexsort((idx, est))
-        return [(self.store.label(int(idx[i])), float(est[i])) for i in order]
+        payload = [
+            (
+                self.store.label(int(idx[i])),
+                estimators.clamp_sq_estimates(float(est[i])),
+            )
+            for i in order
+        ]
+        return payload, stats
 
-    def cross(self, queries) -> np.ndarray:
-        """The full ``(n_queries, n_stored)`` estimated distance matrix.
-
-        Accepts a :class:`SketchBatch` or a single sketch (one row).
-        Assembled shard by shard with cached norms — the store's rows
-        are never concatenated into one matrix; parallel policies fill
-        disjoint column blocks concurrently.
-        """
-        rows = self._query_rows(queries)
+    def _execute_cross(self, query: CrossQuery) -> tuple[np.ndarray, QueryStats]:
+        rows = self._query_rows(query.queries)
         views = self.store.snapshot()
         total = views[-1].start + views[-1].size if views else 0
         sq_rows = np.einsum("ij,ij->i", rows, rows)
@@ -367,22 +457,14 @@ class DistanceService:
             )
 
         self._run_ordered(scan, views)
-        return out
+        return out, _shard_stats(views, [True] * len(views))
 
-    def pairwise_submatrix(self, indices) -> np.ndarray:
-        """All-pairs estimates among the stored rows at ``indices``.
-
-        Gathers the selected rows (one copy of ``m`` rows) and runs the
-        Gram-based pairwise estimator; entry ``(i, j)`` estimates the
-        distance between stored rows ``indices[i]`` and ``indices[j]``,
-        with a zero diagonal by convention.  On a memory-mapped store
-        only the shards containing selected rows are touched.
-        """
+    def _execute_pairwise(self, query: PairwiseQuery) -> tuple[np.ndarray, QueryStats]:
         if self.store.metadata is None:
             raise ValueError("the index is empty")
         views = self.store.snapshot()
         n = views[-1].start + views[-1].size if views else 0
-        indices = np.asarray(indices, dtype=np.int64)
+        indices = np.asarray(query.indices, dtype=np.int64)
         if indices.size and (indices.min() < -n or indices.max() >= n):
             raise IndexError(f"indices out of range for store of {n} rows")
         if indices.size:
@@ -391,8 +473,65 @@ class DistanceService:
         shard_ids = np.searchsorted(bounds, indices, side="right") - 1
         local = indices - bounds[shard_ids]
         gathered = np.empty((indices.size, self.store.metadata.output_dim))
-        for shard in np.unique(shard_ids):
+        touched = np.unique(shard_ids)
+        for shard in touched:
             mask = shard_ids == shard
             gathered[mask] = views[int(shard)].values[local[mask]]
         subset = dataclasses.replace(self.store.metadata, values=gathered, labels=())
-        return estimators.pairwise_sq_distances(subset)
+        # shards the gather never touches count as pruned (skipped without
+        # a read — on an mmap store their files stay cold), preserving the
+        # visited + pruned == snapshot-shards invariant of QueryStats
+        stats = QueryStats(
+            shards_visited=int(touched.size),
+            shards_pruned=len(views) - int(touched.size),
+            rows_scanned=int(np.unique(indices).size),
+            rows_total=n,
+        )
+        return estimators.pairwise_sq_distances(subset), stats
+
+    def _execute_norms(self, query: NormsQuery) -> tuple[np.ndarray, QueryStats]:
+        meta = self.store.metadata
+        if meta is None:
+            raise ValueError("the index is empty")
+        views = self.store.snapshot()
+        correction = estimators.sq_norm_correction(meta)
+        if not views:
+            return np.empty(0), QueryStats()
+        norms = np.concatenate([view.sq_norms for view in views]) - correction
+        return norms, _shard_stats(views, [True] * len(views))
+
+    # -- deprecated method-per-query shims -----------------------------------
+
+    def top_k(self, query, k: int = 1) -> list[tuple[object, float]]:
+        """Deprecated: ``execute(TopKQuery(queries=query, k=k)).payload[0]``."""
+        _deprecated("top_k", "TopKQuery")
+        return self.execute(TopKQuery(queries=query, k=k)).payload[0]
+
+    def top_k_batch(self, queries, k: int = 1) -> list[list[tuple[object, float]]]:
+        """Deprecated: ``execute(TopKQuery(queries=queries, k=k)).payload``."""
+        _deprecated("top_k_batch", "TopKQuery")
+        return self.execute(TopKQuery(queries=queries, k=k)).payload
+
+    def radius(self, query, radius_sq: float) -> list[tuple[object, float]]:
+        """Deprecated: ``execute(RadiusQuery(query, radius_sq)).payload``."""
+        _deprecated("radius", "RadiusQuery")
+        return self.execute(RadiusQuery(query=query, radius_sq=radius_sq)).payload
+
+    def cross(self, queries) -> np.ndarray:
+        """Deprecated: ``execute(CrossQuery(queries)).payload``."""
+        _deprecated("cross", "CrossQuery")
+        return self.execute(CrossQuery(queries=queries)).payload
+
+    def pairwise_submatrix(self, indices) -> np.ndarray:
+        """Deprecated: ``execute(PairwiseQuery(indices)).payload``."""
+        _deprecated("pairwise_submatrix", "PairwiseQuery")
+        return self.execute(PairwiseQuery(indices=tuple(indices))).payload
+
+
+DistanceService._HANDLERS = {
+    TopKQuery: "_execute_top_k",
+    RadiusQuery: "_execute_radius",
+    CrossQuery: "_execute_cross",
+    PairwiseQuery: "_execute_pairwise",
+    NormsQuery: "_execute_norms",
+}

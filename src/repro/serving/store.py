@@ -227,17 +227,28 @@ class ShardedSketchStore:
     All rows must come from one public configuration (same config
     digest, same noise metadata); the first added release pins the
     metadata and later additions are checked against it with the same
-    compatibility rule as the estimators.
+    compatibility rule as the estimators.  ``expected_digest`` pins the
+    configuration *before* any release arrives: a store constructed
+    with it rejects the very first foreign batch instead of silently
+    adopting its configuration — this is how
+    :meth:`~repro.core.protocol.SketchingSession.serve` and
+    :meth:`~repro.serving.service.DistanceService.from_batches` make
+    every construction path fail fast on mismatched digests.
 
     Labels default to the row's global position, matching
     :class:`~repro.core.knn.PrivateNeighborIndex`, and survive a
     save/load round trip with their types intact.
     """
 
-    def __init__(self, shard_capacity: int = DEFAULT_SHARD_CAPACITY) -> None:
+    def __init__(
+        self,
+        shard_capacity: int = DEFAULT_SHARD_CAPACITY,
+        expected_digest: str | None = None,
+    ) -> None:
         if shard_capacity < 1:
             raise ValueError(f"shard_capacity must be >= 1, got {shard_capacity}")
         self.shard_capacity = int(shard_capacity)
+        self.expected_digest = expected_digest
         self._shards: list = []
         self._labels: list[object] = []
         self._template: SketchBatch | None = None  # zero-row metadata carrier
@@ -283,8 +294,19 @@ class ShardedSketchStore:
             raise ValueError(f"got {len(labels)} labels for {len(batch)} rows")
         self._append(batch, np.asarray(batch.values, dtype=np.float64), list(labels))
 
+    def _check_expected_digest(self, release) -> None:
+        if (
+            self.expected_digest is not None
+            and release.config_digest != self.expected_digest
+        ):
+            raise ValueError(
+                f"batch {release.config_digest} comes from a different "
+                f"configuration than this store expects ({self.expected_digest})"
+            )
+
     def _append(self, release, rows: np.ndarray, labels: list) -> None:
         if self._template is None:
+            self._check_expected_digest(release)
             self._template = _as_template(release)
         else:
             estimators.check_compatible(self._template, release)
@@ -552,6 +574,7 @@ class ShardedSketchStore:
     def _attach_mapped(self, info: BatchInfo) -> None:
         """Attach one stored shard as a lazy memory-mapped shard."""
         if self._template is None:
+            self._check_expected_digest(info.meta)
             self._template = info.meta
         else:
             estimators.check_compatible(self._template, info.meta)

@@ -4,7 +4,28 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.serving import CrossQuery, RadiusQuery, TopKQuery
 from repro.transforms import create_transform
+
+
+# -- typed-query-plane wrappers (shared by the serving test modules) ----------
+
+
+def execute_top_k(service, query, k=1):
+    """One ranking: a single-sketch TopKQuery through execute()."""
+    return service.execute(TopKQuery(queries=query, k=k)).payload[0]
+
+
+def execute_top_k_batch(service, queries, k=1):
+    return service.execute(TopKQuery(queries=queries, k=k)).payload
+
+
+def execute_radius(service, query, radius_sq):
+    return service.execute(RadiusQuery(query=query, radius_sq=radius_sq)).payload
+
+
+def execute_cross(service, queries):
+    return service.execute(CrossQuery(queries=queries)).payload
 
 #: (name, kwargs) for every transform at a test-friendly size.
 TRANSFORM_SPECS = [

@@ -341,6 +341,17 @@ class TestLabelCodec:
         decoded = decode_label(encode_label(float("nan")))
         assert isinstance(decoded, float) and decoded != decoded
 
+    def test_non_finite_labels_encode_as_strict_json(self):
+        # the encoding is shared with the wire codec, which promises
+        # RFC 8259 output: no bare NaN/Infinity tokens allowed
+        import json
+
+        for label in (float("nan"), float("inf"), float("-inf")):
+            encoded = encode_label(label)
+            json.dumps(encoded, allow_nan=False)  # must not raise
+            decoded = decode_label(encoded)
+            assert decoded == label or (decoded != decoded and label != label)
+
     def test_numpy_scalar_labels_decode_as_python_scalars(self):
         # regression: np.arange labels are np.int64, which is not an
         # `int` — they must survive as equal integers, not as strings

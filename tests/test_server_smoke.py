@@ -1,0 +1,368 @@
+"""Network frontend smoke tests: subprocess server + protocol edges.
+
+The acceptance contract: an HTTP client against a server spawned *as a
+separate process* over a saved, memory-mapped store returns
+**bit-identical** results to local ``execute()`` on the same store —
+for top-k, radius and cross — and error behaviour matches local
+execution (same exception classes).
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import estimators
+from repro.core.sketch import PrivateSketcher, SketchConfig
+from repro.serving import (
+    CrossQuery,
+    DistanceClient,
+    DistanceService,
+    ExecutionPolicy,
+    NormsQuery,
+    PairwiseQuery,
+    RadiusQuery,
+    ShardedSketchStore,
+    SketchQueryServer,
+    TopKQuery,
+    wire,
+)
+
+_CONFIG = SketchConfig(input_dim=128, epsilon=8.0, output_dim=64, sparsity=4, seed=11)
+
+
+def _sketcher():
+    return PrivateSketcher(_CONFIG)
+
+
+def _saved_store(tmp_path, n=40, shard_capacity=7):
+    sk = _sketcher()
+    rng = np.random.default_rng(3)
+    store = ShardedSketchStore(shard_capacity=shard_capacity)
+    store.add_batch(
+        sk.sketch_batch(rng.standard_normal((n, 128)), noise_rng=1)
+    )
+    store.save(tmp_path / "store")
+    return sk, tmp_path / "store"
+
+
+def _assert_remote_matches_local(client, local, sk):
+    rng = np.random.default_rng(9)
+    query = sk.sketch(rng.standard_normal(128), noise_rng=5)
+    batch = sk.sketch_batch(rng.standard_normal((3, 128)), noise_rng=6)
+
+    top_local = local.execute(TopKQuery(queries=query, k=7))
+    top_remote = client.execute(TopKQuery(queries=query, k=7))
+    assert top_remote.payload == top_local.payload  # labels, estimates: exact
+    assert top_remote.stats.shards_visited == top_local.stats.shards_visited
+
+    cutoff = float(np.median([est for _, est in top_local.payload[0]]))
+    r_local = local.execute(RadiusQuery(query=query, radius_sq=cutoff))
+    r_remote = client.execute(RadiusQuery(query=query, radius_sq=cutoff))
+    assert r_remote.payload == r_local.payload
+
+    c_local = local.execute(CrossQuery(queries=batch))
+    c_remote = client.execute(CrossQuery(queries=batch))
+    assert c_remote.payload.tobytes() == c_local.payload.tobytes()  # bit-identical
+
+    many = client.execute_many([NormsQuery(), PairwiseQuery(indices=(0, 5, 39))])
+    np.testing.assert_array_equal(many[0].payload, local.execute(NormsQuery()).payload)
+    np.testing.assert_array_equal(
+        many[1].payload, local.execute(PairwiseQuery(indices=(0, 5, 39))).payload
+    )
+
+
+class TestSubprocessServer:
+    def test_spawned_server_is_bit_identical_to_local_execute(self, tmp_path):
+        sk, store_dir = _saved_store(tmp_path)
+        local = DistanceService(
+            ShardedSketchStore.load(store_dir, mmap=True), ExecutionPolicy(workers=1)
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_SERVING_WORKERS", None)  # the CLI flag decides
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serving.server",
+                "--store",
+                str(store_dir),
+                "--port",
+                "0",
+                "--workers",
+                "2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert " at http://" in banner, f"unexpected server banner: {banner!r}"
+            url = banner.rsplit(" at ", 1)[1].strip()
+            client = DistanceClient(url, timeout=30.0)
+            health = client.health()
+            assert health["rows"] == 40
+            assert health["config_digest"] == _CONFIG.digest()
+            _assert_remote_matches_local(client, local, sk)
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                process.kill()
+                process.wait()
+
+
+class TestInProcessServer:
+    @pytest.fixture()
+    def served(self, tmp_path):
+        sk, store_dir = _saved_store(tmp_path)
+        local = DistanceService(
+            ShardedSketchStore.load(store_dir, mmap=True), ExecutionPolicy(workers=1)
+        )
+        with SketchQueryServer.from_store_dir(
+            store_dir, port=0, policy=ExecutionPolicy(workers=1)
+        ).start() as server:
+            yield sk, local, server, DistanceClient(server.url)
+
+    def test_bit_identical_results(self, served):
+        sk, local, _, client = served
+        _assert_remote_matches_local(client, local, sk)
+
+    def test_len_and_meta(self, served):
+        _, local, _, client = served
+        assert len(client) == len(local)
+        meta = client.meta()
+        assert meta["metadata"]["config_digest"] == _CONFIG.digest()
+        assert meta["metadata"]["output_dim"] == 64
+
+    def test_remote_errors_match_local_exception_classes(self, served):
+        sk, local, _, client = served
+        foreign = PrivateSketcher(dataclasses.replace(_CONFIG, seed=99)).sketch(
+            np.ones(128), noise_rng=0
+        )
+        query = TopKQuery(queries=foreign, k=1)
+        with pytest.raises(ValueError, match="different configurations"):
+            local.execute(query)
+        with pytest.raises(ValueError, match="different configurations"):
+            client.execute(query)
+        with pytest.raises(IndexError, match="out of range"):
+            client.execute(PairwiseQuery(indices=(0, 10_000)))
+
+    def test_malformed_body_is_a_wire_error(self, served):
+        _, _, server, _ = served
+        request = urllib.request.Request(
+            server.url + "/query", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        error = wire.decode_error(excinfo.value.read())
+        assert isinstance(error, wire.WireError)
+
+    def test_version_mismatch_is_rejected(self, served):
+        _, _, server, client = served
+        envelope = json.loads(wire.encode_query(NormsQuery()).decode())
+        envelope["version"] = 999
+        request = urllib.request.Request(
+            server.url + "/query", data=json.dumps(envelope).encode(), method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert "unsupported wire version" in str(wire.decode_error(excinfo.value.read()))
+
+    def test_oversized_body_rejected_and_connection_closed(self, served, monkeypatch):
+        # the body is never drained on a 413, so the server must close the
+        # keep-alive connection — otherwise the unread bytes would be
+        # parsed as the next request line and desynchronize the stream
+        import http.client
+
+        from repro.serving import server as server_module
+
+        monkeypatch.setattr(server_module, "MAX_BODY_BYTES", 64)
+        _, _, server, _ = served
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request("POST", "/query", body=b"x" * 1024)
+            response = connection.getresponse()
+            assert response.status == 413
+            response.read()
+            assert response.will_close  # server told us to drop the connection
+        finally:
+            connection.close()
+
+    def test_chunked_body_rejected_and_connection_closed(self, served):
+        # the stdlib handler cannot dechunk, so a chunked POST must be
+        # refused with a close — not leave chunk lines in the stream to
+        # be misparsed as the next request
+        import http.client
+
+        _, _, server, _ = served
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.putrequest("POST", "/query")
+            connection.putheader("Transfer-Encoding", "chunked")
+            connection.endheaders()
+            connection.send(b"5\r\nhello\r\n0\r\n\r\n")
+            response = connection.getresponse()
+            assert response.status == 501
+            assert "Content-Length" in str(wire.decode_error(response.read()))
+            assert response.will_close
+        finally:
+            connection.close()
+
+    def test_negative_content_length_rejected(self, served):
+        # a negative length must not become a read-to-EOF that parks the
+        # handler thread forever on a keep-alive connection
+        import http.client
+
+        _, _, server, _ = served
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.putrequest("POST", "/query")
+            connection.putheader("Content-Length", "-1")
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
+            assert isinstance(wire.decode_error(response.read()), ValueError)
+        finally:
+            connection.close()
+
+    def test_oversized_result_rejected_before_allocation(self, served, monkeypatch):
+        # a bytes-cheap request must not force a quadratically larger
+        # allocation: the server refuses, the client can chunk instead
+        from repro.serving import server as server_module
+
+        _, local, _, client = served
+        monkeypatch.setattr(server_module, "MAX_RESULT_CELLS", 100)
+        big = PairwiseQuery(indices=(0,) * 11)  # 121 cells > 100
+        with pytest.raises(ValueError, match="cell limit"):
+            client.execute(big)
+        with pytest.raises(ValueError, match="cell limit"):
+            client.execute_many([NormsQuery(), big])
+        assert local.execute(big).payload.shape == (11, 11)  # local: uncapped
+        # top-k rankings count too: 40 rows in the store, k capped by n
+        sk = _sketcher()
+        wide = TopKQuery(queries=sk.sketch_batch(
+            np.random.default_rng(1).standard_normal((5, 128)), noise_rng=2
+        ), k=1000)  # 5 * min(1000, 40) = 200 cells > 100
+        with pytest.raises(ValueError, match="cell limit"):
+            client.execute(wide)
+        # a /query-many batch is one allocation unit: two under-cap
+        # queries whose sum is over the cap are refused together
+        medium = PairwiseQuery(indices=(0,) * 8)  # 64 cells each
+        with pytest.raises(ValueError, match="cell limit"):
+            client.execute_many([medium, medium])
+        # norms/radius results cost one entry per stored row each: a
+        # batch of them must not slip under the cap as zero cells
+        with pytest.raises(ValueError, match="cell limit"):
+            client.execute_many([NormsQuery()] * 3)  # 3 * 40 = 120 > 100
+        small = PairwiseQuery(indices=(0, 1, 2))
+        np.testing.assert_array_equal(
+            client.execute(small).payload, local.execute(small).payload
+        )
+
+    def test_mid_response_transport_failures_raise_connection_error(self, served, monkeypatch):
+        import http.client
+        import urllib.request
+
+        _, _, _, client = served
+        for exc in (TimeoutError("read timed out"), http.client.IncompleteRead(b"x")):
+
+            def explode(*args, _exc=exc, **kwargs):
+                raise _exc
+
+            monkeypatch.setattr(urllib.request, "urlopen", explode)
+            with pytest.raises(ConnectionError, match="transport failure"):
+                client.execute(NormsQuery())
+
+    def test_untyped_query_raises_type_error_like_local_execute(self, served):
+        sk, local, _, client = served
+        not_a_query = sk.sketch(np.ones(128), noise_rng=0)
+        with pytest.raises(TypeError, match="typed query"):
+            local.execute(not_a_query)
+        with pytest.raises(TypeError, match="typed query"):
+            client.execute(not_a_query)
+
+    def test_server_fault_raises_connection_error_not_value_error(self, served, monkeypatch):
+        # a 500 is a server fault: retry logic must be able to tell it
+        # apart from the ValueError a permanently-bad query raises
+        _, _, server, client = served
+
+        def explode(query):
+            raise RuntimeError("shard file vanished")
+
+        monkeypatch.setattr(server.service, "execute", explode)
+        with pytest.raises(ConnectionError, match="HTTP 500"):
+            client.execute(NormsQuery())
+
+    def test_unknown_endpoint_404(self, served):
+        _, _, server, _ = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/nope", timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_unreachable_server_raises_connection_error(self):
+        client = DistanceClient("http://127.0.0.1:9", timeout=2.0)  # discard port
+        with pytest.raises(ConnectionError, match="cannot reach"):
+            client.execute(NormsQuery())
+
+    def test_empty_execute_many_never_hits_the_wire(self):
+        client = DistanceClient("http://127.0.0.1:9", timeout=2.0)
+        assert client.execute_many([]) == []
+
+
+class TestServerLifecycle:
+    def test_close_without_start_returns_immediately(self, tmp_path):
+        # regression: BaseServer.shutdown() waits on an event only a
+        # serve_forever loop sets, so close() on a never-started server
+        # used to block forever (e.g. in an abort/cleanup path)
+        _, store_dir = _saved_store(tmp_path, n=5)
+        server = SketchQueryServer.from_store_dir(store_dir, port=0)
+        start = time.perf_counter()
+        server.close()
+        assert time.perf_counter() - start < 5.0
+
+    def test_close_is_idempotent_after_start(self, tmp_path):
+        _, store_dir = _saved_store(tmp_path, n=5)
+        server = SketchQueryServer.from_store_dir(store_dir, port=0).start()
+        server.close()
+        server.close()  # second close must not hang or raise
+
+
+class TestServerOverLiveStores:
+    def test_server_wraps_an_in_memory_service_too(self):
+        # the frontend is not tied to saved stores: any DistanceService
+        # (here: an in-memory store still being appended to) can serve
+        sk = _sketcher()
+        store = ShardedSketchStore(shard_capacity=8)
+        store.add_batch(
+            sk.sketch_batch(
+                np.random.default_rng(0).standard_normal((10, 128)), noise_rng=1
+            )
+        )
+        service = DistanceService(store, ExecutionPolicy(workers=1))
+        with SketchQueryServer(service, port=0).start() as server:
+            client = DistanceClient(server.url)
+            assert len(client) == 10
+            store.add_batch(
+                sk.sketch_batch(
+                    np.random.default_rng(1).standard_normal((5, 128)), noise_rng=2
+                )
+            )
+            assert len(client) == 15  # appends visible through the frontend
+            query = sk.sketch(np.ones(128), noise_rng=3)
+            remote = client.execute(TopKQuery(queries=query, k=15))
+            local = service.execute(TopKQuery(queries=query, k=15))
+            assert remote.payload == local.payload

@@ -1,4 +1,9 @@
-"""Tests for the serving layer: sharded store + distance service."""
+"""Tests for the serving layer: sharded store + distance service.
+
+Queries go through the typed query plane (``execute()`` +
+:mod:`repro.serving.queries`); the deprecated method-per-query shims
+have their own bit-equality suite in ``tests/test_queries.py``.
+"""
 
 import dataclasses
 
@@ -8,8 +13,16 @@ import pytest
 from repro.core import estimators
 from repro.core.protocol import SketchingSession
 from repro.core.sketch import PrivateSketcher, SketchConfig
-from repro.serving import DistanceService, ShardedSketchStore
+from repro.serving import (
+    CrossQuery,
+    DistanceService,
+    PairwiseQuery,
+    RadiusQuery,
+    ShardedSketchStore,
+    TopKQuery,
+)
 from repro.serving.service import stable_smallest_k
+from tests.helpers import execute_top_k as _top_k
 
 _CONFIG = SketchConfig(input_dim=128, epsilon=8.0, output_dim=64, sparsity=4, seed=11)
 
@@ -162,7 +175,7 @@ class TestStorePersistence:
         query = sk.sketch(np.ones(128), noise_rng=9)
         # labels round-trip with their types: integer labels stay integers,
         # so the full (label, estimate) rankings are equal
-        assert reloaded.top_k(query, 5) == service.top_k(query, 5)
+        assert _top_k(reloaded, query, 5) == _top_k(service, query, 5)
 
     def test_integer_labels_survive_save_load(self, tmp_path):
         # regression: the PR-2 store stringified labels on save, so top_k
@@ -261,23 +274,28 @@ class TestDistanceService:
         sk, stored, service = self._service_and_batches()
         queries = _batch(sk, 3, 22)
         want = estimators.cross_sq_distances(queries, stored)
-        np.testing.assert_allclose(service.cross(queries), want, atol=1e-9)
+        got = service.execute(CrossQuery(queries=queries)).payload
+        np.testing.assert_allclose(got, want, atol=1e-9)
 
     def test_top_k_matches_full_sort(self):
         sk, stored, service = self._service_and_batches()
         query = sk.sketch(np.arange(128, dtype=float), noise_rng=1)
         flat = estimators.cross_sq_distances(stored, query)[:, 0]
         order = np.argsort(flat, kind="stable")[:6]
-        expected = [(int(i), pytest.approx(float(flat[i]), abs=1e-9)) for i in order]
-        assert service.top_k(query, 6) == expected
+        # ordering is decided on the raw estimates; reported estimates
+        # are clamped at zero (estimators.clamp_sq_estimates)
+        expected = [
+            (int(i), pytest.approx(max(float(flat[i]), 0.0), abs=1e-9)) for i in order
+        ]
+        assert _top_k(service, query, 6) == expected
 
     def test_top_k_batch_consistent_with_single(self):
         sk, _, service = self._service_and_batches()
         queries = _batch(sk, 4, 23)
-        rows = service.top_k_batch(queries, 3)
+        rows = service.execute(TopKQuery(queries=queries, k=3)).payload
         assert len(rows) == 4
         for row, query in zip(rows, queries):
-            single = service.top_k(query, 3)
+            single = _top_k(service, query, 3)
             assert [label for label, _ in row] == [label for label, _ in single]
             for (_, est_row), (_, est_single) in zip(row, single):
                 # batched vs single-row BLAS may differ by an ulp
@@ -288,37 +306,39 @@ class TestDistanceService:
         query = sk.sketch(np.ones(128), noise_rng=2)
         flat = estimators.cross_sq_distances(stored, query)[:, 0]
         cutoff = float(np.median(flat))
-        hits = service.radius(query, cutoff)
+        hits = service.execute(RadiusQuery(query=query, radius_sq=cutoff)).payload
         assert [l for l, _ in hits] == [
             int(i) for i in np.argsort(flat, kind="stable") if flat[i] <= cutoff
         ]
         estimates = [est for _, est in hits]
         assert estimates == sorted(estimates)
+        assert all(est >= 0.0 for est in estimates)  # clamped payloads
 
-    def test_pairwise_submatrix_matches_pairwise(self):
+    def test_pairwise_matches_flat_pairwise(self):
         sk, stored, service = self._service_and_batches()
         full = estimators.pairwise_sq_distances(stored)
-        picks = np.array([0, 5, 6, 16])  # spans all shards
-        sub = service.pairwise_submatrix(picks)
+        picks = (0, 5, 6, 16)  # spans all shards
+        sub = service.execute(PairwiseQuery(indices=picks)).payload
         np.testing.assert_allclose(sub, full[np.ix_(picks, picks)], atol=1e-9)
 
-    def test_pairwise_submatrix_bounds_checked(self):
+    def test_pairwise_bounds_checked(self):
         _, _, service = self._service_and_batches()
         with pytest.raises(IndexError):
-            service.pairwise_submatrix([0, 99])
+            service.execute(PairwiseQuery(indices=(0, 99)))
 
     def test_unpinned_empty_store_rejected_consistently(self):
         # a store that never saw a release has nothing to validate
-        # queries against: all three query methods refuse alike
+        # queries against: every query kind refuses alike
         sk = _sketcher()
         service = DistanceService(ShardedSketchStore())
         query = sk.sketch(np.ones(128), noise_rng=0)
-        with pytest.raises(ValueError, match="empty"):
-            service.top_k(query)
-        with pytest.raises(ValueError, match="empty"):
-            service.radius(query, 1.0)
-        with pytest.raises(ValueError, match="empty"):
-            service.cross(query)
+        for typed in (
+            TopKQuery(queries=query),
+            RadiusQuery(query=query, radius_sq=1.0),
+            CrossQuery(queries=query),
+        ):
+            with pytest.raises(ValueError, match="empty"):
+                service.execute(typed)
 
     def test_pinned_empty_store_validates_then_returns_empty(self):
         # regression: radius used to return [] before validation ran, so
@@ -330,22 +350,36 @@ class TestDistanceService:
         foreign = PrivateSketcher(dataclasses.replace(_CONFIG, seed=12)).sketch(
             np.ones(128), noise_rng=0
         )
-        with pytest.raises(ValueError, match="different configurations"):
-            service.radius(foreign, 1.0)
-        with pytest.raises(ValueError, match="different configurations"):
-            service.top_k(foreign)
-        with pytest.raises(ValueError, match="different configurations"):
-            service.cross(foreign)
+        for typed in (
+            TopKQuery(queries=foreign),
+            RadiusQuery(query=foreign, radius_sq=1.0),
+            CrossQuery(queries=foreign),
+        ):
+            with pytest.raises(ValueError, match="different configurations"):
+                service.execute(typed)
         query = sk.sketch(np.ones(128), noise_rng=0)
-        assert service.radius(query, 1.0) == []
-        assert service.top_k(query, 3) == []
-        assert service.top_k_batch(_batch(sk, 2, 2), 3) == [[], []]
-        assert service.cross(query).shape == (1, 0)
+        assert service.execute(RadiusQuery(query=query, radius_sq=1.0)).payload == []
+        assert service.execute(TopKQuery(queries=query, k=3)).payload == [[]]
+        assert service.execute(TopKQuery(queries=_batch(sk, 2, 2), k=3)).payload == [
+            [],
+            [],
+        ]
+        assert service.execute(CrossQuery(queries=query)).payload.shape == (1, 0)
 
-    def test_k_validated(self):
-        sk, _, service = self._service_and_batches()
+    def test_k_validated_at_query_construction(self):
         with pytest.raises(ValueError, match="top"):
-            service.top_k(sk.sketch(np.ones(128), noise_rng=0), 0)
+            TopKQuery(queries=None, k=0)
+        with pytest.raises(ValueError, match="top"):
+            TopKQuery(queries=None, k=2.5)
+
+    def test_radius_validated_at_query_construction(self):
+        with pytest.raises(ValueError, match="radius_sq"):
+            RadiusQuery(query=None, radius_sq=-1.0)
+
+    def test_execute_rejects_untyped_queries(self):
+        sk, _, service = self._service_and_batches()
+        with pytest.raises(TypeError, match="typed query"):
+            service.execute(sk.sketch(np.ones(128), noise_rng=0))
 
     def test_incremental_adds_visible_to_service(self):
         sk, _, service = self._service_and_batches()
@@ -353,7 +387,7 @@ class TestDistanceService:
         service.store.add_batch(_batch(sk, 4, 30))
         assert len(service) == before + 4
         query = sk.sketch(np.ones(128), noise_rng=3)
-        assert len(service.top_k(query, before + 4)) == before + 4
+        assert len(_top_k(service, query, before + 4)) == before + 4
 
 
 class TestSessionServe:
@@ -366,7 +400,7 @@ class TestSessionServe:
         assert len(service) == 6
         assert service.store.n_shards == 2
         query = session.sketcher.sketch(rng.standard_normal(128), noise_rng=5)
-        labels = [label for label, _ in service.top_k(query, 6)]
+        labels = [label for label, _ in _top_k(service, query, 6)]
         assert sorted(labels) == sorted(batch.labels)
 
     def test_serve_rejects_foreign_batches(self):
@@ -377,3 +411,17 @@ class TestSessionServe:
         )
         with pytest.raises(ValueError, match="different"):
             session.serve(foreign)
+
+    def test_serve_store_stays_pinned_after_construction(self):
+        # the digest check lives in the store layer now: a foreign batch
+        # appended *after* serve() must be rejected too, not just the
+        # batches passed at construction time
+        session = SketchingSession(_CONFIG)
+        service = session.serve()
+        assert service.store.expected_digest == _CONFIG.digest()
+        other = PrivateSketcher(dataclasses.replace(_CONFIG, seed=12))
+        foreign = other.sketch_batch(
+            np.random.default_rng(0).standard_normal((3, 128)), noise_rng=1
+        )
+        with pytest.raises(ValueError, match="different"):
+            service.store.add_batch(foreign)

@@ -14,8 +14,22 @@ import numpy as np
 import pytest
 
 from repro.core import estimators
-from repro.serving import DistanceService, ExecutionPolicy, ShardedSketchStore
+from repro.serving import (
+    CrossQuery,
+    DistanceService,
+    ExecutionPolicy,
+    PairwiseQuery,
+    RadiusQuery,
+    ShardedSketchStore,
+    TopKQuery,
+)
 from repro.core.sketch import PrivateSketcher, SketchConfig
+from tests.helpers import (
+    execute_cross as _cross,
+    execute_radius as _radius,
+    execute_top_k as _top_k,
+    execute_top_k_batch as _top_k_batch,
+)
 
 _CONFIG = SketchConfig(input_dim=128, epsilon=8.0, output_dim=64, sparsity=4, seed=11)
 
@@ -95,9 +109,11 @@ class TestParallelSerialBitEquality:
         queries = _batch(sk, 5, 33)
         with DistanceService(store, policy) as service:
             for k in (1, 3, 11, 60, 100):
-                assert service.top_k_batch(queries, k) == serial.top_k_batch(queries, k)
+                assert _top_k_batch(service, queries, k) == _top_k_batch(
+                    serial, queries, k
+                )
             single = queries.row(0)
-            assert service.top_k(single, 7) == serial.top_k(single, 7)
+            assert _top_k(service, single, 7) == _top_k(serial, single, 7)
 
     @pytest.mark.parametrize("policy", POLICIES, ids=str)
     def test_radius(self, policy):
@@ -105,10 +121,12 @@ class TestParallelSerialBitEquality:
         store = _store(sk)
         serial = DistanceService(store, ExecutionPolicy(workers=1, prefilter=False))
         query = sk.sketch(np.ones(128), noise_rng=3)
-        flat = serial.cross(query)[0]
+        flat = _cross(serial, query)[0]
         with DistanceService(store, policy) as service:
             for cutoff in (0.0, float(np.min(flat)), float(np.median(flat)), 1e12):
-                assert service.radius(query, cutoff) == serial.radius(query, cutoff)
+                assert _radius(service, query, cutoff) == _radius(
+                    serial, query, cutoff
+                )
 
     @pytest.mark.parametrize("policy", POLICIES, ids=str)
     def test_cross_and_pairwise_submatrix(self, policy):
@@ -116,11 +134,13 @@ class TestParallelSerialBitEquality:
         store = _store(sk)
         serial = DistanceService(store, ExecutionPolicy(workers=1, prefilter=False))
         queries = _batch(sk, 4, 9)
-        picks = [0, 13, 14, 41, 59]
+        picks = PairwiseQuery(indices=(0, 13, 14, 41, 59))
         with DistanceService(store, policy) as service:
-            np.testing.assert_array_equal(service.cross(queries), serial.cross(queries))
             np.testing.assert_array_equal(
-                service.pairwise_submatrix(picks), serial.pairwise_submatrix(picks)
+                _cross(service, queries), _cross(serial, queries)
+            )
+            np.testing.assert_array_equal(
+                service.execute(picks).payload, serial.execute(picks).payload
             )
 
     def test_parallel_more_workers_than_shards(self):
@@ -130,7 +150,7 @@ class TestParallelSerialBitEquality:
         serial = DistanceService(store, ExecutionPolicy(workers=1))
         with DistanceService(store, ExecutionPolicy(workers=16)) as service:
             query = sk.sketch(np.zeros(128), noise_rng=0)
-            assert service.top_k(query, 5) == serial.top_k(query, 5)
+            assert _top_k(service, query, 5) == _top_k(serial, query, 5)
 
 
 def _norm_separated_store(sk, scale=1e6):
@@ -167,25 +187,36 @@ class TestNormBoundPrefilter:
     def test_top_k_skips_hopeless_shards(self, monkeypatch):
         sk = _sketcher()
         store, query = _norm_separated_store(sk)
-        want = DistanceService(store, ExecutionPolicy(prefilter=False)).top_k(query, 3)
+        want = DistanceService(store, ExecutionPolicy(prefilter=False)).execute(
+            TopKQuery(queries=query, k=3)
+        )
         calls = self._counting(monkeypatch)
-        got = DistanceService(store, ExecutionPolicy(prefilter=True)).top_k(query, 3)
-        assert got == want  # identical results...
+        got = DistanceService(store, ExecutionPolicy(prefilter=True)).execute(
+            TopKQuery(queries=query, k=3)
+        )
+        assert got.payload == want.payload  # identical results...
         assert len(calls) < store.n_shards  # ...from strictly less work
+        # the stats agree with the observed calls, and with the PR 3
+        # monkeypatch counters: pruned + visited covers every shard
+        assert got.stats.shards_visited == len(calls)
+        assert got.stats.shards_pruned == store.n_shards - len(calls)
+        assert want.stats.shards_pruned == 0
 
     def test_radius_skips_out_of_range_shards(self, monkeypatch):
         sk = _sketcher()
         store, query = _norm_separated_store(sk)
         cutoff = 1e9  # covers shard 0 only (others are ~1e12 away)
-        want = DistanceService(store, ExecutionPolicy(prefilter=False)).radius(
-            query, cutoff
+        want = DistanceService(store, ExecutionPolicy(prefilter=False)).execute(
+            RadiusQuery(query=query, radius_sq=cutoff)
         )
         calls = self._counting(monkeypatch)
-        got = DistanceService(store, ExecutionPolicy(prefilter=True)).radius(
-            query, cutoff
+        got = DistanceService(store, ExecutionPolicy(prefilter=True)).execute(
+            RadiusQuery(query=query, radius_sq=cutoff)
         )
-        assert got == want
+        assert got.payload == want.payload
         assert len(calls) == 1
+        assert got.stats.shards_visited == 1
+        assert got.stats.shards_pruned == store.n_shards - 1
 
     def test_prefilter_never_changes_random_workloads(self):
         # property-style: across many random stores/queries/ks the
@@ -203,10 +234,10 @@ class TestNormBoundPrefilter:
             off = DistanceService(store, ExecutionPolicy(prefilter=False))
             queries = _batch(sk, 3, 200 + trial)
             k = int(rng.integers(1, 8))
-            assert on.top_k_batch(queries, k) == off.top_k_batch(queries, k)
-            cutoff = float(np.median(off.cross(queries.row(0))))
-            assert on.radius(queries.row(0), cutoff) == off.radius(
-                queries.row(0), cutoff
+            assert _top_k_batch(on, queries, k) == _top_k_batch(off, queries, k)
+            cutoff = float(np.median(_cross(off, queries.row(0))))
+            assert _radius(on, queries.row(0), cutoff) == _radius(
+                off, queries.row(0), cutoff
             )
 
 
@@ -220,7 +251,9 @@ class TestConcurrentAppendsDuringQueries:
         queries = _batch(sk, 2, 99)
         # ground truth: the cross matrix over the final store; any
         # consistent prefix of width w must equal its first w columns
-        reference = DistanceService(full, ExecutionPolicy(workers=1)).cross(queries)
+        reference = _cross(
+            DistanceService(full, ExecutionPolicy(workers=1)), queries
+        )
 
         store = ShardedSketchStore(shard_capacity=16)
         store.add_batch(chunks[0])
@@ -233,7 +266,7 @@ class TestConcurrentAppendsDuringQueries:
             # slices), so *any* width can be observed — but whatever the
             # width, the columns must equal the reference prefix exactly
             while not stop.is_set():
-                got = service.cross(queries)
+                got = _cross(service, queries)
                 if not np.array_equal(got, reference[:, : got.shape[1]]):
                     errors.append(f"prefix of width {got.shape[1]} is inconsistent")
                     return
@@ -250,7 +283,7 @@ class TestConcurrentAppendsDuringQueries:
                 thread.join()
             service.close()
         assert errors == []
-        np.testing.assert_array_equal(service.cross(queries), reference)
+        np.testing.assert_array_equal(_cross(service, queries), reference)
 
     def test_top_k_during_appends_matches_a_prefix(self):
         sk = _sketcher()
@@ -259,11 +292,11 @@ class TestConcurrentAppendsDuringQueries:
         for chunk in chunks:
             full.add_batch(chunk)
         query = sk.sketch(np.ones(128), noise_rng=5)
-        flat = DistanceService(full, ExecutionPolicy(workers=1)).cross(query)[0]
+        flat = _cross(DistanceService(full, ExecutionPolicy(workers=1)), query)[0]
 
         def expected(width, k):
             order = np.argsort(flat[:width], kind="stable")[:k]
-            return [(int(i), float(flat[i])) for i in order]
+            return [(int(i), max(float(flat[i]), 0.0)) for i in order]
 
         store = ShardedSketchStore(shard_capacity=8)
         store.add_batch(chunks[0])
@@ -274,7 +307,7 @@ class TestConcurrentAppendsDuringQueries:
 
         def reader():
             while not stop.is_set():
-                got = service.top_k(query, 5)
+                got = _top_k(service, query, 5)
                 results.append(got)
                 if not any(got == expected(w, 5) for w in range(1, 101)):
                     errors.append(f"result matches no prefix: {got}")
@@ -291,4 +324,4 @@ class TestConcurrentAppendsDuringQueries:
             service.close()
         assert errors == []
         assert results  # the reader actually ran
-        assert service.top_k(query, 5) == expected(100, 5)
+        assert _top_k(service, query, 5) == expected(100, 5)

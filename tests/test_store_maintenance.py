@@ -14,13 +14,18 @@ import pytest
 
 from repro.core.sketch import PrivateSketcher, SketchConfig
 from repro.serving import (
+    CrossQuery,
     DistanceService,
     ExecutionPolicy,
+    PairwiseQuery,
+    RadiusQuery,
     SerializationError,
     ShardedSketchStore,
+    TopKQuery,
     write_batch,
 )
 from repro.serving import store as store_module
+from tests.helpers import execute_cross as _cross, execute_top_k as _top_k
 
 _CONFIG = SketchConfig(input_dim=128, epsilon=8.0, output_dim=64, sparsity=4, seed=11)
 
@@ -127,7 +132,7 @@ class TestMmapLoad:
         mapped = ShardedSketchStore.load(tmp_path / "store", mmap=True)
         assert all(not shard.materialized for shard in mapped._shards)
         # touching rows of shard 0 must not map the other shards
-        DistanceService(mapped).pairwise_submatrix([0, 1])
+        DistanceService(mapped).execute(PairwiseQuery(indices=(0, 1)))
         assert mapped._shards[0].materialized
         assert all(not shard.materialized for shard in mapped._shards[1:])
 
@@ -145,8 +150,8 @@ class TestMmapLoad:
         query = dataclasses.replace(base.row(0), values=np.zeros(64))
 
         mapped = ShardedSketchStore.load(tmp_path / "separated", mmap=True)
-        got = DistanceService(mapped, ExecutionPolicy(prefilter=True)).top_k(query, 3)
-        want = DistanceService(store, ExecutionPolicy(prefilter=False)).top_k(query, 3)
+        got = _top_k(DistanceService(mapped, ExecutionPolicy(prefilter=True)), query, 3)
+        want = _top_k(DistanceService(store, ExecutionPolicy(prefilter=False)), query, 3)
         assert got == want
         assert mapped._shards[0].materialized  # the only shard that can win
         assert all(not shard.materialized for shard in mapped._shards[1:])
@@ -159,11 +164,15 @@ class TestMmapLoad:
             ExecutionPolicy(workers=4),
         ) as mapped:
             queries = _batch(sk, 3, 70)
-            assert mapped.top_k_batch(queries, 6) == eager.top_k_batch(queries, 6)
-            np.testing.assert_array_equal(mapped.cross(queries), eager.cross(queries))
+            assert (
+                mapped.execute(TopKQuery(queries=queries, k=6)).payload
+                == eager.execute(TopKQuery(queries=queries, k=6)).payload
+            )
+            np.testing.assert_array_equal(_cross(mapped, queries), _cross(eager, queries))
             query = queries.row(0)
-            cutoff = float(np.median(eager.cross(query)))
-            assert mapped.radius(query, cutoff) == eager.radius(query, cutoff)
+            cutoff = float(np.median(_cross(eager, query)))
+            typed = RadiusQuery(query=query, radius_sq=cutoff)
+            assert mapped.execute(typed).payload == eager.execute(typed).payload
 
     def test_appends_after_mmap_load_go_to_new_shards(self, tmp_path):
         sk, store = self._saved(tmp_path)
@@ -180,8 +189,8 @@ class TestMmapLoad:
         combined = ShardedSketchStore(shard_capacity=8)
         combined.add_batch(_batch(sk, 30, 7))
         combined.add_batch(extra)
-        want = DistanceService(combined).top_k(extra.row(0), 4)
-        assert DistanceService(mapped).top_k(extra.row(0), 4) == want
+        want = _top_k(DistanceService(combined), extra.row(0), 4)
+        assert _top_k(DistanceService(mapped), extra.row(0), 4) == want
 
     def test_mmap_store_resaves_faithfully(self, tmp_path):
         sk, store = self._saved(tmp_path, labels=tuple(range(30)))
@@ -243,12 +252,12 @@ class TestCompact:
         mapped.add_batch(_batch(sk, 5, 8))
         assert mapped.shard_sizes() == [8, 8, 8, 6, 5]
         query = sk.sketch(np.ones(128), noise_rng=9)
-        before = DistanceService(mapped).top_k(query, 10)
+        before = _top_k(DistanceService(mapped), query, 10)
         labels = mapped.labels
         mapped.compact()
         assert mapped.shard_sizes() == [8, 8, 8, 8, 3]
         assert mapped.labels == labels
-        assert DistanceService(mapped).top_k(query, 10) == before
+        assert _top_k(DistanceService(mapped), query, 10) == before
 
     def test_compact_empty_store_is_noop(self):
         store = ShardedSketchStore()
@@ -280,9 +289,9 @@ class TestMerge:
         reference.add_batch(batch)
         _assert_same_store(merged, reference)
         query = sk.sketch(np.zeros(128), noise_rng=1)
-        assert DistanceService(merged).top_k(query, 6) == DistanceService(
-            reference
-        ).top_k(query, 6)
+        assert _top_k(DistanceService(merged), query, 6) == _top_k(
+            DistanceService(reference), query, 6
+        )
 
     def test_merge_skips_empty_stores_and_respects_capacity(self):
         sk = _sketcher()
