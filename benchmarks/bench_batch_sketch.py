@@ -61,7 +61,7 @@ def _best_of(pipeline, sk, X, rounds=5):
     return result, best
 
 
-def test_batch_matches_loop_and_is_10x_faster():
+def test_batch_matches_loop_and_is_10x_faster(bench_record):
     sk = _sketcher()
     X = np.random.default_rng(0).standard_normal((_N, _D))
 
@@ -88,6 +88,14 @@ def test_batch_matches_loop_and_is_10x_faster():
         f"\nbatch: {batch_seconds:8.3f}s  ({_N / batch_seconds:9.1f} rows/s)"
         f"\nspeedup: {speedup:.1f}x  (max row err {row_error:.2e}, "
         f"max matrix err {matrix_error:.2e})"
+    )
+    bench_record(
+        "batch_sketch",
+        workload=f"{_N}x{_D} sketch+pairwise vs scalar loop",
+        timings={"loop_s": loop_seconds, "batch_s": batch_seconds},
+        speedups={"batch_vs_loop": speedup},
+        rates={"batch_rows_per_s": _N / batch_seconds},
+        max_error={"row": row_error, "matrix": matrix_error},
     )
     assert speedup >= _MIN_SPEEDUP, (
         f"batch path only {speedup:.1f}x faster than the loop "

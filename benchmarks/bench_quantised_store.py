@@ -1,0 +1,145 @@
+"""Quantised shard storage vs full precision at 105k rows.
+
+The build-then-shrink workflow this PR ships: build a full-precision
+store, ``compact(storage="f4")`` it, save both, and mmap-serve them
+side by side.  Measures what the storage dial actually buys:
+
+* **size** — stored-value bytes (the mmap working set) and on-disk
+  directory bytes must shrink >= 2x for f4 vs f8 (hard: this is
+  arithmetic, not timing — f4 is half of f8 and headers are elided to
+  kilobytes), with int8 reported for the 8x end of the dial;
+* **accuracy** — top-10 recall of the f4 store against the f8 ranking
+  must be >= 0.95 (hard; the quantisation envelope is orders of
+  magnitude below the sketch noise at this scale, so in practice it is
+  ~1.0), int8 recall reported;
+* **speed** — the f4 scan (native float32 GEMM, half the memory
+  traffic) should beat the f8 scan per row
+  (``QUANTISED_STORE_MIN_SPEEDUP``, soft — shared runners are noisy).
+
+Emits ``BENCH_quantised_store.json`` for the CI trajectory table.
+
+Run directly:
+``PYTHONPATH=src python -m pytest benchmarks/bench_quantised_store.py -v -s``
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.sketch import PrivateSketcher, SketchConfig
+from repro.serving import DistanceService, ExecutionPolicy, ShardedSketchStore, TopKQuery
+
+_D, _K, _S = 128, 64, 4
+_ROWS = 105_000        # stored rows (>= 1e5 per the acceptance gate)
+_CHUNK = 15_000        # sketching chunk, bounds peak memory
+_SHARD = 8_192
+_QUERIES = 32
+_TOP = 10
+_REPEATS = 3
+
+_MIN_SPEEDUP = float(os.environ.get("QUANTISED_STORE_MIN_SPEEDUP", "1.05"))
+_MIN_RECALL = 0.95
+
+
+def _build():
+    sketcher = PrivateSketcher(
+        SketchConfig(input_dim=_D, epsilon=4.0, output_dim=_K, sparsity=_S)
+    )
+    rng = np.random.default_rng(0)
+    store = ShardedSketchStore(shard_capacity=_SHARD, storage="f8")
+    for start in range(0, _ROWS, _CHUNK):
+        X = rng.standard_normal((min(_CHUNK, _ROWS - start), _D))
+        store.add_batch(sketcher.sketch_batch(X, noise_rng=start))
+    queries = sketcher.sketch_batch(
+        rng.standard_normal((_QUERIES, _D)), noise_rng=999_983
+    )
+    return store, queries
+
+
+def _dir_bytes(path) -> int:
+    return sum(p.stat().st_size for p in path.iterdir())
+
+
+def _time_top_k(service, queries):
+    query = TopKQuery(queries=queries, k=_TOP)
+    service.execute(query)  # warm: materialise maps, prime BLAS
+    best, result = float("inf"), None
+    for _ in range(_REPEATS):
+        t0 = time.perf_counter()
+        result = service.execute(query).payload
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _recall(reference, candidate) -> float:
+    """Mean fraction of the reference top-k recovered per query."""
+    per_query = [
+        len({label for label, _ in ref} & {label for label, _ in got}) / len(ref)
+        for ref, got in zip(reference, candidate)
+    ]
+    return float(np.mean(per_query))
+
+
+def test_f4_store_halves_bytes_and_keeps_recall(tmp_path, bench_record):
+    store, queries = _build()
+    store.save(tmp_path / "f8")
+
+    # the documented shrink workflow: mmap the saved store, re-encode
+    f4 = ShardedSketchStore.load(tmp_path / "f8", mmap=True).compact(storage="f4")
+    f4.save(tmp_path / "f4")
+    int8 = ShardedSketchStore.load(tmp_path / "f8", mmap=True).compact(storage="int8")
+    int8.save(tmp_path / "int8")
+
+    stores, seconds, results = {}, {}, {}
+    for name in ("f8", "f4", "int8"):
+        stores[name] = ShardedSketchStore.load(tmp_path / name, mmap=True)
+        with DistanceService(stores[name], ExecutionPolicy(workers=1)) as service:
+            seconds[name], results[name] = _time_top_k(service, queries)
+    dir_bytes = {name: _dir_bytes(tmp_path / name) for name in stores}
+    value_bytes = {name: stores[name].nbytes for name in stores}
+
+    value_ratio = value_bytes["f8"] / value_bytes["f4"]
+    disk_ratio = dir_bytes["f8"] / dir_bytes["f4"]
+    recall_f4 = _recall(results["f8"], results["f4"])
+    recall_int8 = _recall(results["f8"], results["int8"])
+    speedup = seconds["f8"] / seconds["f4"]
+    scans_per_s = _ROWS * _QUERIES / seconds["f4"]
+
+    print(f"\nstore: {_ROWS} rows, k={_K}, {stores['f8'].n_shards} shards")
+    for name in ("f8", "f4", "int8"):
+        print(
+            f"{name:>5}: {value_bytes[name] / 1e6:7.1f} MB values "
+            f"({dir_bytes[name] / 1e6:7.1f} MB on disk)  "
+            f"top-{_TOP} workload {seconds[name] * 1e3:7.1f} ms"
+        )
+    print(
+        f"f4 vs f8: {value_ratio:.2f}x smaller values, {disk_ratio:.2f}x on disk, "
+        f"recall@{_TOP} {recall_f4:.3f}, scan speedup {speedup:.2f}x "
+        f"(gate {_MIN_SPEEDUP:g}x soft)"
+        f"\nint8 vs f8: {value_bytes['f8'] / value_bytes['int8']:.2f}x smaller, "
+        f"recall@{_TOP} {recall_int8:.3f}"
+    )
+    bench_record(
+        "quantised_store",
+        workload=f"top-{_TOP} x {_QUERIES} queries over {_ROWS} rows, k={_K}",
+        timings={f"{n}_s": seconds[n] for n in seconds},
+        speedups={"f4_vs_f8_scan": speedup},
+        rates={"f4_row_scans_per_s": scans_per_s},
+        sizes={
+            **{f"{n}_value_bytes": value_bytes[n] for n in value_bytes},
+            **{f"{n}_disk_bytes": dir_bytes[n] for n in dir_bytes},
+        },
+        recall={"f4_at_10": recall_f4, "int8_at_10": recall_int8},
+    )
+
+    # -- hard gates: size is arithmetic, recall is the accuracy contract --
+    assert value_ratio >= 2.0, f"f4 values only {value_ratio:.3f}x smaller"
+    assert disk_ratio >= 1.9, f"f4 store only {disk_ratio:.3f}x smaller on disk"
+    assert recall_f4 >= _MIN_RECALL, (
+        f"f4 recall@{_TOP} {recall_f4:.3f} below {_MIN_RECALL}"
+    )
+    # -- soft gate: timing on shared runners is noisy ---------------------
+    assert speedup >= _MIN_SPEEDUP, (
+        f"f4 scan only {speedup:.2f}x over f8 (threshold {_MIN_SPEEDUP:g}x)"
+    )

@@ -75,7 +75,7 @@ def _best_of(fn):
     return best, result
 
 
-def test_http_round_trip_matches_local_at_105k(tmp_path):
+def test_http_round_trip_matches_local_at_105k(tmp_path, bench_record):
     _, queries = _build(tmp_path)
     typed = [TopKQuery(queries=q, k=_TOP) for q in queries]
 
@@ -121,6 +121,21 @@ def test_http_round_trip_matches_local_at_105k(tmp_path):
         f"\nHTTP execute_many ({_MANY_BATCH:2d}/rt):  {many_qps:8.1f} q/s"
         f"\nbatched-vs-single speedup: {many_qps / single_qps:.2f}x "
         f"(gate {_MANY_MIN_SPEEDUP:g}x)"
+    )
+    bench_record(
+        "query_plane",
+        workload=f"top-{_TOP} at {_ROWS} rows: local vs HTTP vs /query-many",
+        timings={
+            "local_s": local_seconds,
+            "http_single_s": single_seconds,
+            "http_many_s": many_seconds,
+        },
+        speedups={"many_vs_single": many_qps / single_qps},
+        rates={
+            "local_q_per_s": local_qps,
+            "http_single_q_per_s": single_qps,
+            "http_many_q_per_s": many_qps,
+        },
     )
     assert many_qps / single_qps >= _MANY_MIN_SPEEDUP, (
         f"/query-many only {many_qps / single_qps:.2f}x over one-by-one "

@@ -8,13 +8,49 @@ asserts that every shape check reproduced the paper's claim.
 Benchmarks run experiments at ``smoke`` scale so the suite stays fast;
 EXPERIMENTS.md records the ``full``-scale numbers produced via
 ``python -m repro.experiments all``.
+
+The ``bench_record`` fixture is the perf ledger: every system benchmark
+writes one machine-readable ``BENCH_<name>.json`` (timings, speedups,
+rows/s, store bytes — whatever it measured) next to the working
+directory (or under ``$BENCH_JSON_DIR``).  CI uploads the files as
+artifacts and ``benchmarks/trajectory.py`` prints them as one table, so
+the perf trajectory is tracked per commit instead of lost in job logs.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture
+def bench_record():
+    """Write one ``BENCH_<name>.json`` perf record; returns its path.
+
+    ``fields`` is a flat-ish JSON-serialisable mapping — by convention
+    ``timings`` (seconds), ``speedups`` (ratios), ``rates`` (rows/s or
+    q/s) and ``sizes`` (bytes) sub-dicts, plus anything else worth
+    tracking.  The commit comes from ``$GITHUB_SHA`` when CI sets it.
+    """
+
+    def write(name: str, **fields) -> Path:
+        record = {
+            "benchmark": name,
+            "commit": os.environ.get("GITHUB_SHA"),
+            **fields,
+        }
+        out_dir = Path(os.environ.get("BENCH_JSON_DIR", "."))
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return write
 
 
 @pytest.fixture

@@ -1,0 +1,94 @@
+"""Print the benchmark trajectory table from ``BENCH_*.json`` records.
+
+Each benchmark job writes one machine-readable record through the
+``bench_record`` fixture (see ``benchmarks/conftest.py``); CI uploads
+them as artifacts and this script renders whatever records it is given
+as one aligned table — the per-commit perf ledger.  When
+``$GITHUB_STEP_SUMMARY`` is set, a markdown copy lands in the workflow
+summary page.
+
+Usage::
+
+    python benchmarks/trajectory.py BENCH_*.json
+    python benchmarks/trajectory.py artifacts/**/BENCH_*.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+#: record sections rendered as metric columns, in display order
+_SECTIONS = ("timings", "speedups", "rates", "sizes", "recall", "max_error")
+
+
+def _flatten(record: dict) -> dict[str, str]:
+    """One record's metrics as ``section.key -> rendered value``."""
+    metrics: dict[str, str] = {}
+    for section in _SECTIONS:
+        for key, value in (record.get(section) or {}).items():
+            if section == "sizes":
+                rendered = f"{value / 1e6:.1f}MB"
+            elif section == "timings":
+                rendered = f"{value:.3f}s"
+            elif section == "speedups":
+                rendered = f"{value:.2f}x"
+            elif section == "rates":
+                rendered = f"{value:,.0f}/s"
+            else:
+                rendered = f"{value:.3g}"
+            metrics[f"{section[:-1] if section.endswith('s') else section}.{key}"] = (
+                rendered
+            )
+    return metrics
+
+
+def load_records(paths: list[str]) -> list[dict]:
+    records = []
+    for raw in paths:
+        path = Path(raw)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+            continue
+        if isinstance(record, dict) and "benchmark" in record:
+            records.append(record)
+        else:
+            print(f"skipping {path}: not a benchmark record", file=sys.stderr)
+    return sorted(records, key=lambda r: r["benchmark"])
+
+
+def render(records: list[dict]) -> list[str]:
+    """The trajectory table, one benchmark per block."""
+    commit = next((r["commit"] for r in records if r.get("commit")), None)
+    lines = [f"benchmark trajectory ({len(records)} records"
+             f"{', commit ' + commit[:12] if commit else ''})", ""]
+    for record in records:
+        lines.append(f"{record['benchmark']}  —  {record.get('workload', '')}")
+        metrics = _flatten(record)
+        width = max((len(k) for k in metrics), default=0)
+        for key, value in metrics.items():
+            lines.append(f"    {key:<{width}}  {value:>12}")
+        lines.append("")
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    records = load_records(argv)
+    if not records:
+        print("no benchmark records found", file=sys.stderr)
+        return 1
+    lines = render(records)
+    print("\n".join(lines))
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as handle:
+            handle.write("```\n" + "\n".join(lines) + "\n```\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -55,6 +55,7 @@ from repro.serving import (
     QueryStats,
     RadiusQuery,
     ShardedSketchStore,
+    StorageSpec,
     TopKQuery,
 )
 from repro.transforms import create_transform
@@ -93,6 +94,7 @@ __all__ = [
     "PrivateSketch",
     "PrivateSketcher",
     "ShardedSketchStore",
+    "StorageSpec",
     "SketchBatch",
     "SketchConfig",
     "SketchingSession",

@@ -105,6 +105,7 @@ class SketchingSession:
         *batches: SketchBatch,
         shard_capacity: int | None = None,
         policy: ExecutionPolicy | None = None,
+        storage=None,
     ) -> DistanceService:
         """Stand up a distance-serving endpoint over released batches.
 
@@ -123,13 +124,17 @@ class SketchingSession:
         every batch — here and in any later ``service.store.add_batch``
         — must come from this session's configuration or is rejected
         up front (the check lives in the store layer; see
-        ``ShardedSketchStore(expected_digest=...)``).
+        ``ShardedSketchStore(expected_digest=...)``).  ``storage``
+        selects the store's precision
+        (:class:`~repro.serving.storage.StorageSpec`; default from
+        ``REPRO_STORE_DTYPE``, falling back to full-precision ``f8``).
         """
         return DistanceService.from_batches(
             *batches,
             shard_capacity=shard_capacity,
             policy=policy,
             expected_digest=self.config.digest(),
+            storage=storage,
         )
 
     # Estimation requires only published sketches, so these simply proxy

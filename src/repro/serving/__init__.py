@@ -5,7 +5,12 @@ from published sketches; this package is the infrastructure for doing
 that at scale.  :class:`ShardedSketchStore` accumulates released rows
 into preallocated shards (amortised O(1) appends, cached per-shard
 norms and norm bounds, atomic binary persistence, lazy memory-mapped
-loading for stores larger than RAM, compaction and merge tooling).
+loading for stores larger than RAM, compaction and merge tooling),
+at a selectable storage precision (:class:`StorageSpec`: ``f8`` /
+``f4`` / ``f2`` / scalar-quantised ``int8`` — 2-8x smaller shards and
+files behind the unchanged :class:`ShardView` interface, within the
+documented error envelope of :mod:`repro.theory.quantisation`; build
+full-precision, then ``compact(storage="f4")`` to shrink).
 Above it sits one protocol:
 
 * :mod:`repro.serving.queries` — the typed query algebra
@@ -83,6 +88,7 @@ from repro.serving.serialization import (
     write_batch,
 )
 from repro.serving.service import DistanceService, stable_smallest_k
+from repro.serving.storage import STORAGE_SPECS, StorageSpec
 from repro.serving.store import (
     DEFAULT_SHARD_CAPACITY,
     ShardedSketchStore,
@@ -122,10 +128,12 @@ __all__ = [
     "QueryResult",
     "QueryStats",
     "RadiusQuery",
+    "STORAGE_SPECS",
     "SerializationError",
     "ShardView",
     "ShardedSketchStore",
     "SketchQueryServer",
+    "StorageSpec",
     "TopKQuery",
     "WIRE_VERSION",
     "WireError",

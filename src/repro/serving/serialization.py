@@ -5,25 +5,36 @@ payloads to disk, so unlike the wire-friendly format of
 :meth:`SketchBatch.to_bytes` it needs a *versioned* container that can
 detect corruption and evolve without breaking stored shards.
 
-Format version 2 (the current writer) lays the values section out as a
-raw, 64-byte-aligned float64 segment so a reader can ``np.memmap`` the
-rows straight out of the file without materialising them::
+Format version 3 (the current writer) lays the values section out as a
+raw, 64-byte-aligned segment in one of the
+:mod:`repro.serving.storage` element types so a reader can
+``np.memmap`` the rows straight out of the file without materialising
+them::
 
     offset  size  field
     0       4     magic  b"RSKB"
-    4       2     format version (2)
+    4       2     format version (3)
     6       4     header length H
     10      H     JSON header: batch metadata, typed labels, the values
-                  byte length, SHA-256 digests of metadata and values
+                  byte length, the storage spec name and (for int8) its
+                  quantisation scale, SHA-256 digests of metadata/values
     10+H    ...   zero padding up to the first 64-byte boundary
-    A       ...   values: raw little-endian float64, C row-major order
+    A       ...   values: raw little-endian storage dtype, C row-major
 
 where ``A = ceil((10 + H) / 64) * 64`` is derived from the header
 length, so the offset needs no forward pointer.  Two digests cover the
 two sections independently: ``meta_sha256`` (always verified, even on a
 memory-mapped open) and ``values_sha256`` (verified on eager reads;
 a memory-mapped open defers it, trading corruption detection for not
-touching the data — see :func:`read_batch_info`).
+touching the data — see :func:`read_batch_info`).  The recorded
+``sq_norm_bounds`` are computed from the *decoded* rows, so the
+norm-bound prefilter over a quantised mapped shard bounds exactly the
+values queries will scan.
+
+Format version 2 (the PR-3 writer) is version 3 without the
+``storage``/``scale`` header fields — always float64 values.  It is
+still read, eagerly and memory-mapped, and still writable via
+``batch_to_bytes(..., version=2)`` for compatibility tests.
 
 Labels are stored with a **typed JSON encoding** (:func:`encode_label`):
 ``None``, booleans, integers, floats and strings survive as themselves,
@@ -57,10 +68,12 @@ import numpy as np
 
 from repro.core.sketch import SketchBatch
 from repro.dp.mechanisms import PrivacyGuarantee
+from repro.serving.storage import StorageSpec
 
 MAGIC = b"RSKB"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 _V1 = 1
+_V2 = 2
 
 _PREFIX_LEN = len(MAGIC) + 2 + 4  # magic + version + header length
 _ALIGNMENT = 64  # values segment starts on a 64-byte boundary
@@ -136,9 +149,17 @@ def _values_offset(header_len: int) -> int:
     return ((end + _ALIGNMENT - 1) // _ALIGNMENT) * _ALIGNMENT
 
 
-def _meta_dict(batch: SketchBatch, values_nbytes: int) -> dict:
-    if len(batch):
-        norms = np.einsum("ij,ij->i", batch.values, batch.values)
+def _meta_dict(batch: SketchBatch, values_nbytes: int, decoded: np.ndarray) -> dict:
+    """The header metadata; norm bounds come from the *decoded* rows.
+
+    ``decoded`` is what a reader will scan after decoding the values
+    segment — for quantised storage that differs from ``batch.values``,
+    and the recorded bounds must cover the scanned rows, not the
+    originals, for the mapped prefilter to stay exact.
+    """
+    if decoded.shape[0]:
+        rows = np.asarray(decoded, dtype=np.float64)
+        norms = np.einsum("ij,ij->i", rows, rows)
         sq_norm_bounds = [float(norms.min()), float(norms.max())]
     else:
         sq_norm_bounds = None
@@ -164,30 +185,72 @@ def _meta_digest(meta: dict) -> str:
     ).hexdigest()
 
 
-#: The on-disk element type of the values segment: float64 pinned to
+#: The on-disk element type of v1/v2 values segments: float64 pinned to
 #: little-endian, so stores move between hosts of any byte order.
+#: Version 3 uses the storage spec's (equally little-endian) dtype.
 _VALUES_DTYPE = np.dtype("<f8")
 
 
-def _to_bytes_v2(batch: SketchBatch) -> bytes:
-    values = np.ascontiguousarray(batch.values, dtype=_VALUES_DTYPE).tobytes()
-    meta = _meta_dict(batch, len(values))
-    header = dict(
-        meta,
-        meta_sha256=_meta_digest(meta),
-        values_sha256=hashlib.sha256(values).hexdigest(),
-    )
+def _assemble(version: int, header: dict, values: bytes) -> bytes:
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
     offset = _values_offset(len(header_bytes))
     padding = b"\0" * (offset - _PREFIX_LEN - len(header_bytes))
     return (
         MAGIC
-        + FORMAT_VERSION.to_bytes(2, "big")
+        + version.to_bytes(2, "big")
         + len(header_bytes).to_bytes(4, "big")
         + header_bytes
         + padding
         + values
     )
+
+
+def _to_bytes_v3(
+    batch: SketchBatch,
+    storage,
+    encoded: np.ndarray | None,
+    scale: float | None,
+) -> bytes:
+    """The current writer: values in the storage spec's element type.
+
+    With ``encoded`` given (the store's save path), those exact storage
+    codes are written verbatim — the round trip is bit-identical — and
+    ``batch.values`` must already be the *decoded* rows they scan as.
+    Without it, the rows are encoded here (quantised storage picks a
+    fresh scale from the batch's peak magnitude).
+    """
+    spec = StorageSpec.parse(storage)
+    if encoded is None:
+        if spec.quantised and scale is None:
+            peak = float(np.max(np.abs(batch.values))) if len(batch) else 0.0
+            if not np.isfinite(peak):
+                raise ValueError("int8 storage requires finite sketch values")
+            scale = spec.int8_step(peak)
+        encoded = spec.encode(batch.values, scale)
+        decoded = spec.decode(encoded, scale)
+    else:
+        decoded = np.asarray(batch.values)
+    values = np.ascontiguousarray(encoded, dtype=spec.dtype).tobytes()
+    meta = _meta_dict(batch, len(values), decoded)
+    meta["storage"] = spec.name
+    meta["scale"] = scale
+    header = dict(
+        meta,
+        meta_sha256=_meta_digest(meta),
+        values_sha256=hashlib.sha256(values).hexdigest(),
+    )
+    return _assemble(FORMAT_VERSION, header, values)
+
+
+def _to_bytes_v2(batch: SketchBatch) -> bytes:
+    values = np.ascontiguousarray(batch.values, dtype=_VALUES_DTYPE).tobytes()
+    meta = _meta_dict(batch, len(values), np.asarray(batch.values))
+    header = dict(
+        meta,
+        meta_sha256=_meta_digest(meta),
+        values_sha256=hashlib.sha256(values).hexdigest(),
+    )
+    return _assemble(_V2, header, values)
 
 
 def _to_bytes_v1(batch: SketchBatch) -> bytes:
@@ -206,14 +269,30 @@ def _to_bytes_v1(batch: SketchBatch) -> bytes:
     )
 
 
-def batch_to_bytes(batch: SketchBatch, *, version: int = FORMAT_VERSION) -> bytes:
+def batch_to_bytes(
+    batch: SketchBatch,
+    *,
+    version: int = FORMAT_VERSION,
+    storage="f8",
+    encoded: np.ndarray | None = None,
+    scale: float | None = None,
+) -> bytes:
     """Serialize a batch into the versioned binary container.
 
-    ``version=2`` (default) preserves label types and aligns the values
-    segment for memory mapping; ``version=1`` reproduces the legacy
-    envelope (labels stringified) for compatibility tests.
+    ``version=3`` (default) preserves label types, aligns the values
+    segment for memory mapping, and stores the values in the
+    :class:`~repro.serving.storage.StorageSpec` named by ``storage``
+    (``encoded``/``scale`` let a store write its exact shard codes, see
+    :func:`_to_bytes_v3`).  ``version=2`` reproduces the PR-3 header
+    (always float64) and ``version=1`` the legacy envelope (labels
+    stringified) for compatibility tests; neither accepts a non-default
+    storage.
     """
     if version == FORMAT_VERSION:
+        return _to_bytes_v3(batch, storage, encoded, scale)
+    if StorageSpec.parse(storage).name != "f8" or encoded is not None:
+        raise ValueError(f"format version {version} stores float64 values only")
+    if version == _V2:
         return _to_bytes_v2(batch)
     if version == _V1:
         return _to_bytes_v1(batch)
@@ -242,14 +321,25 @@ class BatchInfo:
     values_nbytes: int
     labels: tuple
     meta: SketchBatch
-    #: ``(min, max)`` of the rows' squared norms, recorded at write time
-    #: (format 2 only, ``None`` for format 1) — lets the norm-bound
-    #: prefilter rule a mapped shard out without reading any of it.
+    #: ``(min, max)`` of the *decoded* rows' squared norms, recorded at
+    #: write time (formats 2/3, ``None`` for format 1) — lets the
+    #: norm-bound prefilter rule a mapped shard out without reading it.
     sq_norm_bounds: tuple[float, float] | None = None
+    #: Storage spec name of the values segment ("f8" for formats 1/2).
+    storage: str = "f8"
+    #: int8 quantisation step (``None`` for the float specs).
+    scale: float | None = None
+    #: Recorded digest of the values segment (``None`` for format 1,
+    #: whose single digest covers the whole payload).
+    values_sha256: str | None = None
 
     @property
     def output_dim(self) -> int:
         return self.meta.output_dim
+
+    @property
+    def storage_spec(self) -> StorageSpec:
+        return StorageSpec.parse(self.storage)
 
 
 def _read_exact(stream, n: int, what: str) -> bytes:
@@ -269,10 +359,10 @@ def _parse_prefix(stream) -> tuple[int, dict]:
     if prefix[:4] != MAGIC:
         raise SerializationError(f"bad magic {prefix[:4]!r}, expected {MAGIC!r}")
     version = int.from_bytes(prefix[4:6], "big")
-    if version not in (_V1, FORMAT_VERSION):
+    if version not in (_V1, _V2, FORMAT_VERSION):
         raise SerializationError(
             f"unsupported format version {version} "
-            f"(this build reads {_V1} and {FORMAT_VERSION})"
+            f"(this build reads {_V1} through {FORMAT_VERSION})"
         )
     header_len = int.from_bytes(prefix[6:10], "big")
     header_bytes = _read_exact(stream, header_len, "header")
@@ -283,7 +373,7 @@ def _parse_prefix(stream) -> tuple[int, dict]:
     return version, header
 
 
-_META_TEMPLATE_FIELDS = (
+_META_TEMPLATE_FIELDS_V2 = (
     "n_rows",
     "sq_norm_bounds",
     "input_dim",
@@ -297,6 +387,8 @@ _META_TEMPLATE_FIELDS = (
     "labels",
     "values_nbytes",
 )
+
+_META_TEMPLATE_FIELDS_V3 = _META_TEMPLATE_FIELDS_V2 + ("storage", "scale")
 
 
 def _meta_from_header(header: dict) -> SketchBatch:
@@ -313,33 +405,47 @@ def _meta_from_header(header: dict) -> SketchBatch:
     )
 
 
-def _parse_v2_header(header: dict, header_len: int) -> tuple[dict, BatchInfo]:
+def _parse_v23_header(version: int, header: dict, header_len: int) -> BatchInfo:
+    fields = (
+        _META_TEMPLATE_FIELDS_V3 if version == FORMAT_VERSION else _META_TEMPLATE_FIELDS_V2
+    )
     try:
-        meta = {field: header[field] for field in _META_TEMPLATE_FIELDS}
+        meta = {field: header[field] for field in fields}
         meta_digest = header["meta_sha256"]
-        header["values_sha256"]
+        values_digest = header["values_sha256"]
     except KeyError as exc:
         raise SerializationError(f"header is missing required field {exc}") from exc
     if _meta_digest(meta) != meta_digest:
         raise SerializationError(
             "metadata digest mismatch: stored batch header is corrupt"
         )
+    try:
+        spec = StorageSpec.parse(meta.get("storage", "f8"))
+    except ValueError as exc:
+        raise SerializationError(str(exc)) from exc
+    scale = meta.get("scale")
+    if spec.quantised and scale is None:
+        raise SerializationError("int8 values segment recorded without a scale")
     bounds = meta["sq_norm_bounds"]
     info = BatchInfo(
         path=None,
-        version=FORMAT_VERSION,
+        version=version,
         n_rows=int(meta["n_rows"]),
         values_offset=_values_offset(header_len),
         values_nbytes=int(meta["values_nbytes"]),
         labels=tuple(decode_label(label) for label in meta["labels"]),
         meta=_meta_from_header(meta),
         sq_norm_bounds=None if bounds is None else (float(bounds[0]), float(bounds[1])),
+        storage=spec.name,
+        scale=None if scale is None else float(scale),
+        values_sha256=values_digest,
     )
-    expected = info.n_rows * info.meta.output_dim * 8
+    expected = info.n_rows * info.meta.output_dim * spec.itemsize
     if info.values_nbytes != expected:
         raise SerializationError(
             f"header claims {info.values_nbytes} value bytes for "
-            f"{info.n_rows} x {info.meta.output_dim} rows (expected {expected})"
+            f"{info.n_rows} x {info.meta.output_dim} {spec.name} rows "
+            f"(expected {expected})"
         )
     if info.labels and len(info.labels) != info.n_rows:
         # the eager path would trip SketchBatch's own validation; the
@@ -347,11 +453,11 @@ def _parse_v2_header(header: dict, header_len: int) -> tuple[dict, BatchInfo]:
         raise SerializationError(
             f"header carries {len(info.labels)} labels for {info.n_rows} rows"
         )
-    return header, info
+    return info
 
 
-def _from_bytes_v2(stream, header: dict, header_len: int) -> SketchBatch:
-    header, info = _parse_v2_header(header, header_len)
+def _from_bytes_v23(stream, version: int, header: dict, header_len: int) -> SketchBatch:
+    info = _parse_v23_header(version, header, header_len)
     _read_exact(stream, info.values_offset - _PREFIX_LEN - header_len, "padding")
     values_bytes = stream.read()
     if len(values_bytes) != info.values_nbytes:
@@ -359,19 +465,17 @@ def _from_bytes_v2(stream, header: dict, header_len: int) -> SketchBatch:
             f"payload has {len(values_bytes)} bytes, header says {info.values_nbytes}"
         )
     digest = hashlib.sha256(values_bytes).hexdigest()
-    if digest != header["values_sha256"]:
+    if digest != info.values_sha256:
         raise SerializationError(
             "payload digest mismatch: stored batch is corrupt "
-            f"(expected {header['values_sha256']}, got {digest})"
+            f"(expected {info.values_sha256}, got {digest})"
         )
-    values = np.frombuffer(values_bytes, dtype=_VALUES_DTYPE).astype(
-        np.float64, copy=True
+    spec = info.storage_spec
+    raw = np.frombuffer(values_bytes, dtype=spec.dtype).reshape(
+        info.n_rows, info.meta.output_dim
     )
-    return dataclasses.replace(
-        info.meta,
-        values=values.reshape(info.n_rows, info.meta.output_dim),
-        labels=info.labels,
-    )
+    values = spec.decode(raw, info.scale).astype(np.float64, copy=True)
+    return dataclasses.replace(info.meta, values=values, labels=info.labels)
 
 
 def _from_bytes_v1(stream, header: dict) -> SketchBatch:
@@ -408,8 +512,8 @@ def batch_from_bytes(blob: bytes) -> SketchBatch:
     stream = io.BytesIO(blob)
     version, header = _parse_prefix(stream)
     header_len = int.from_bytes(blob[6:10], "big")
-    if version == FORMAT_VERSION:
-        return _from_bytes_v2(stream, header, header_len)
+    if version in (_V2, FORMAT_VERSION):
+        return _from_bytes_v23(stream, version, header, header_len)
     return _from_bytes_v1(stream, header)
 
 
@@ -449,10 +553,10 @@ def read_batch_info(path: str | os.PathLike) -> BatchInfo:
     """
     with open(path, "rb") as stream:
         version, header = _parse_prefix(stream)
-        if version == FORMAT_VERSION:
+        if version in (_V2, FORMAT_VERSION):
             # the true header length is the file position past the prefix
             header_len = stream.tell() - _PREFIX_LEN
-            _, info = _parse_v2_header(header, header_len)
+            info = _parse_v23_header(version, header, header_len)
             return dataclasses.replace(info, path=os.fspath(path))
         payload_start = stream.tell()
         payload_header, line_len = _scan_v1_payload_header(stream)
@@ -476,36 +580,73 @@ def read_batch_info(path: str | os.PathLike) -> BatchInfo:
 
 
 def map_values(info: BatchInfo) -> np.ndarray:
-    """The values of a stored batch as a read-only ``np.memmap``.
+    """The raw values segment of a stored batch as a read-only ``np.memmap``.
 
-    The rows are mapped straight out of the file — nothing is read
-    until pages are touched, and the OS can evict them under memory
-    pressure, which is what lets stores larger than RAM serve queries.
-    Corruption in the values section is *not* detected on this path
-    (the digest is only checked by eager reads).
+    The rows are mapped straight out of the file in the *storage* dtype
+    — nothing is read until pages are touched, and the OS can evict
+    them under memory pressure, which is what lets stores larger than
+    RAM serve queries.  Quantised segments map as their codes; decode
+    with ``info.storage_spec.decode(..., info.scale)`` to get scan
+    values.  Corruption in the values section is *not* detected on this
+    path (the digest is only checked by eager reads).
     """
     if info.path is None:
         raise ValueError("this BatchInfo was parsed from bytes, not a file")
     shape = (info.n_rows, info.meta.output_dim)
     if info.n_rows == 0:
-        return np.empty(shape)
+        return np.empty(shape, dtype=info.storage_spec.dtype)
     end = info.values_offset + info.values_nbytes
     if os.path.getsize(info.path) < end:
         raise SerializationError(
             f"{info.path} is truncated: values section ends at byte {end}"
         )
-    dtype = _VALUES_DTYPE if info.version == FORMAT_VERSION else np.float64
+    dtype = np.float64 if info.version == _V1 else info.storage_spec.dtype
     return np.memmap(
         info.path, dtype=dtype, mode="r", offset=info.values_offset, shape=shape
     )
 
 
+def read_batch_raw(path: str | os.PathLike) -> tuple[BatchInfo, np.ndarray]:
+    """Eagerly read a stored batch's *raw* storage values, digest-verified.
+
+    The store's eager load path: unlike :func:`read_batch` it hands
+    back the storage codes exactly as written (no decode, no float64
+    widening), so a quantised store reloads its shards bit-identically
+    instead of round-tripping through full precision.  The values
+    digest is verified (format 1 verifies via its whole-payload digest).
+    """
+    info = read_batch_info(path)
+    if info.version == _V1:
+        return info, np.asarray(read_batch(path).values)
+    with open(path, "rb") as stream:
+        stream.seek(info.values_offset)
+        values_bytes = _read_exact(stream, info.values_nbytes, "values section")
+    digest = hashlib.sha256(values_bytes).hexdigest()
+    if digest != info.values_sha256:
+        raise SerializationError(
+            "payload digest mismatch: stored batch is corrupt "
+            f"(expected {info.values_sha256}, got {digest})"
+        )
+    raw = np.frombuffer(values_bytes, dtype=info.storage_spec.dtype)
+    return info, raw.reshape(info.n_rows, info.meta.output_dim)
+
+
 def write_batch(
-    path: str | os.PathLike, batch: SketchBatch, *, version: int = FORMAT_VERSION
+    path: str | os.PathLike,
+    batch: SketchBatch,
+    *,
+    version: int = FORMAT_VERSION,
+    storage="f8",
+    encoded: np.ndarray | None = None,
+    scale: float | None = None,
 ) -> None:
     """Write a batch to ``path`` in the versioned binary format."""
     with open(path, "wb") as handle:
-        handle.write(batch_to_bytes(batch, version=version))
+        handle.write(
+            batch_to_bytes(
+                batch, version=version, storage=storage, encoded=encoded, scale=scale
+            )
+        )
 
 
 def read_batch(path: str | os.PathLike) -> SketchBatch:

@@ -211,6 +211,7 @@ class _QueryHandler(BaseHTTPRequestHandler):
                     "status": "ok",
                     "rows": len(store),
                     "shards": store.n_shards,
+                    "storage": store.storage.name,
                     "config_digest": (
                         None if store.metadata is None else store.metadata.config_digest
                     ),
@@ -220,10 +221,12 @@ class _QueryHandler(BaseHTTPRequestHandler):
         elif self.path == "/meta":
             store = self.service.store
             meta = store.metadata
+            # describe() supplies rows/shards plus the storage spec and
+            # stored-value bytes, so operators can verify a quantised
+            # deployment (and its size win) from the frontend alone
             body = json.dumps(
                 {
-                    "rows": len(store),
-                    "shards": store.n_shards,
+                    **store.describe(),
                     "policy": repr(self.service.policy),
                     "metadata": None
                     if meta is None

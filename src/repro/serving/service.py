@@ -80,6 +80,7 @@ import numpy as np
 from repro.core import estimators
 from repro.core.sketch import SketchBatch
 from repro.serving.execution import ExecutionPolicy
+from repro.theory.quantisation import accumulation_gamma
 from repro.serving.queries import (
     CrossQuery,
     NormsQuery,
@@ -129,7 +130,11 @@ _PREFILTER_REL_SLACK = 1e-9
 
 
 def _shard_lower_bounds(
-    view: ShardView, sq_rows: np.ndarray, query_norms: np.ndarray, correction: float
+    view: ShardView,
+    sq_rows: np.ndarray,
+    query_norms: np.ndarray,
+    correction: float,
+    gamma: float = 0.0,
 ) -> np.ndarray:
     """Conservative per-query lower bounds on the shard's estimates.
 
@@ -142,11 +147,22 @@ def _shard_lower_bounds(
     bound *strictly greater* against a threshold can only skip shards
     whose every entry genuinely exceeds the threshold — prefiltered
     results are identical to unfiltered ones, ties included.
+
+    On a float32-scanned shard (a quantised store) the block's GEMM
+    rounds far more coarsely than float64 — up to the accumulation
+    envelope of :mod:`repro.theory.quantisation` — so the caller passes
+    that store's ``gamma`` and the slack widens by
+    ``4 * gamma * ||q|| * sqrt(hi)``; the cached norms already bound
+    the *decoded* rows, so quantisation itself needs no extra term.
+    The widened slack is still orders of magnitude below any real
+    pruning margin, so skipping power is effectively unchanged.
     """
     lo, hi = view.norm_bounds()
     gap = np.maximum(np.sqrt(lo) - query_norms, query_norms - np.sqrt(hi))
     gap = np.maximum(gap, 0.0)
     slack = _PREFILTER_REL_SLACK * (sq_rows + hi + abs(correction)) + 1e-12
+    if gamma and np.isfinite(hi):
+        slack = slack + 4.0 * gamma * query_norms * np.sqrt(hi)
     return gap * gap - correction - slack
 
 
@@ -234,6 +250,7 @@ class DistanceService:
         shard_capacity: int | None = None,
         policy: ExecutionPolicy | None = None,
         expected_digest: str | None = None,
+        storage=None,
     ) -> "DistanceService":
         """Build a store from released batches and wrap it.
 
@@ -241,13 +258,17 @@ class DistanceService:
         *before* any batch arrives: every construction path then fails
         fast on a foreign batch, exactly like
         :meth:`~repro.core.protocol.SketchingSession.serve` (which
-        routes through here with its session's digest).
+        routes through here with its session's digest).  ``storage``
+        selects the store's precision
+        (:class:`~repro.serving.storage.StorageSpec`; default from
+        ``REPRO_STORE_DTYPE``).
         """
         store = ShardedSketchStore(
             shard_capacity=DEFAULT_SHARD_CAPACITY
             if shard_capacity is None
             else shard_capacity,
             expected_digest=expected_digest,
+            storage=storage,
         )
         for batch in batches:
             store.add_batch(batch)
@@ -309,6 +330,15 @@ class DistanceService:
     def _correction(self) -> float:
         return estimators.sq_distance_correction(self.store.metadata)
 
+    def _scan_gamma(self) -> float:
+        """The store's GEMM accumulation envelope for prefilter slack.
+
+        Zero for float64 stores (the historical slack already covers
+        float64 rounding); the float32 ``gamma_k`` otherwise, so the
+        prefilter stays exact over quantised shards.
+        """
+        return accumulation_gamma(self.store.storage, self.store.metadata.output_dim)
+
     # -- the one entry point -------------------------------------------------
 
     _HANDLERS: dict = {}  # populated after the class body; type -> method name
@@ -359,11 +389,12 @@ class DistanceService:
         sq_rows = np.einsum("ij,ij->i", rows, rows)
         query_norms = np.sqrt(sq_rows)
         correction = self._correction()
+        gamma = self._scan_gamma()
         running = _RunningBest(n_queries, k) if self.policy.prefilter else None
 
         def scan(view: ShardView):
             if running is not None and running.skippable(
-                _shard_lower_bounds(view, sq_rows, query_norms, correction)
+                _shard_lower_bounds(view, sq_rows, query_norms, correction, gamma)
             ):
                 return None
             block = estimators.cross_sq_distances_from_parts(
@@ -411,11 +442,14 @@ class DistanceService:
         sq_rows = np.einsum("ij,ij->i", rows, rows)
         query_norms = np.sqrt(sq_rows)
         correction = self._correction()
+        gamma = self._scan_gamma()
         prefilter = self.policy.prefilter
 
         def scan(view: ShardView):
             if prefilter:
-                bound = _shard_lower_bounds(view, sq_rows, query_norms, correction)
+                bound = _shard_lower_bounds(
+                    view, sq_rows, query_norms, correction, gamma
+                )
                 if bound[0] > radius_sq:
                     return None
             block = estimators.cross_sq_distances_from_parts(

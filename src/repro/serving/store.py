@@ -2,11 +2,26 @@
 
 :class:`ShardedSketchStore` is the serving layer's data plane: released
 rows accumulate into fixed-capacity *shards*, each a preallocated
-``(capacity, k)`` float64 buffer that fills in place.  Appending ``n``
-rows therefore copies exactly ``n`` rows — never the whole store, unlike
-a flat index that re-``concatenate``s every chunk per insert.  Buffers
+``(capacity, k)`` buffer that fills in place.  Appending ``n`` rows
+therefore copies exactly ``n`` rows — never the whole store, unlike a
+flat index that re-``concatenate``s every chunk per insert.  Buffers
 grow geometrically (doubling) up to the shard capacity, so small stores
 stay small while the amortised cost per appended row is O(1).
+
+The buffer element type is a :class:`~repro.serving.storage.StorageSpec`
+chosen at construction (``storage="f8" | "f4" | "f2" | "int8"``, default
+from ``REPRO_STORE_DTYPE``): full-precision float64, half-size float32,
+quarter-size float16, or eighth-size scalar-quantised int8 with one
+scale per shard.  Quantisation happens once, at append time; queries
+scan the *decoded* rows (float32 for the low-precision specs — ``f4``
+serves its stored bytes zero-copy, ``f2``/``int8`` decode lazily into a
+cached float32 scan copy) through the unchanged :class:`ShardView`
+interface, so the whole query
+plane runs identically, trading a documented error envelope
+(:mod:`repro.theory.quantisation`) for 2–8x smaller buffers and files.
+An int8 shard never rescales published rows: a chunk that would clip
+seals the shard and opens a fresh one with its own scale, keeping
+snapshots immutable.
 
 Every shard caches the squared norms of its filled rows (maintained
 incrementally at append time) plus their min/max, which the query
@@ -50,10 +65,11 @@ from repro.serving.serialization import (
     BatchInfo,
     SerializationError,
     map_values,
-    read_batch,
     read_batch_info,
+    read_batch_raw,
     write_batch,
 )
+from repro.serving.storage import INT8_CODE_MAX, StorageSpec
 
 #: Default rows per shard; 2^16 rows of a k=256 sketch is ~128 MiB.
 DEFAULT_SHARD_CAPACITY = 65536
@@ -64,15 +80,43 @@ _SHARD_PATTERN = "shard-{:05d}.skb"
 
 
 class _Shard:
-    """One preallocated block of sketch rows plus its cached norms."""
+    """One preallocated block of sketch rows plus its cached norms.
 
-    __slots__ = ("capacity", "size", "_buffer", "_sq_norms", "_min_sq", "_max_sq")
+    The buffer holds rows in the store's storage dtype; ``scale`` is
+    the int8 quantisation step (``None`` for the float specs), fixed by
+    the first chunk the shard admits and never changed afterwards —
+    published rows are immutable, so snapshots stay consistent.  Norms
+    are always cached in float64, computed from the *decoded* rows (the
+    exact values queries scan), so the prefilter bounds exactly what
+    the distance kernel sees.
+    """
 
-    def __init__(self, capacity: int, output_dim: int, initial_rows: int = 0) -> None:
+    __slots__ = (
+        "capacity",
+        "size",
+        "storage",
+        "scale",
+        "_buffer",
+        "_decoded",
+        "_sq_norms",
+        "_min_sq",
+        "_max_sq",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        output_dim: int,
+        storage: StorageSpec,
+        initial_rows: int = 0,
+    ) -> None:
         self.capacity = capacity
         self.size = 0
+        self.storage = storage
+        self.scale: float | None = None
         allocate = min(capacity, max(initial_rows, 1))
-        self._buffer = np.empty((allocate, output_dim), dtype=np.float64)
+        self._buffer = np.empty((allocate, output_dim), dtype=storage.dtype)
+        self._decoded: np.ndarray | None = None  # f2/int8 scan cache
         self._sq_norms = np.empty(allocate, dtype=np.float64)
         self._min_sq = np.inf
         self._max_sq = -np.inf
@@ -80,6 +124,23 @@ class _Shard:
     @property
     def free(self) -> int:
         return self.capacity - self.size
+
+    def admit(self, rows: np.ndarray) -> int:
+        """How many leading ``rows`` this shard will take (0 = sealed).
+
+        Float specs admit up to :attr:`free` rows.  An int8 shard with
+        rows already published additionally requires the chunk to fit
+        its fixed scale — a chunk that would clip returns 0, telling the
+        store to seal this shard and open a fresh one whose scale the
+        chunk then sets.  A fresh shard always admits at least one row,
+        so the store's fill loop always progresses.
+        """
+        take = min(self.free, rows.shape[0])
+        if take and self.storage.quantised and self.scale is not None:
+            peak = float(np.max(np.abs(rows[:take])))
+            if peak > INT8_CODE_MAX * self.scale:
+                return 0
+        return take
 
     def append(self, rows: np.ndarray) -> None:
         """Copy ``rows`` into the buffer, extending the norm caches.
@@ -91,26 +152,88 @@ class _Shard:
         end = self.size + rows.shape[0]
         if end > self._buffer.shape[0]:  # grow geometrically within capacity
             new_rows = min(self.capacity, max(end, 2 * self._buffer.shape[0]))
-            grown = np.empty((new_rows, self._buffer.shape[1]), dtype=np.float64)
+            grown = np.empty((new_rows, self._buffer.shape[1]), dtype=self._buffer.dtype)
             grown[: self.size] = self._buffer[: self.size]
             norms = np.empty(new_rows, dtype=np.float64)
             norms[: self.size] = self._sq_norms[: self.size]
             self._buffer, self._sq_norms = grown, norms
-        self._buffer[self.size : end] = rows
-        chunk_norms = np.einsum(
-            "ij,ij->i", self._buffer[self.size : end], self._buffer[self.size : end]
+        if self.storage.quantised and self.scale is None:
+            peak = float(np.max(np.abs(rows))) if rows.size else 0.0
+            if not np.isfinite(peak):
+                raise ValueError("int8 storage requires finite sketch values")
+            self.scale = StorageSpec.int8_step(peak)
+        self._buffer[self.size : end] = (
+            rows
+            if self.storage.name == "f8"
+            else self.storage.encode(rows, self.scale)
         )
+        decoded = np.asarray(
+            self.storage.decode(self._buffer[self.size : end], self.scale),
+            dtype=np.float64,
+        )
+        chunk_norms = np.einsum("ij,ij->i", decoded, decoded)
         self._sq_norms[self.size : end] = chunk_norms
         self._min_sq = min(self._min_sq, float(chunk_norms.min()))
         self._max_sq = max(self._max_sq, float(chunk_norms.max()))
         self.size = end
 
+    def adopt(self, raw: np.ndarray, scale: float | None) -> None:
+        """Fill an empty shard with raw storage codes from a stored blob.
+
+        The eager-load path: codes land in the buffer verbatim (no
+        decode/re-encode round trip, so quantised reloads are
+        bit-identical) and the norm caches are rebuilt from the decoded
+        rows exactly as :meth:`append` would have.
+        """
+        end = raw.shape[0]
+        self.scale = scale
+        self._buffer[:end] = raw
+        scan = self.storage.decode(self._buffer[:end], scale)
+        if self.storage.name not in ("f8", "f4"):
+            # a fresh f2/int8 decode: prime the scan cache right away
+            scan.flags.writeable = False
+            self._decoded = scan
+        decoded = np.asarray(scan, dtype=np.float64)
+        norms = np.einsum("ij,ij->i", decoded, decoded)
+        self._sq_norms[:end] = norms
+        if end:
+            self._min_sq = float(norms.min())
+            self._max_sq = float(norms.max())
+        self.size = end
+
     @property
     def values(self) -> np.ndarray:
-        """The filled rows as a read-only view (no copy)."""
+        """The filled rows, decoded to the scan dtype (read-only).
+
+        ``f8``/``f4`` are zero-copy views of the buffer; ``f2``/``int8``
+        decode into a cached float32 array so repeated queries do not
+        re-convert the shard (the cache is keyed by its row count, so
+        appends naturally invalidate it, and a stale reference handed
+        to an earlier snapshot stays valid — rows are immutable).
+        """
+        view = self._buffer[: self.size]
+        if self.storage.name in ("f8", "f4"):
+            view.flags.writeable = False
+            return view
+        cached = self._decoded
+        if cached is None or cached.shape[0] != self.size:
+            cached = self.storage.decode(view, self.scale)
+            cached.flags.writeable = False
+            self._decoded = cached
+        return cached
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The filled rows in raw storage form (read-only, no decode)."""
         view = self._buffer[: self.size]
         view.flags.writeable = False
         return view
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of stored values (filled rows only; norm and decode
+        caches are excluded — this is the persisted/mapped footprint)."""
+        return self.size * self._buffer.shape[1] * self.storage.itemsize
 
     @property
     def sq_norms(self) -> np.ndarray:
@@ -156,6 +279,21 @@ class _MappedShard:
     def free(self) -> int:
         return 0
 
+    def admit(self, rows: np.ndarray) -> int:
+        return 0  # mapped shards are sealed
+
+    @property
+    def storage(self) -> StorageSpec:
+        return self._info.storage_spec
+
+    @property
+    def scale(self) -> float | None:
+        return self._info.scale
+
+    @property
+    def nbytes(self) -> int:
+        return self._info.values_nbytes
+
     @property
     def materialized(self) -> bool:
         """Whether the values have been mapped yet (for tests/metrics)."""
@@ -164,13 +302,22 @@ class _MappedShard:
     @property
     def values(self) -> np.ndarray:
         if self._values is None:
-            self._values = map_values(self._info)
+            # f8/f4 stay lazy memory maps (decode is a no-op); f2/int8
+            # decode into a resident float32 array on first touch
+            decoded = self.storage.decode(map_values(self._info), self.scale)
+            decoded.flags.writeable = False
+            self._values = decoded
         return self._values
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Raw storage values, memory-mapped (the save/compact path)."""
+        return map_values(self._info)
 
     @property
     def sq_norms(self) -> np.ndarray:
         if self._sq_norms is None:
-            values = self.values
+            values = np.asarray(self.values, dtype=np.float64)
             norms = np.einsum("ij,ij->i", values, values)
             if self._bounds is None:
                 self._bounds = (
@@ -208,6 +355,20 @@ class ShardView:
         return self._shard.values[: self.size]
 
     @property
+    def codes(self) -> np.ndarray:
+        """The view's rows in raw storage form (no decode; save path)."""
+        return self._shard.codes[: self.size]
+
+    @property
+    def storage(self) -> StorageSpec:
+        return self._shard.storage
+
+    @property
+    def scale(self) -> float | None:
+        """The shard's int8 quantisation step (``None`` for float specs)."""
+        return self._shard.scale
+
+    @property
     def sq_norms(self) -> np.ndarray:
         return self._shard.sq_norms[: self.size]
 
@@ -238,17 +399,30 @@ class ShardedSketchStore:
     Labels default to the row's global position, matching
     :class:`~repro.core.knn.PrivateNeighborIndex`, and survive a
     save/load round trip with their types intact.
+
+    ``storage`` selects the shard element type
+    (:class:`~repro.serving.storage.StorageSpec` or its name; the
+    default comes from ``REPRO_STORE_DTYPE``, falling back to ``"f8"``).
+    Low-precision stores quantise rows once at append time and serve
+    the decoded values through the same :class:`ShardView` interface —
+    the query plane runs unchanged, within the documented error
+    envelope of :mod:`repro.theory.quantisation`.  Loading a saved
+    store always uses the storage recorded in its manifest.
     """
 
     def __init__(
         self,
         shard_capacity: int = DEFAULT_SHARD_CAPACITY,
         expected_digest: str | None = None,
+        storage: StorageSpec | str | None = None,
     ) -> None:
         if shard_capacity < 1:
             raise ValueError(f"shard_capacity must be >= 1, got {shard_capacity}")
         self.shard_capacity = int(shard_capacity)
         self.expected_digest = expected_digest
+        self.storage = (
+            StorageSpec.from_env() if storage is None else StorageSpec.parse(storage)
+        )
         self._shards: list = []
         self._labels: list[object] = []
         self._template: SketchBatch | None = None  # zero-row metadata carrier
@@ -274,6 +448,34 @@ class ShardedSketchStore:
     def metadata(self) -> SketchBatch | None:
         """A zero-row batch carrying the store's shared metadata."""
         return self._template
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of stored values across all shards (filled rows only).
+
+        Counts the storage representation — codes for quantised shards,
+        the mapped file bytes for memory-mapped ones — not the norm
+        caches or any decode-on-scan scratch.  This is the number that
+        shrinks 2–8x when a store is compacted to a lower precision.
+        """
+        return sum(shard.nbytes for shard in self._shards)
+
+    def describe(self) -> dict:
+        """A JSON-friendly summary of the store's shape and storage.
+
+        The same dictionary the HTTP frontend's ``GET /meta`` embeds,
+        so operators see identical numbers locally and remotely.
+        """
+        return {
+            "rows": len(self),
+            "shards": self.n_shards,
+            "shard_capacity": self.shard_capacity,
+            "storage": self.storage.name,
+            "nbytes": self.nbytes,
+            "config_digest": (
+                None if self._template is None else self._template.config_digest
+            ),
+        }
 
     # -- appending -----------------------------------------------------------
 
@@ -314,20 +516,28 @@ class ShardedSketchStore:
         self._fill(rows)
 
     def _fill(self, rows: np.ndarray) -> None:
-        """Copy ``rows`` into the tail shards, opening new ones as needed."""
+        """Copy ``rows`` into the tail shards, opening new ones as needed.
+
+        The tail shard says how much of the chunk it will
+        :meth:`~_Shard.admit`; zero means it is full — or an int8 shard
+        whose fixed scale the chunk would clip — and a fresh shard opens
+        (a fresh shard always admits, so the loop always progresses).
+        """
         offset = 0
         while offset < rows.shape[0]:
-            if not self._shards or self._shards[-1].free == 0:
+            remaining = rows[offset:]
+            take = self._shards[-1].admit(remaining) if self._shards else 0
+            if take == 0:
                 self._shards.append(
                     _Shard(
                         self.shard_capacity,
                         self._template.output_dim,
-                        initial_rows=min(rows.shape[0] - offset, self.shard_capacity),
+                        self.storage,
+                        initial_rows=min(remaining.shape[0], self.shard_capacity),
                     )
                 )
-            shard = self._shards[-1]
-            take = min(shard.free, rows.shape[0] - offset)
-            shard.append(rows[offset : offset + take])
+                take = self._shards[-1].admit(remaining)
+            self._shards[-1].append(rows[offset : offset + take])
             offset += take
 
     # -- shard access --------------------------------------------------------
@@ -396,45 +606,70 @@ class ShardedSketchStore:
 
     # -- maintenance ---------------------------------------------------------
 
-    def compact(self) -> "ShardedSketchStore":
+    def compact(self, storage: StorageSpec | str | None = None) -> "ShardedSketchStore":
         """Rewrite the shards so every shard except the last is full.
 
         Partial shards accumulate when batches straddle shard
         boundaries across mmap-loads and appends; compaction repacks
-        the rows (in order — labels and query results are unchanged)
-        into capacity-sized shards.  Memory-mapped shards are
-        materialised in the process: the compacted store lives in
-        memory; :meth:`save` it to persist the compact layout.
-        Returns ``self`` for chaining.
+        the rows (in order — labels are unchanged) into capacity-sized
+        shards.  Memory-mapped shards are materialised in the process:
+        the compacted store lives in memory; :meth:`save` it to persist
+        the compact layout.  Returns ``self`` for chaining.
+
+        ``storage`` re-encodes the rows into a different
+        :class:`~repro.serving.storage.StorageSpec` along the way — the
+        build-full-precision-then-shrink workflow is
+        ``store.compact(storage="f4").save(path)``.  Repacking float
+        shards into the same spec is value-preserving (query results
+        are unchanged); changing precision, or repacking ``int8``
+        shards (whose per-shard scales are re-derived), re-rounds the
+        rows within the documented envelope.
         """
+        if storage is not None:
+            self.storage = StorageSpec.parse(storage)
         old = self._shards
         self._shards = []
         for shard in old:
-            self._fill(shard.values)
+            self._fill(np.asarray(shard.values, dtype=np.float64))
         return self
 
     @classmethod
     def merge(
-        cls, *stores: "ShardedSketchStore", shard_capacity: int | None = None
+        cls,
+        *stores: "ShardedSketchStore",
+        shard_capacity: int | None = None,
+        storage: StorageSpec | str | None = None,
     ) -> "ShardedSketchStore":
         """Fuse compatible stores into one new, compacted store.
 
         Rows keep their per-store order, stores are concatenated in
         argument order, and labels travel with their rows.  All stores
         must share one public configuration (the usual compatibility
-        rule); empty stores are skipped.  Combine with
-        ``load(path, mmap=True)`` and :meth:`save` to fuse on-disk
-        stores: shard pages stream through the memory maps as they are
-        copied into the merged shards.
+        rule) **and one storage spec** — mixing precisions would
+        silently blend error envelopes, so it is rejected with the
+        specs named; pass ``storage=...`` explicitly to re-encode
+        everything into one spec instead.  Empty stores are skipped.
+        Combine with ``load(path, mmap=True)`` and :meth:`save` to fuse
+        on-disk stores: shard pages stream through the memory maps as
+        they are copied into the merged shards.
         """
         if not stores:
             raise ValueError("merge needs at least one store")
+        specs = sorted({s.storage.name for s in stores if s._template is not None})
+        if storage is None:
+            if len(specs) > 1:
+                raise ValueError(
+                    f"cannot merge stores with different storage specs "
+                    f"({', '.join(specs)}): their error envelopes differ; pass "
+                    f"storage=... to re-encode the merged store into one spec"
+                )
+            storage = specs[0] if specs else stores[0].storage
         capacity = (
             max(store.shard_capacity for store in stores)
             if shard_capacity is None
             else shard_capacity
         )
-        merged = cls(shard_capacity=capacity)
+        merged = cls(shard_capacity=capacity, storage=storage)
         for store in stores:
             if store._template is None:
                 continue
@@ -446,7 +681,7 @@ class ShardedSketchStore:
             n_rows = sum(view.size for view in views)
             merged._labels.extend(store._labels[:n_rows])
             for view in views:
-                merged._fill(view.values)
+                merged._fill(np.asarray(view.values, dtype=np.float64))
         return merged
 
     # -- persistence ---------------------------------------------------------
@@ -459,7 +694,11 @@ class ShardedSketchStore:
         only once complete — a crash mid-save leaves an existing store
         untouched, and overwriting a store that previously had more
         shards leaves no stale shard files behind.  Labels are stored
-        with their types (typed JSON encoding in the shard headers).
+        with their types (typed JSON encoding in the shard headers);
+        default positional labels are elided and regenerated on load.
+        Quantised shards persist their exact storage codes and per-shard
+        scales, so save/load/mmap round trips are bit-identical at every
+        precision.
 
         The guarantee is *no corruption*, not full atomicity: a plain
         ``os.replace`` cannot exchange two directories, so there is a
@@ -492,16 +731,28 @@ class ShardedSketchStore:
             offset = 0
             for i, view in enumerate(views):
                 labels = tuple(self._labels[offset : offset + view.size])
+                if _is_positional(labels, offset):
+                    # default positional labels regenerate on load from the
+                    # row offsets alone; dropping them keeps big-store
+                    # headers small (and load-time parsing cheap)
+                    labels = ()
                 offset += view.size
+                # the shard's exact storage codes are written verbatim, so
+                # quantised stores round-trip bit-identically; the batch
+                # carries the decoded rows for the header's norm bounds
                 write_batch(
                     staging / _SHARD_PATTERN.format(i),
                     _with_values(self._template, view.values, labels),
+                    storage=view.storage,
+                    encoded=view.codes,
+                    scale=view.scale,
                 )
             manifest = {
                 "manifest_version": _MANIFEST_VERSION,
                 "shard_capacity": self.shard_capacity,
                 "n_shards": len(views),
                 "n_rows": offset,
+                "storage": self.storage.name,
                 "config_digest": self._template.config_digest,
             }
             (staging / _MANIFEST_NAME).write_text(
@@ -521,9 +772,11 @@ class ShardedSketchStore:
         caches are computed on first touch, and the OS pages rows in
         and out on demand — stores larger than RAM stay queryable.  The
         trade-off: the per-shard values digests are only verified on
-        eager loads.  Both the current format and PR-2's format-1 blobs
-        are readable (format-1 labels come back as the strings that
-        format recorded).
+        eager loads.  All container formats are readable — the current
+        version 3 (any storage spec), PR-3's version 2 and PR-2's
+        version 1 (format-1 labels come back as the strings that format
+        recorded).  The storage spec always comes from the manifest,
+        never from ``REPRO_STORE_DTYPE``.
         """
         root = Path(path)
         manifest_path = root / _MANIFEST_NAME
@@ -548,13 +801,20 @@ class ShardedSketchStore:
 
     @classmethod
     def _load_shards(cls, root: Path, manifest: dict, mmap: bool) -> "ShardedSketchStore":
-        store = cls(shard_capacity=manifest["shard_capacity"])
+        # the manifest decides the storage spec (pre-quantisation
+        # manifests carry no key and mean f8); the environment default
+        # never applies to a load — a saved f8 store stays f8 even under
+        # REPRO_STORE_DTYPE=f4, and vice versa
+        store = cls(
+            shard_capacity=manifest["shard_capacity"],
+            storage=manifest.get("storage", "f8"),
+        )
         for i in range(manifest["n_shards"]):
             shard_path = root / _SHARD_PATTERN.format(i)
             if mmap:
                 store._attach_mapped(read_batch_info(shard_path))
             else:
-                store.add_batch(read_batch(shard_path))
+                store._attach_eager(*read_batch_raw(shard_path))
         if len(store) != manifest["n_rows"]:
             raise SerializationError(
                 f"store at {root} holds {len(store)} rows, manifest says "
@@ -571,19 +831,63 @@ class ShardedSketchStore:
             )
         return store
 
-    def _attach_mapped(self, info: BatchInfo) -> None:
-        """Attach one stored shard as a lazy memory-mapped shard."""
+    def _pin_stored_shard(self, info: BatchInfo) -> None:
+        """Shared load-path validation: metadata and storage must match."""
+        if info.storage != self.storage.name:
+            raise SerializationError(
+                f"shard at {info.path} stores {info.storage} values, the store's "
+                f"manifest pins {self.storage.name} — directory contents were "
+                f"swapped"
+            )
         if self._template is None:
             self._check_expected_digest(info.meta)
             self._template = info.meta
         else:
             estimators.check_compatible(self._template, info.meta)
+
+    def _attach_mapped(self, info: BatchInfo) -> None:
+        """Attach one stored shard as a lazy memory-mapped shard."""
+        self._pin_stored_shard(info)
         if info.n_rows:
             start = len(self._labels)
             self._labels.extend(
                 info.labels or range(start, start + info.n_rows)
             )
             self._shards.append(_MappedShard(info))
+
+    def _attach_eager(self, info: BatchInfo, raw: np.ndarray) -> None:
+        """Attach one stored shard's raw codes as an in-memory shard.
+
+        The codes land in the buffer verbatim — no decode/re-encode
+        round trip, so quantised stores reload bit-identically — and
+        the tail shard stays appendable up to the store's capacity.
+        """
+        self._pin_stored_shard(info)
+        if info.n_rows:
+            start = len(self._labels)
+            self._labels.extend(info.labels or range(start, start + info.n_rows))
+            shard = _Shard(
+                max(self.shard_capacity, info.n_rows),
+                info.meta.output_dim,
+                self.storage,
+                initial_rows=info.n_rows,
+            )
+            shard.adopt(raw, info.scale)
+            self._shards.append(shard)
+
+
+def _is_positional(labels: tuple, start: int) -> bool:
+    """Whether ``labels`` are exactly the default global positions.
+
+    Such labels are not persisted: the loader regenerates them from row
+    offsets (``info.labels or range(...)``), so the round trip is
+    unchanged while 100k-row headers stay kilobytes instead of
+    megabytes.  The type check keeps e.g. ``np.int64`` labels stored —
+    they only *equal* the defaults, and must round-trip as written.
+    """
+    return all(
+        type(label) is int and label == start + i for i, label in enumerate(labels)
+    )
 
 
 def _swap_into_place(staging: Path, root: Path) -> None:

@@ -77,11 +77,26 @@ _QUERY_BY_KIND = {cls.kind: cls for cls in QUERY_TYPES}
 
 
 def _encode_release(release) -> dict:
+    # live query sketches always ride at full precision, pinned to the
+    # version-2 container (the "v2" key is a promise: a not-yet-upgraded
+    # peer must keep decoding our queries, and v3 buys an f8 payload
+    # nothing).  The explicit "storage" tag mirrors the container header
+    # so peers (and logs) see the payload dtype without parsing the
+    # blob; a future revision can ship pre-quantised payloads under a
+    # new tag value and container key.
     if isinstance(release, PrivateSketch):
         batch = SketchBatch.from_sketches([release])
-        return {"as": "sketch", "v2": _b64(batch_to_bytes(batch))}
+        return {
+            "as": "sketch",
+            "storage": "f8",
+            "v2": _b64(batch_to_bytes(batch, version=2)),
+        }
     if isinstance(release, SketchBatch):
-        return {"as": "batch", "v2": _b64(batch_to_bytes(release))}
+        return {
+            "as": "batch",
+            "storage": "f8",
+            "v2": _b64(batch_to_bytes(release, version=2)),
+        }
     raise WireError(
         f"query payload must be a PrivateSketch or SketchBatch, "
         f"got {type(release).__name__}"
@@ -91,6 +106,11 @@ def _encode_release(release) -> dict:
 def _decode_release(encoded) -> object:
     if not isinstance(encoded, dict) or "v2" not in encoded:
         raise WireError("release payload must be an object with a 'v2' blob")
+    if encoded.get("storage", "f8") != "f8":
+        raise WireError(
+            f"this build only decodes f8 sketch payloads, "
+            f"got storage {encoded.get('storage')!r}"
+        )
     try:
         batch = batch_from_bytes(_unb64(encoded["v2"]))
     except SerializationError as exc:

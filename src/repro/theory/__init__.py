@@ -8,6 +8,9 @@
   and Gaussian distributions plus the two-sided geometric used by the
   discrete Laplace mechanism.
 * :mod:`repro.theory.jl` — Johnson-Lindenstrauss distortion helpers.
+* :mod:`repro.theory.quantisation` — worst-case error envelopes for the
+  serving layer's low-precision shard storage, composable with the
+  paper's sketch variance.
 """
 
 from repro.theory.bounds import (
@@ -31,8 +34,16 @@ from repro.theory.moments import (
     two_sided_geometric_fourth_moment,
     two_sided_geometric_second_moment,
 )
+from repro.theory.quantisation import (
+    accumulation_gamma,
+    coordinate_error,
+    sq_distance_error_bound,
+    sq_norm_error_bound,
+)
 
 __all__ = [
+    "accumulation_gamma",
+    "coordinate_error",
     "double_factorial",
     "fjlt_density",
     "fjlt_speed_window",
@@ -48,6 +59,8 @@ __all__ = [
     "sjlt_dimensions",
     "sjlt_sparsity",
     "sjlt_time",
+    "sq_distance_error_bound",
+    "sq_norm_error_bound",
     "two_sided_geometric_fourth_moment",
     "two_sided_geometric_second_moment",
 ]

@@ -27,6 +27,68 @@ def execute_radius(service, query, radius_sq):
 def execute_cross(service, queries):
     return service.execute(CrossQuery(queries=queries)).payload
 
+
+# -- storage-aware expectations (the suite also runs under a quantised
+# -- store default, e.g. CI's REPRO_STORE_DTYPE=f4 leg) ------------------------
+
+
+def storage_roundtrip(store, values):
+    """``values`` as ``store``'s float storage spec holds them.
+
+    Identity for f8 stores, so full-precision assertions stay exact;
+    int8 is rejected (its per-shard scale has no store-independent
+    round trip — compare against the store's own shards instead).
+    """
+    return store.storage.roundtrip(np.asarray(values, dtype=np.float64))
+
+
+def _max_norms(queries_values, stored_values):
+    q = np.atleast_2d(np.asarray(queries_values, dtype=np.float64))
+    r = np.atleast_2d(np.asarray(stored_values, dtype=np.float64))
+    return (
+        float(np.sqrt(np.einsum("ij,ij->i", q, q).max())),
+        float(np.sqrt(np.einsum("ij,ij->i", r, r).max())),
+        r.shape[1],
+    )
+
+
+def scan_jitter_atol(store, queries_values, stored_values):
+    """Tolerance for kernel-schedule jitter between two scans of one store.
+
+    Two scans of the *same* stored rows (batched vs single queries,
+    different shard groupings after a compact) agree bit-for-bit on the
+    float64 path but only to the accumulation envelope on the float32
+    path — each scan rounds its GEMM independently.  Zero-ish (1e-8)
+    for f8 stores, so the full-precision assertions keep their old
+    tightness.
+    """
+    from repro.theory.quantisation import accumulation_gamma
+
+    norm_q, norm_r, dim = _max_norms(queries_values, stored_values)
+    return 4.0 * accumulation_gamma(store.storage, dim) * norm_q * norm_r + 1e-8
+
+
+def envelope_atol(store, queries_values, stored_values):
+    """Worst-pair quantisation envelope vs the full-precision estimates.
+
+    The documented bound of :mod:`repro.theory.quantisation`, maximised
+    over every (query, stored-row) pair — suitable as ``atol`` when a
+    store-served matrix is compared against the float64 flat estimator
+    on the original rows.  Collapses to ~1e-9 slack for f8 stores.
+    """
+    from repro.theory.quantisation import sq_distance_error_bound
+
+    q = np.atleast_2d(np.asarray(queries_values, dtype=np.float64))
+    r = np.atleast_2d(np.asarray(stored_values, dtype=np.float64))
+    scales = [view.scale for view in store.snapshot() if view.scale is not None]
+    scale = max(scales) if scales else None
+    return max(
+        sq_distance_error_bound(store.storage, qi, ri, scale)
+        for qi in q
+        for ri in r
+    )
+
+
 #: (name, kwargs) for every transform at a test-friendly size.
 TRANSFORM_SPECS = [
     ("gaussian", {}),

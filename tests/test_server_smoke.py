@@ -323,6 +323,33 @@ class TestInProcessServer:
         assert client.execute_many([]) == []
 
 
+class TestQuantisedStoreServing:
+    def test_quantised_store_serves_with_reported_storage(self, tmp_path):
+        # the network frontend over a low-precision store: /healthz and
+        # /meta report the storage spec and stored-value bytes, and the
+        # client's results are bit-identical to local execute() on the
+        # same mmap-loaded quantised store
+        sk = _sketcher()
+        rng = np.random.default_rng(4)
+        store = ShardedSketchStore(shard_capacity=7, storage="f4")
+        store.add_batch(sk.sketch_batch(rng.standard_normal((40, 128)), noise_rng=1))
+        store.save(tmp_path / "store")
+        local = DistanceService(
+            ShardedSketchStore.load(tmp_path / "store", mmap=True),
+            ExecutionPolicy(workers=1),
+        )
+        with SketchQueryServer.from_store_dir(
+            tmp_path / "store", port=0, policy=ExecutionPolicy(workers=1)
+        ).start() as server:
+            client = DistanceClient(server.url)
+            health = client.health()
+            assert health["storage"] == "f4"
+            meta = client.meta()
+            assert meta["storage"] == "f4"
+            assert meta["nbytes"] == 40 * 64 * 4  # half of the f8 footprint
+            _assert_remote_matches_local(client, local, sk)
+
+
 class TestServerLifecycle:
     def test_close_without_start_returns_immediately(self, tmp_path):
         # regression: BaseServer.shutdown() waits on an event only a
