@@ -7,21 +7,51 @@ as one aligned table — the per-commit perf ledger.  When
 ``$GITHUB_STEP_SUMMARY`` is set, a markdown copy lands in the workflow
 summary page.
 
+Artifacts alone leave the *trajectory* empty: nothing compares one
+commit's numbers with the previous commit's.  The ``--history``
+directory fixes that — ``snapshot`` persists the current records into
+a numbered, commit-stamped subdirectory (``bench-history/0007-abc...``,
+committed to the repository by CI on main), and a render with
+``--history`` annotates every metric with its delta against the most
+recent snapshot.
+
 Usage::
 
     python benchmarks/trajectory.py BENCH_*.json
-    python benchmarks/trajectory.py artifacts/**/BENCH_*.json
+    python benchmarks/trajectory.py --history bench-history BENCH_*.json
+    python benchmarks/trajectory.py snapshot --history bench-history BENCH_*.json
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
+import re
+import subprocess
 import sys
 from pathlib import Path
 
 #: record sections rendered as metric columns, in display order
 _SECTIONS = ("timings", "speedups", "rates", "sizes", "recall", "max_error")
+
+_SNAPSHOT_DIR = re.compile(r"^(\d{4})-[0-9a-z]+$")
+
+
+def _render_value(section: str, value) -> str:
+    if section == "sizes":
+        return f"{value / 1e6:.1f}MB"
+    if section == "timings":
+        return f"{value:.3f}s"
+    if section == "speedups":
+        return f"{value:.2f}x"
+    if section == "rates":
+        return f"{value:,.0f}/s"
+    return f"{value:.3g}"
+
+
+def _metric_name(section: str, key: str) -> str:
+    return f"{section[:-1] if section.endswith('s') else section}.{key}"
 
 
 def _flatten(record: dict) -> dict[str, str]:
@@ -29,19 +59,17 @@ def _flatten(record: dict) -> dict[str, str]:
     metrics: dict[str, str] = {}
     for section in _SECTIONS:
         for key, value in (record.get(section) or {}).items():
-            if section == "sizes":
-                rendered = f"{value / 1e6:.1f}MB"
-            elif section == "timings":
-                rendered = f"{value:.3f}s"
-            elif section == "speedups":
-                rendered = f"{value:.2f}x"
-            elif section == "rates":
-                rendered = f"{value:,.0f}/s"
-            else:
-                rendered = f"{value:.3g}"
-            metrics[f"{section[:-1] if section.endswith('s') else section}.{key}"] = (
-                rendered
-            )
+            metrics[_metric_name(section, key)] = _render_value(section, value)
+    return metrics
+
+
+def _raw_metrics(record: dict) -> dict[str, float]:
+    """The same metrics, unrendered, for delta arithmetic."""
+    metrics: dict[str, float] = {}
+    for section in _SECTIONS:
+        for key, value in (record.get(section) or {}).items():
+            if isinstance(value, (int, float)):
+                metrics[_metric_name(section, key)] = float(value)
     return metrics
 
 
@@ -61,27 +89,139 @@ def load_records(paths: list[str]) -> list[dict]:
     return sorted(records, key=lambda r: r["benchmark"])
 
 
-def render(records: list[dict]) -> list[str]:
-    """The trajectory table, one benchmark per block."""
+# -- the committed history ----------------------------------------------------
+
+
+def snapshot_dirs(history: Path) -> list[Path]:
+    """Snapshot subdirectories, oldest first (by their numeric prefix)."""
+    if not history.is_dir():
+        return []
+    return sorted(
+        (p for p in history.iterdir() if p.is_dir() and _SNAPSHOT_DIR.match(p.name)),
+        key=lambda p: int(_SNAPSHOT_DIR.match(p.name).group(1)),
+    )
+
+
+def load_latest_snapshot(history: Path) -> tuple[str, dict[str, dict]]:
+    """The newest snapshot as ``(name, {benchmark -> record})``."""
+    snapshots = snapshot_dirs(history)
+    if not snapshots:
+        return "", {}
+    latest = snapshots[-1]
+    records = load_records([str(p) for p in sorted(latest.glob("BENCH_*.json"))])
+    return latest.name, {record["benchmark"]: record for record in records}
+
+
+def _commit_stamp() -> str:
+    commit = os.environ.get("GITHUB_SHA")
+    if not commit:
+        try:
+            commit = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        except (OSError, subprocess.CalledProcessError):
+            commit = "local"
+    return commit[:12]
+
+
+def write_snapshot(history: Path, paths: list[str]) -> Path:
+    """Persist the given records as the next numbered snapshot directory."""
+    records = load_records(paths)
+    if not records:
+        raise SystemExit("no benchmark records to snapshot")
+    snapshots = snapshot_dirs(history)
+    index = (
+        int(_SNAPSHOT_DIR.match(snapshots[-1].name).group(1)) + 1 if snapshots else 1
+    )
+    target = history / f"{index:04d}-{_commit_stamp()}"
+    target.mkdir(parents=True, exist_ok=False)
+    for record in records:
+        out = target / f"BENCH_{record['benchmark']}.json"
+        out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def _delta(section: str, old: float, new: float) -> str:
+    if old == 0:
+        return ""
+    pct = (new - old) / abs(old) * 100.0
+    if abs(pct) < 0.05:
+        return "  (=)"
+    return f"  ({pct:+.1f}%)"
+
+
+def render(records: list[dict], previous: dict[str, dict] | None = None,
+           previous_name: str = "") -> list[str]:
+    """The trajectory table, one benchmark per block.
+
+    With ``previous`` (the latest committed snapshot), every metric also
+    shows its percentage change against that snapshot — the per-commit
+    delta the history directory exists for.
+    """
     commit = next((r["commit"] for r in records if r.get("commit")), None)
-    lines = [f"benchmark trajectory ({len(records)} records"
-             f"{', commit ' + commit[:12] if commit else ''})", ""]
+    header = (
+        f"benchmark trajectory ({len(records)} records"
+        f"{', commit ' + commit[:12] if commit else ''}"
+        f"{', vs ' + previous_name if previous_name else ''})"
+    )
+    lines = [header, ""]
     for record in records:
         lines.append(f"{record['benchmark']}  —  {record.get('workload', '')}")
         metrics = _flatten(record)
+        raw = _raw_metrics(record)
+        old_raw = _raw_metrics((previous or {}).get(record["benchmark"], {}))
         width = max((len(k) for k in metrics), default=0)
         for key, value in metrics.items():
-            lines.append(f"    {key:<{width}}  {value:>12}")
+            suffix = ""
+            if key in old_raw and key in raw:
+                suffix = _delta(key.split(".", 1)[0], old_raw[key], raw[key])
+            lines.append(f"    {key:<{width}}  {value:>12}{suffix}")
         lines.append("")
     return lines
 
 
 def main(argv: list[str]) -> int:
-    records = load_records(argv)
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/trajectory.py",
+        description="Render BENCH_*.json records; snapshot them into the "
+        "committed history for per-commit deltas.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="BENCH_*.json record files",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="committed snapshot directory (bench-history); render shows "
+        "deltas against its latest snapshot",
+    )
+    # 'snapshot' is peeled off before argparse: a positional subcommand
+    # plus a variadic positional cannot straddle an optional argument
+    argv = list(argv)
+    snapshot = bool(argv) and argv[0] == "snapshot"
+    args = parser.parse_args(argv[1:] if snapshot else argv)
+    if snapshot:
+        if args.history is None:
+            parser.error("snapshot needs --history DIR")
+        target = write_snapshot(args.history, args.paths)
+        print(f"snapshot written to {target}")
+        return 0
+
+    records = load_records(args.paths)
     if not records:
         print("no benchmark records found", file=sys.stderr)
         return 1
-    lines = render(records)
+    previous_name, previous = ("", None)
+    if args.history is not None:
+        previous_name, previous = load_latest_snapshot(args.history)
+    lines = render(records, previous, previous_name)
     print("\n".join(lines))
     summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary:

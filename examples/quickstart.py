@@ -19,7 +19,10 @@ of shard workers; shrink the store 2-8x with quantised shard storage
 (`compact(storage="f4")`); then serve the same store **over the
 network** with `SketchQueryServer` and query it through a
 `DistanceClient`, which speaks the same `execute()` protocol and
-returns bit-identical results.
+returns bit-identical results.  The last section scales the server
+out: multi-process `--processes N` workers with a `--cache` release
+cache on one port, and a `RouterService` scatter-gathering across
+several store servers while keeping answers bit-identical.
 
 Run:  python examples/quickstart.py
 """
@@ -34,6 +37,7 @@ from repro import (
     DistanceService,
     ExecutionPolicy,
     PrivateSketcher,
+    RouterService,
     ShardedSketchStore,
     SketchConfig,
     SketchQueryServer,
@@ -170,18 +174,67 @@ def main() -> None:
         #
         #     python -m repro.serving.server --store sketch-store --port 8790
         #
-        # (start one process per core: the mmap-loaded shards are shared
-        # read-only through the page cache).  Here we start the same server
-        # in-process; DistanceClient implements the same execute() protocol
-        # as DistanceService, so local and remote are interchangeable —
-        # and the payloads are bit-identical, not approximately equal.
+        # Here we start the same server in-process; DistanceClient
+        # implements the same execute() protocol as DistanceService, so
+        # local and remote are interchangeable — and the payloads are
+        # bit-identical, not approximately equal.  The client keeps its
+        # TCP connection alive and reuses it across requests (a bounded
+        # pool, thread-safe), retrying once on a stale connection.
         with SketchQueryServer.from_store_dir(store_dir, port=0).start() as server:
             client = DistanceClient(server.url)
             remote = client.execute(TopKQuery(queries=query, k=3))
             assert remote.payload[0] == neighbors   # bit-identical over HTTP
             print(f"served at {server.url}: {client.health()['rows']} rows; "
                   f"remote top-3 identical to local "
-                  f"(server-side {remote.stats.elapsed_seconds * 1e3:.2f} ms)")
+                  f"(server-side {remote.stats.elapsed_seconds * 1e3:.2f} ms, "
+                  f"{client.connections_opened} TCP connection)")
+
+        # -- scale out the server ------------------------------------------
+        # Three independent dials, all preserving bit-identical answers:
+        #
+        # 1. More processes on one machine.
+        #
+        #        python -m repro.serving.server --store sketch-store \
+        #            --port 8790 --processes 4 --cache 1024
+        #
+        #    forks 4 SO_REUSEPORT workers on the same port — the kernel
+        #    spreads connections across them, each mmaps the same shard
+        #    files (shared read-only through the page cache), so memory
+        #    stays ~one store regardless of process count.  --cache N
+        #    adds a bounded LRU of result envelopes per worker: a repeat
+        #    of an identical query is served from memory.  Caching costs
+        #    zero extra privacy budget — the noise was sampled when the
+        #    sketches were *released*, so every query (first, cached, or
+        #    retried) is post-processing of the same published data.
+        #
+        # 2. More machines.  A RouterService scatters each query across
+        #    several store servers and merges the partial results with
+        #    the same shard-ordered reduction the single-store engine
+        #    uses — so the merged ranking is bit-identical to one big
+        #    store.  It speaks execute() like everything else, so a
+        #    SketchQueryServer can serve *it*, giving remote analysts
+        #    one endpoint over the whole fleet.
+        half = len(batch) // 2
+        part_a, part_b = ShardedSketchStore(), ShardedSketchStore()
+        part_a.add_batch(batch[:half])
+        part_b.add_batch(batch[half:])
+        backends = [
+            SketchQueryServer(DistanceService(part), port=0).start()
+            for part in (part_a, part_b)
+        ]
+        try:
+            router = RouterService(
+                [DistanceClient(b.url) for b in backends], close_backends=True
+            )
+            with SketchQueryServer(router, port=0).start() as front:
+                with DistanceClient(front.url) as analyst:
+                    routed = analyst.execute(TopKQuery(queries=query, k=3))
+                    assert routed.payload[0] == neighbors  # merged == one store
+                    print(f"router over {analyst.health()['backends']} backends "
+                          f"at {front.url}: merged top-3 bit-identical")
+        finally:
+            for backend in backends:
+                backend.close()
 
 
 if __name__ == "__main__":

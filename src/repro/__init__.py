@@ -54,6 +54,8 @@ from repro.serving import (
     QueryResult,
     QueryStats,
     RadiusQuery,
+    ReleaseCache,
+    RouterService,
     ShardedSketchStore,
     StorageSpec,
     TopKQuery,
@@ -81,6 +83,8 @@ __all__ = [
     "QueryResult",
     "QueryStats",
     "RadiusQuery",
+    "ReleaseCache",
+    "RouterService",
     "SketchQueryServer",
     "TopKQuery",
     "EnsembleSketch",

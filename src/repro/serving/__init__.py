@@ -28,7 +28,23 @@ Above it sits one protocol:
   HTTP frontend over a saved store (memory-mapped, so N worker
   processes share the same shard files) and the client that implements
   the *same* ``execute()`` protocol, making local and remote backends
-  interchangeable.
+  interchangeable.  The client pools keep-alive connections and
+  retries transport failures on a fresh connection; the server can run
+  as ``--processes N`` ``SO_REUSEPORT`` workers over one port and one
+  mmapped store directory;
+* :class:`RouterService` — scatter-gather over an ordered sequence of
+  ``execute()`` backends that partition one logical store, merging
+  per-backend partials with the same shard-ordered reduction the local
+  engine uses, so ``client -> router -> N store servers`` answers
+  match a single-store run (see :mod:`repro.serving.router` for the
+  one clamped-at-zero tie caveat);
+* :class:`ReleaseCache` — a bounded LRU of result envelopes the server
+  consults before recomputing.  Caching is *privacy-free*: a release
+  is deterministic post-processing of already-privatised sketches
+  (noise is sampled once, when a sketch is released, and its budget
+  spent then), so re-serving the byte-identical envelope for an
+  identical query observes nothing new and costs no extra budget —
+  see :mod:`repro.serving.cache` for the full argument.
 
 **Concurrency contract.**  One writer at a time may append to a store;
 any number of readers may query it concurrently.  Every query freezes a
@@ -63,6 +79,7 @@ delegates to this layer, and a :class:`~repro.core.protocol.SketchingSession`
 exposes it via :meth:`~repro.core.protocol.SketchingSession.serve`.
 """
 
+from repro.serving.cache import ReleaseCache
 from repro.serving.client import DistanceClient
 from repro.serving.execution import ExecutionPolicy
 from repro.serving.queries import (
@@ -87,6 +104,7 @@ from repro.serving.serialization import (
     read_batch_info,
     write_batch,
 )
+from repro.serving.router import RouterService
 from repro.serving.service import DistanceService, stable_smallest_k
 from repro.serving.storage import STORAGE_SPECS, StorageSpec
 from repro.serving.store import (
@@ -128,6 +146,8 @@ __all__ = [
     "QueryResult",
     "QueryStats",
     "RadiusQuery",
+    "ReleaseCache",
+    "RouterService",
     "STORAGE_SPECS",
     "SerializationError",
     "ShardView",

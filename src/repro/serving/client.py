@@ -10,25 +10,40 @@ payloads are bit-identical (the wire codec moves float64 exactly) and
 ``QueryResult.stats`` carries the *server-side* counters, so shard
 pruning stays observable remotely.
 
+The transport is a **connection pool** over :mod:`http.client`: the
+server speaks HTTP/1.1 keep-alive, so requests reuse established TCP
+connections instead of paying a connect (plus slow-start) per query —
+the difference between ~hundreds and ~thousands of queries per second
+on the loopback, and far more across a real network.  The pool is
+thread-safe: concurrent callers check out distinct connections, and up
+to ``pool_size`` idle connections are retained for reuse.  Transport
+failures (a stale keep-alive connection the server timed out, a reset,
+a refused connect) are retried up to ``retries`` times on a *fresh*
+connection — safe, because every query is a deterministic read: the
+server derives results purely from already-released sketches, so a
+retried request returns byte-identical data and spends no privacy
+budget (see :mod:`repro.serving.cache` for the argument).
+
 Error behaviour matches local execution: an incompatible query, an
 empty store or a malformed parameter raises the same exception class a
 local ``execute()`` raises (the server transports it in an error
-envelope).  Transport-level failures — refused connection, dead server
-— raise :class:`ConnectionError`.
+envelope).  Transport-level failures — refused connection, dead server,
+retries exhausted — and HTTP 5xx server faults raise
+:class:`ConnectionError`.
 
-Only the standard library is used (``urllib.request`` — one connection
-per request; pooled/async transports are future work, see ROADMAP), so
-there is nothing to install on the analyst side.  Amortise transport
-cost with :meth:`DistanceClient.execute_many`, which answers a whole
-sequence of queries in a single round trip.
+Only the standard library is used, so there is nothing to install on
+the analyst side.  Amortise per-request overhead further with
+:meth:`DistanceClient.execute_many`, which answers a whole sequence of
+queries in a single round trip.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-import urllib.error
-import urllib.request
+import socket
+import threading
+import urllib.parse
 
 from repro.serving import wire
 from repro.serving.queries import QueryResult
@@ -42,13 +57,60 @@ class DistanceClient:
     base_url:
         The server root, e.g. ``"http://127.0.0.1:8790"`` (the URL a
         :class:`~repro.serving.server.SketchQueryServer` prints).
+        IPv6 hosts use the bracketed form, ``"http://[::1]:8790"``.
     timeout:
-        Per-request timeout in seconds.
+        Per-request socket timeout in seconds.
+    pool_size:
+        Maximum idle keep-alive connections retained for reuse.
+        Concurrent requests beyond the idle supply open extra
+        connections freely; only the *idle* pool is bounded.  ``0``
+        disables reuse entirely (every request opens and closes its
+        own connection — the pre-pool behaviour, kept for A/B
+        measurement; ``benchmarks/bench_load.py`` quantifies the gap).
+    retries:
+        How many times a request is retried on a **transport** failure
+        (refused/reset/stale connection, timeout) before raising
+        ``ConnectionError``.  HTTP-level errors are never retried: a
+        4xx re-raises the server's exception immediately, and a 5xx
+        raises ``ConnectionError`` immediately so callers distinguish
+        a faulting server from an unreachable one.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        *,
+        pool_size: int = 8,
+        retries: int = 2,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        if pool_size < 0:
+            raise ValueError(f"pool_size must be >= 0, got {pool_size}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.pool_size = pool_size
+        self.retries = retries
+        split = urllib.parse.urlsplit(self.base_url)
+        if split.scheme != "http":
+            raise ValueError(
+                f"base_url must be an http:// URL, got {base_url!r}"
+            )
+        if not split.hostname:
+            raise ValueError(f"base_url {base_url!r} has no host")
+        self._host = split.hostname
+        self._port = split.port if split.port is not None else 80
+        self._prefix = split.path.rstrip("/")
+        self._lock = threading.Lock()
+        self._idle: list[http.client.HTTPConnection] = []
+        self._closed = False
+        #: transport counters (monotonic): connections actually opened,
+        #: requests attempted, and retries spent — pool-reuse and retry
+        #: behaviour observable without packet captures
+        self.connections_opened = 0
+        self.requests_sent = 0
+        self.retries_used = 0
 
     # -- the execute() protocol ----------------------------------------------
 
@@ -84,7 +146,12 @@ class DistanceClient:
         return int(self.health()["rows"])
 
     def close(self) -> None:
-        """Symmetry with :class:`DistanceService`; nothing is pooled."""
+        """Close every pooled connection; in-flight requests finish theirs."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for connection in idle:
+            connection.close()
 
     def __enter__(self) -> "DistanceClient":
         return self
@@ -92,54 +159,99 @@ class DistanceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- connection pool -----------------------------------------------------
+
+    def _checkout(self) -> http.client.HTTPConnection:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+            self.connections_opened += 1
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout
+        )
+        connection.connect()
+        # a small JSON envelope must not sit in Nagle's buffer waiting
+        # for the previous exchange's delayed ACK — on a reused
+        # keep-alive connection that stall would make pooling *slower*
+        # than reconnecting (a close flushes; a live connection waits)
+        connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return connection
+
+    def _checkin(self, connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self.pool_size:
+                self._idle.append(connection)
+                return
+        connection.close()
+
     # -- transport -----------------------------------------------------------
 
     def _post(self, path: str, body: bytes) -> bytes:
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=body,
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
-        return self._send(request)
+        return self._send("POST", path, body)
 
     def _get(self, path: str) -> bytes:
-        request = urllib.request.Request(self.base_url + path, method="GET")
-        return self._send(request)
+        return self._send("GET", path, None)
 
-    def _send(self, request) -> bytes:
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.read()
-        except urllib.error.HTTPError as exc:
-            body = exc.read()
-            if exc.code >= 500:
-                # a server fault, not a bad query: surface it as a
-                # transport-class error so retry logic treats it like a
-                # dead server rather than a permanently-invalid request —
-                # but keep the server's message when it sent one
-                try:
-                    detail = f": {wire.decode_error(body)}"
-                except wire.WireError:
-                    detail = ""
-                raise ConnectionError(
-                    f"sketch query server at {self.base_url} failed with "
-                    f"HTTP {exc.code}{detail}"
-                ) from exc
+    def _send(self, method: str, path: str, body: bytes | None) -> bytes:
+        url = self._prefix + path
+        headers = {"Content-Type": "application/json"}
+        if self.pool_size == 0:
+            headers["Connection"] = "close"
+        last_exc: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                with self._lock:
+                    self.retries_used += 1
+            connection = None
             try:
-                error = wire.decode_error(body)
+                connection = self._checkout()  # may connect: inside the retry
+                with self._lock:
+                    self.requests_sent += 1
+                connection.request(method, url, body=body, headers=headers)
+                response = connection.getresponse()
+                status = response.status
+                blob = response.read()
+                reusable = not response.will_close
+            except (http.client.HTTPException, OSError) as exc:
+                # a transport failure: the connection is in an unknown
+                # state, so drop it and retry on a fresh one — queries
+                # are deterministic reads, so a retry that re-executes
+                # a request the server already answered is harmless
+                if connection is not None:
+                    connection.close()
+                last_exc = exc
+                continue
+            if reusable and self.pool_size > 0:
+                self._checkin(connection)
+            else:
+                connection.close()
+            return self._handle_status(status, blob)
+        raise ConnectionError(
+            f"cannot reach sketch query server at {self.base_url} "
+            f"after {self.retries + 1} attempt(s): {last_exc!r}"
+        ) from last_exc
+
+    def _handle_status(self, status: int, blob: bytes) -> bytes:
+        if status == 200:
+            return blob
+        if status >= 500:
+            # a server fault, not a bad query: surface it as a
+            # transport-class error so callers treat it like a dead
+            # server rather than a permanently-invalid request — but
+            # keep the server's message when it sent one (a 502 from a
+            # router frontend names the unreachable backend)
+            try:
+                detail = f": {wire.decode_error(blob)}"
             except wire.WireError:
-                raise ConnectionError(
-                    f"server returned HTTP {exc.code} with a non-wire body"
-                ) from exc
-            raise error from None  # the exception a local execute() would raise
-        except urllib.error.URLError as exc:
+                detail = ""
             raise ConnectionError(
-                f"cannot reach sketch query server at {self.base_url}: {exc.reason}"
-            ) from exc
-        except (http.client.HTTPException, OSError) as exc:
-            # read timeouts, truncated bodies, resets mid-response — all
-            # transport failures, all promised to surface as ConnectionError
+                f"sketch query server at {self.base_url} failed with "
+                f"HTTP {status}{detail}"
+            )
+        try:
+            error = wire.decode_error(blob)
+        except wire.WireError as exc:
             raise ConnectionError(
-                f"transport failure talking to {self.base_url}: {exc!r}"
+                f"server returned HTTP {status} with a non-wire body"
             ) from exc
+        raise error from None  # the exception a local execute() would raise

@@ -17,7 +17,26 @@ consumes the blocks in shard order regardless of completion order.
 from __future__ import annotations
 
 import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+
+
+def run_ordered(fn, items: list, *, executor: ThreadPoolExecutor | None = None) -> list:
+    """Apply ``fn`` to every item, results in input order.
+
+    The one ordered-reduction primitive of the serving tier: the local
+    :class:`~repro.serving.service.DistanceService` maps it over shard
+    views, and the :class:`~repro.serving.router.RouterService` maps it
+    over network backends — same contract both times.  With no
+    ``executor`` (or fewer than two items) it streams on the calling
+    thread; otherwise items run concurrently on the pool while results
+    still come back in input order, so downstream merges are
+    schedule-independent.  An exception from any item propagates to the
+    caller unchanged.
+    """
+    if executor is None or len(items) <= 1:
+        return [fn(item) for item in items]
+    return list(executor.map(fn, items))
 
 _WORKERS_ENV = "REPRO_SERVING_WORKERS"
 _PREFILTER_ENV = "REPRO_SERVING_PREFILTER"

@@ -1,7 +1,8 @@
 """Network query frontend: serve a saved sketch store over HTTP.
 
 :class:`SketchQueryServer` exposes one
-:class:`~repro.serving.service.DistanceService` over plain HTTP using
+:class:`~repro.serving.service.DistanceService` (or a scatter-gather
+:class:`~repro.serving.router.RouterService`) over plain HTTP using
 only the standard library (``http.server.ThreadingHTTPServer`` — one
 thread per connection; the heavy lifting inside a query is BLAS, which
 releases the GIL, and the service's own
@@ -13,7 +14,8 @@ Endpoints (all bodies are :mod:`repro.serving.wire` envelopes):
 =====================  =======================================================
 ``POST /query``        one query envelope in, one result envelope out
 ``POST /query-many``   a JSON array of query envelopes in, results out
-``GET /healthz``       liveness + store shape: rows, shards, config digest
+``GET /healthz``       liveness + store shape: rows, shards, config digest,
+                       worker pid, cache counters when caching is on
 ``GET /meta``          the store's public metadata header (no values)
 =====================  =======================================================
 
@@ -21,20 +23,37 @@ Client-side errors — a malformed envelope, an incompatible query, an
 empty store — come back as status 400 with an *error envelope* carrying
 the exception class and message, so
 :class:`~repro.serving.client.DistanceClient` re-raises exactly what a
-local ``execute()`` would have raised.  Unexpected server faults are
-500 with a generic message (internals never leak to the wire).
+local ``execute()`` would have raised.  An unreachable *backend* (a
+router frontend whose store server died) is 502 with a
+``ConnectionError`` envelope naming the backend.  Unexpected server
+faults are 500 with a generic message (internals never leak to the
+wire).  A client that disconnects mid-request or mid-response is not an
+error at all: the handler drops the connection quietly instead of
+spewing a traceback per hung-up client under load.
 
-Scale-out is process-level and free: the store directory is opened with
-``mmap=True`` by default, so ``N`` server processes on ``N`` ports map
-the *same* shard files read-only and share page cache — start as many
-as the machine has cores and put any HTTP load balancer in front.
+**Scale-out is process-level.**  The store directory is opened with
+``mmap=True`` by default, so every server process over one directory
+maps the *same* shard files read-only and shares the OS page cache.
+``python -m repro.serving.server --store DIR --processes N`` launches
+``N`` worker processes all listening on **one** port via
+``SO_REUSEPORT`` (the kernel load-balances connections across the
+workers), prints a single URL, and supervises the workers — start as
+many as the machine has cores, no external load balancer required.
+``--cache ENTRIES`` enables a per-worker LRU of result envelopes
+(:class:`~repro.serving.cache.ReleaseCache` — safe because releases
+are deterministic; see that module for the no-extra-budget argument).
 
 Run from the command line::
 
-    python -m repro.serving.server --store path/to/store --port 8790
+    python -m repro.serving.server --store path/to/store --port 8790 \
+        --processes 4 --cache 4096
 
 and point a :class:`~repro.serving.client.DistanceClient` at the
-printed URL.
+printed URL.  The URL line always advertises a *connectable* host: a
+wildcard bind (``--host 0.0.0.0`` / ``::``) is advertised as the
+loopback address (remote clients substitute the machine's name), and
+IPv6 hosts are bracketed — launchers parse this line, so it must never
+print an unconnectable ``http://0.0.0.0:PORT``.
 """
 
 from __future__ import annotations
@@ -42,11 +61,18 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import multiprocessing
+import os
+import queue
+import signal
+import socket
+import sys
 import threading
 import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serving import wire
+from repro.serving.cache import ReleaseCache
 from repro.serving.execution import ExecutionPolicy
 from repro.serving.queries import CrossQuery, PairwiseQuery, TopKQuery
 from repro.serving.service import DistanceService
@@ -67,6 +93,9 @@ MAX_BODY_BYTES = 256 * 1024 * 1024
 #: deliberately uncapped — this is a network-frontend resource policy,
 #: and capped clients can chunk their query instead.
 MAX_RESULT_CELLS = 1 << 27
+
+#: The client hung up: not a server fault, never worth a traceback.
+_CLIENT_DISCONNECT = (BrokenPipeError, ConnectionResetError)
 
 
 def _query_rows(release) -> int:
@@ -106,17 +135,62 @@ def _check_result_size(queries, store) -> None:
         )
 
 
+# -- host handling: bind vs advertise ------------------------------------------
+
+_WILDCARDS_V4 = ("", "0.0.0.0")
+_WILDCARDS_V6 = ("::", "::0", "0:0:0:0:0:0:0:0")
+
+
+def _address_family(host: str) -> int:
+    """The socket family ``host`` needs (IPv6 literals and names included)."""
+    if not host:
+        return socket.AF_INET
+    if ":" in host:
+        return socket.AF_INET6
+    try:
+        infos = socket.getaddrinfo(host, None, type=socket.SOCK_STREAM)
+    except socket.gaierror:
+        return socket.AF_INET  # let bind() produce the real error message
+    return infos[0][0]
+
+
+def _advertised_host(bind_host: str) -> str:
+    """A *connectable* host for the bind address.
+
+    ``0.0.0.0`` / ``::`` accept on every interface but are not routable
+    destinations — advertising them produces URLs nothing can connect
+    to, so wildcard binds advertise the loopback address (correct for
+    same-machine launchers, which is what parses the URL line; remote
+    clients substitute the machine's actual name).  Everything else is
+    advertised as bound.
+    """
+    if bind_host in _WILDCARDS_V4:
+        return "127.0.0.1"
+    if bind_host in _WILDCARDS_V6:
+        return "::1"
+    return bind_host
+
+
+def _format_host(host: str) -> str:
+    """Bracket IPv6 literals so ``http://host:port`` stays parseable."""
+    return f"[{host}]" if ":" in host else host
+
+
 class _QueryHandler(BaseHTTPRequestHandler):
     """One HTTP request against the wrapped service (set by subclass)."""
 
     service: DistanceService  # injected via the per-server subclass
+    cache: ReleaseCache | None = None  # injected likewise when enabled
     server_version = "repro-sketch-query/1"
+    # responses go out as two writes (header block, then body); without
+    # this, Nagle holds the body back waiting for the client's delayed
+    # ACK of the headers — tens of ms added to every keep-alive reply
+    disable_nagle_algorithm = True
     #: per-connection socket timeout — a client that stalls mid-body must
     #: not pin a handler thread (and its pending read buffer) forever
     timeout = 60
-    # HTTP/1.1 so keep-alive-capable clients (http.client, browsers, load
-    # balancers) can reuse connections; the shipped DistanceClient opens
-    # one connection per request and amortises via /query-many instead
+    # HTTP/1.1 keep-alive: DistanceClient pools connections and reuses
+    # them across requests, so a query costs a round trip, not a connect
     protocol_version = "HTTP/1.1"
 
     # -- plumbing ------------------------------------------------------------
@@ -124,14 +198,28 @@ class _QueryHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # queries are high-rate; logging is the load balancer's job
 
-    def _reply(self, status: int, body: bytes, content_type="application/json"):
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        if self.close_connection:  # tell the client, don't just drop the socket
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
+    def _reply(
+        self,
+        status: int,
+        body: bytes,
+        content_type="application/json",
+        cache_state: str | None = None,
+    ):
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            if cache_state is not None:
+                self.send_header("X-Repro-Cache", cache_state)
+            if self.close_connection:  # tell the client, don't just drop the socket
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except _CLIENT_DISCONNECT:
+            # the client hung up mid-response: its loss, not a fault —
+            # drop the connection without the traceback ThreadingHTTPServer
+            # would otherwise print for every disconnect under load
+            self.close_connection = True
 
     def _read_body(self) -> bytes | None:
         if self.headers.get("Transfer-Encoding"):
@@ -165,7 +253,11 @@ class _QueryHandler(BaseHTTPRequestHandler):
                 wire.encode_error(ValueError(f"request body over {MAX_BODY_BYTES} bytes")),
             )
             return None
-        return self.rfile.read(length)
+        try:
+            return self.rfile.read(length)
+        except _CLIENT_DISCONNECT:
+            self.close_connection = True  # hung up mid-body: nothing to answer
+            return None
 
     # -- endpoints -----------------------------------------------------------
 
@@ -175,17 +267,16 @@ class _QueryHandler(BaseHTTPRequestHandler):
             return
         try:
             if self.path == "/query":
-                query = wire.decode_query(body)
-                _check_result_size([query], self.service.store)
-                result = self.service.execute(query)
-                self._reply(200, wire.encode_result(result, query))
+                self._answer(body, self._compute_query)
             elif self.path == "/query-many":
-                queries = wire.decode_queries(body)
-                _check_result_size(queries, self.service.store)
-                results = self.service.execute_many(queries)
-                self._reply(200, wire.encode_results(results, queries))
+                self._answer(body, self._compute_query_many)
             else:
                 self._reply(404, wire.encode_error(ValueError(f"no endpoint {self.path}")))
+        except ConnectionError as exc:
+            # a router frontend's backend is unreachable: a gateway
+            # fault, not this server's — 502 keeps the client's retry
+            # logic on the transport-error path and names the backend
+            self._reply(502, wire.encode_error(exc))
         except (wire.WireError, ValueError, TypeError, IndexError) as exc:
             # the client's fault: transport the exact exception class so
             # DistanceClient raises what a local execute() would have
@@ -196,65 +287,155 @@ class _QueryHandler(BaseHTTPRequestHandler):
             traceback.print_exc()
             self._reply(500, wire.encode_error(ValueError("internal server error")))
 
+    def _compute_query(self, body: bytes) -> bytes:
+        query = wire.decode_query(body)
+        self._check_result_size([query])
+        result = self.service.execute(query)
+        return wire.encode_result(result, query)
+
+    def _compute_query_many(self, body: bytes) -> bytes:
+        queries = wire.decode_queries(body)
+        self._check_result_size(queries)
+        results = self.service.execute_many(queries)
+        return wire.encode_results(results, queries)
+
+    def _check_result_size(self, queries) -> None:
+        store = getattr(self.service, "store", None)
+        if store is None:
+            return  # router frontend: each backend enforces its own cap
+        _check_result_size(queries, store)
+
+    def _answer(self, body: bytes, compute) -> None:
+        """Serve one query/query-many body, through the cache when enabled.
+
+        Cache keys are ``(endpoint, body bytes, store-state token)``:
+        ``execute()`` is deterministic given the stored sketches (see
+        :mod:`repro.serving.cache` for why replaying a release costs no
+        privacy budget), and the token — row count, config digest,
+        storage — changes on any append, so a hit is always the
+        byte-identical envelope a fresh execution would produce.  The
+        token is re-checked after computing: a result that raced a
+        concurrent append is simply not cached.
+        """
+        cache = self.cache
+        token = self._store_token() if cache is not None else None
+        key = (self.path, body, token)
+        if token is not None:
+            blob = cache.get(key)
+            if blob is not None:
+                self._reply(200, blob, cache_state="hit")
+                return
+        blob = compute(body)
+        if token is not None and self._store_token() == token:
+            cache.put(key, blob)
+        self._reply(200, blob, cache_state=None if token is None else "miss")
+
+    def _store_token(self):
+        store = getattr(self.service, "store", None)
+        if store is None:
+            return None  # a router has no cheap store-state token: no caching
+        meta = store.metadata
+        return (
+            len(store),
+            None if meta is None else meta.config_digest,
+            store.storage.name,
+        )
+
     def do_GET(self) -> None:
         try:
             self._do_get()
+        except _CLIENT_DISCONNECT:
+            self.close_connection = True
+        except ConnectionError as exc:
+            # a router frontend probing a dead backend: gateway fault
+            self._reply(502, wire.encode_error(exc))
         except Exception:  # noqa: BLE001 - same contract as do_POST
             traceback.print_exc()
             self._reply(500, wire.encode_error(ValueError("internal server error")))
 
     def _do_get(self) -> None:
         if self.path == "/healthz":
-            store = self.service.store
-            body = json.dumps(
-                {
-                    "status": "ok",
-                    "rows": len(store),
-                    "shards": store.n_shards,
-                    "storage": store.storage.name,
-                    "config_digest": (
-                        None if store.metadata is None else store.metadata.config_digest
-                    ),
-                }
-            ).encode("utf-8")
-            self._reply(200, body)
+            payload = self._health_payload()
+            self._reply(200, json.dumps(payload).encode("utf-8"))
         elif self.path == "/meta":
-            store = self.service.store
-            meta = store.metadata
-            # describe() supplies rows/shards plus the storage spec and
-            # stored-value bytes, so operators can verify a quantised
-            # deployment (and its size win) from the frontend alone
-            body = json.dumps(
-                {
-                    **store.describe(),
-                    "policy": repr(self.service.policy),
-                    "metadata": None
-                    if meta is None
-                    else {
-                        "input_dim": meta.input_dim,
-                        "output_dim": meta.output_dim,
-                        "perturbation": meta.perturbation,
-                        "noise_spec": meta.noise_spec,
-                        "noise_second_moment": meta.noise_second_moment,
-                        "epsilon": meta.guarantee.epsilon,
-                        "delta": meta.guarantee.delta,
-                        "config_digest": meta.config_digest,
-                    },
-                }
-            ).encode("utf-8")
-            self._reply(200, body)
+            self._reply(200, json.dumps(self._meta_payload()).encode("utf-8"))
         else:
             self._reply(404, wire.encode_error(ValueError(f"no endpoint {self.path}")))
 
+    def _health_payload(self) -> dict:
+        store = getattr(self.service, "store", None)
+        if store is None:
+            payload = dict(self.service.health())  # router aggregate
+        else:
+            payload = {
+                "status": "ok",
+                "rows": len(store),
+                "shards": store.n_shards,
+                "storage": store.storage.name,
+                "config_digest": (
+                    None if store.metadata is None else store.metadata.config_digest
+                ),
+            }
+        # the answering worker's pid: under --processes N the kernel
+        # load-balances connections, and operators (and the smoke test)
+        # can see which worker answered
+        payload["pid"] = os.getpid()
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats()
+        return payload
+
+    def _meta_payload(self) -> dict:
+        store = getattr(self.service, "store", None)
+        if store is None:
+            return {**self.service.describe(), "router": True}
+        meta = store.metadata
+        # describe() supplies rows/shards plus the storage spec and
+        # stored-value bytes, so operators can verify a quantised
+        # deployment (and its size win) from the frontend alone
+        return {
+            **store.describe(),
+            "policy": repr(self.service.policy),
+            "metadata": None
+            if meta is None
+            else {
+                "input_dim": meta.input_dim,
+                "output_dim": meta.output_dim,
+                "perturbation": meta.perturbation,
+                "noise_spec": meta.noise_spec,
+                "noise_second_moment": meta.noise_second_moment,
+                "epsilon": meta.guarantee.epsilon,
+                "delta": meta.guarantee.delta,
+                "config_digest": meta.config_digest,
+            },
+        }
+
+
+class _QuietHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that does not traceback on client disconnects."""
+
+    daemon_threads = True
+
+    def handle_error(self, request, client_address):
+        if isinstance(sys.exc_info()[1], _CLIENT_DISCONNECT):
+            return  # the client hung up between requests: routine, not a fault
+        super().handle_error(request, client_address)
+
 
 class SketchQueryServer:
-    """An HTTP frontend over one :class:`DistanceService`.
+    """An HTTP frontend over one ``execute()`` backend.
 
-    Wraps an existing service (any store: in-memory, eager-loaded or
-    memory-mapped) or, via :meth:`from_store_dir`, a saved store
-    directory.  ``port=0`` binds an ephemeral port — read the chosen
-    one from :attr:`url` — which is what tests and multi-process
-    launchers want.
+    Wraps an existing :class:`DistanceService` (any store: in-memory,
+    eager-loaded or memory-mapped), a
+    :class:`~repro.serving.router.RouterService`, or, via
+    :meth:`from_store_dir`, a saved store directory.  ``port=0`` binds
+    an ephemeral port — read the chosen one from :attr:`url` — which is
+    what tests and multi-process launchers want.
+
+    ``reuse_port=True`` sets ``SO_REUSEPORT`` before binding, so many
+    server processes share one port and the kernel distributes incoming
+    connections across them (the ``--processes`` launcher's mechanism).
+    ``cache`` enables the LRU result-envelope cache: pass a
+    :class:`~repro.serving.cache.ReleaseCache` or an entry count.
 
     Use :meth:`start` for a background thread (then :meth:`close`), or
     :meth:`serve_forever` to block the calling thread (the CLI path).
@@ -263,14 +444,35 @@ class SketchQueryServer:
 
     def __init__(
         self,
-        service: DistanceService,
+        service,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
+        *,
+        reuse_port: bool = False,
+        cache: ReleaseCache | int | None = None,
     ) -> None:
         self.service = service
-        handler = type("_BoundQueryHandler", (_QueryHandler,), {"service": service})
-        self._httpd = ThreadingHTTPServer((host, port), handler)
-        self._httpd.daemon_threads = True
+        if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+            raise ValueError(
+                "reuse_port=True needs SO_REUSEPORT, which this platform "
+                "does not provide"
+            )
+        if isinstance(cache, int):
+            cache = ReleaseCache(max_entries=cache) if cache > 0 else None
+        self.cache = cache
+        self._bind_host = host
+        handler = type(
+            "_BoundQueryHandler", (_QueryHandler,), {"service": service, "cache": cache}
+        )
+        server_cls = type(
+            "_BoundHTTPServer",
+            (_QuietHTTPServer,),
+            {
+                "address_family": _address_family(host),
+                "allow_reuse_port": bool(reuse_port),
+            },
+        )
+        self._httpd = server_cls((host, port), handler)
         self._thread: threading.Thread | None = None
         self._serving = False
 
@@ -283,6 +485,8 @@ class SketchQueryServer:
         port: int = DEFAULT_PORT,
         mmap: bool = True,
         policy: ExecutionPolicy | None = None,
+        reuse_port: bool = False,
+        cache: ReleaseCache | int | None = None,
     ) -> "SketchQueryServer":
         """Serve a directory saved by :meth:`ShardedSketchStore.save`.
 
@@ -290,11 +494,18 @@ class SketchQueryServer:
         server processes over one directory share the OS page cache.
         """
         store = ShardedSketchStore.load(path, mmap=mmap)
-        return cls(DistanceService(store, policy=policy), host=host, port=port)
+        return cls(
+            DistanceService(store, policy=policy),
+            host=host,
+            port=port,
+            reuse_port=reuse_port,
+            cache=cache,
+        )
 
     @property
     def host(self) -> str:
-        return self._httpd.server_address[0]
+        """The advertised (connectable) host — never a wildcard address."""
+        return _advertised_host(self._httpd.server_address[0])
 
     @property
     def port(self) -> int:
@@ -302,7 +513,8 @@ class SketchQueryServer:
 
     @property
     def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
+        """A connectable URL: wildcard binds advertise loopback, IPv6 brackets."""
+        return f"http://{_format_host(self.host)}:{self.port}"
 
     def start(self) -> "SketchQueryServer":
         """Serve on a daemon thread; returns ``self`` for chaining."""
@@ -347,6 +559,103 @@ class SketchQueryServer:
         self.close()
 
 
+# -- the multi-process launcher ------------------------------------------------
+
+
+def _serve_worker(store, host, port, mmap, workers, cache_entries, ready) -> None:
+    """One ``--processes`` worker: bind the shared port, signal, serve."""
+    policy = None
+    if workers is not None:
+        policy = dataclasses.replace(ExecutionPolicy.from_env(), workers=workers)
+    server = SketchQueryServer.from_store_dir(
+        store,
+        host=host,
+        port=port,
+        mmap=mmap,
+        policy=policy,
+        reuse_port=True,
+        cache=cache_entries,
+    )
+    ready.put(os.getpid())
+    server.serve_forever()
+
+
+def _serve_multiprocess(args, policy_display: str) -> None:
+    """Launch ``args.processes`` SO_REUSEPORT workers over one port.
+
+    The parent claims the port first (resolving ``--port 0`` to a
+    concrete ephemeral port all workers can share), spawns the workers,
+    waits until every one is accepting, and only then prints the
+    machine-parsed URL line — a launcher that connects immediately
+    never races a worker's bind.  Workers memory-map the same store
+    directory, so the OS page cache is shared across all of them.
+    """
+    if not hasattr(socket, "SO_REUSEPORT"):
+        raise SystemExit(
+            "--processes > 1 needs SO_REUSEPORT, which this platform "
+            "does not provide"
+        )
+    family = _address_family(args.host)
+    placeholder = socket.socket(family, socket.SOCK_STREAM)
+    placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    placeholder.bind((args.host, args.port))
+    port = placeholder.getsockname()[1]
+
+    ctx = multiprocessing.get_context("spawn")  # no thread/fork hazards
+    ready = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_serve_worker,
+            args=(
+                args.store,
+                args.host,
+                port,
+                not args.eager,
+                args.workers,
+                args.cache,
+                ready,
+            ),
+            name=f"repro-query-worker-{i}",
+        )
+        for i in range(args.processes)
+    ]
+    for worker in workers:
+        worker.start()
+
+    def _terminate(signum=None, frame=None):
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        for _ in workers:
+            try:
+                ready.get(timeout=120)
+            except queue.Empty:
+                raise SystemExit("a server worker failed to start within 120s")
+        placeholder.close()  # the workers hold the port from here on
+
+        store = ShardedSketchStore.load(args.store, mmap=True)
+        url = f"http://{_format_host(_advertised_host(args.host))}:{port}"
+        print(
+            f"serving {len(store)} rows in {store.n_shards} shards "
+            f"({args.processes} processes, policy {policy_display}) at {url}",
+            flush=True,
+        )
+        for worker in workers:
+            worker.join()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in workers:
+            worker.join()
+
+
 def main(argv=None) -> None:
     """CLI: ``python -m repro.serving.server --store DIR [--port N]``."""
     parser = argparse.ArgumentParser(
@@ -365,18 +674,47 @@ def main(argv=None) -> None:
         help="shard-parallel query workers (default: REPRO_SERVING_WORKERS or serial)",
     )
     parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="SO_REUSEPORT server processes sharing one port and the mmap "
+        "page cache (default 1: serve in this process)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=int,
+        default=0,
+        metavar="ENTRIES",
+        help="LRU result-envelope cache entries per process (0 disables; "
+        "safe — releases are deterministic, so a cache hit is byte-identical "
+        "to recomputing and spends no extra privacy budget)",
+    )
+    parser.add_argument(
         "--eager",
         action="store_true",
         help="read shards into RAM up front instead of memory-mapping lazily",
     )
     args = parser.parse_args(argv)
+    if args.processes < 1:
+        parser.error(f"--processes must be >= 1, got {args.processes}")
+    if args.cache < 0:
+        parser.error(f"--cache must be >= 0, got {args.cache}")
     # layer the flag over the environment policy so REPRO_SERVING_PREFILTER
     # keeps working (and keeps failing loudly on garbage) alongside --workers
     policy = None
     if args.workers is not None:
         policy = dataclasses.replace(ExecutionPolicy.from_env(), workers=args.workers)
+    if args.processes > 1:
+        display = repr(policy if policy is not None else ExecutionPolicy.from_env())
+        _serve_multiprocess(args, display)
+        return
     server = SketchQueryServer.from_store_dir(
-        args.store, host=args.host, port=args.port, mmap=not args.eager, policy=policy
+        args.store,
+        host=args.host,
+        port=args.port,
+        mmap=not args.eager,
+        policy=policy,
+        cache=args.cache,
     )
     store = server.service.store
     # the URL line is machine-readable: launchers (and the smoke test)

@@ -79,7 +79,7 @@ import numpy as np
 
 from repro.core import estimators
 from repro.core.sketch import SketchBatch
-from repro.serving.execution import ExecutionPolicy
+from repro.serving.execution import ExecutionPolicy, run_ordered
 from repro.theory.quantisation import accumulation_gamma
 from repro.serving.queries import (
     CrossQuery,
@@ -306,11 +306,14 @@ class DistanceService:
 
         Serial policies stream on the calling thread; parallel policies
         dispatch onto the pool.  Either way the caller receives results
-        ordered by shard, so downstream merges are schedule-independent.
+        ordered by shard, so downstream merges are schedule-independent
+        (the shared contract of :func:`repro.serving.execution.run_ordered`,
+        which the network router reuses over backends).
         """
-        if not self.policy.parallel or len(views) <= 1:
-            return [fn(view) for view in views]
-        return list(self._executor().map(fn, views))
+        pool = (
+            self._executor() if self.policy.parallel and len(views) > 1 else None
+        )
+        return run_ordered(fn, views, executor=pool)
 
     def _query_rows(self, query) -> np.ndarray:
         """Validate a query release against the store, as an ``(m, k)`` matrix.

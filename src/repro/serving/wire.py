@@ -376,11 +376,17 @@ _STATS_FIELDS = frozenset(QueryStats.__dataclass_fields__)
 
 #: Exception classes a server is allowed to transport; anything else
 #: degrades to ValueError on the client (never arbitrary class lookup).
+#: ``ConnectionError`` rides along for the router topology: a router
+#: server whose *backend* store server is unreachable reports the
+#: failure as HTTP 502 with this envelope, so the outer client's
+#: ConnectionError names the actual dead backend instead of a generic
+#: internal error.
 _ERROR_TYPES = {
     "ValueError": ValueError,
     "TypeError": TypeError,
     "IndexError": IndexError,
     "WireError": WireError,
+    "ConnectionError": ConnectionError,
 }
 
 

@@ -10,6 +10,8 @@ execution (same exception classes).
 import dataclasses
 import json
 import os
+import socket
+import struct
 import subprocess
 import sys
 import time
@@ -274,18 +276,26 @@ class TestInProcessServer:
         )
 
     def test_mid_response_transport_failures_raise_connection_error(self, served, monkeypatch):
+        # every checkout hands back a connection that dies mid-exchange:
+        # the client must burn its retries and surface ConnectionError,
+        # whether the failure is OSError-shaped or HTTPException-shaped
         import http.client
-        import urllib.request
 
-        _, _, _, client = served
+        _, _, server, _ = served
         for exc in (TimeoutError("read timed out"), http.client.IncompleteRead(b"x")):
+            client = DistanceClient(server.url, retries=1)
 
-            def explode(*args, _exc=exc, **kwargs):
-                raise _exc
+            class _DeadConnection:
+                def request(self, *args, _exc=exc, **kwargs):
+                    raise _exc
 
-            monkeypatch.setattr(urllib.request, "urlopen", explode)
-            with pytest.raises(ConnectionError, match="transport failure"):
+                def close(self):
+                    pass
+
+            monkeypatch.setattr(client, "_checkout", _DeadConnection)
+            with pytest.raises(ConnectionError, match="cannot reach"):
                 client.execute(NormsQuery())
+            assert client.retries_used == 1  # retried once, then gave up
 
     def test_untyped_query_raises_type_error_like_local_execute(self, served):
         sk, local, _, client = served
@@ -393,3 +403,166 @@ class TestServerOverLiveStores:
             remote = client.execute(TopKQuery(queries=query, k=15))
             local = service.execute(TopKQuery(queries=query, k=15))
             assert remote.payload == local.payload
+
+
+def _ipv6_loopback_available() -> bool:
+    if not socket.has_ipv6:
+        return False
+    try:
+        probe = socket.socket(socket.AF_INET6, socket.SOCK_STREAM)
+        try:
+            probe.bind(("::1", 0))
+        finally:
+            probe.close()
+        return True
+    except OSError:
+        return False
+
+
+class TestAdvertisedUrl:
+    """The URL line is machine-parsed: it must always be connectable."""
+
+    def test_wildcard_bind_advertises_loopback_not_0000(self, tmp_path):
+        # regression: --host 0.0.0.0 used to print http://0.0.0.0:PORT,
+        # which launchers would then fail to connect to
+        _, store_dir = _saved_store(tmp_path, n=5)
+        with SketchQueryServer.from_store_dir(
+            store_dir, host="0.0.0.0", port=0
+        ).start() as server:
+            assert server.host == "127.0.0.1"
+            assert server.url == f"http://127.0.0.1:{server.port}"
+            client = DistanceClient(server.url)
+            assert client.health()["status"] == "ok"  # the URL really connects
+
+    @pytest.mark.skipif(
+        not _ipv6_loopback_available(), reason="no IPv6 loopback on this host"
+    )
+    def test_ipv6_host_is_bracketed_and_connectable(self, tmp_path):
+        # regression: an IPv6 bind used to render http://::1:PORT, which
+        # no URL parser reads back (the colons swallow the port)
+        _, store_dir = _saved_store(tmp_path, n=5)
+        with SketchQueryServer.from_store_dir(
+            store_dir, host="::1", port=0
+        ).start() as server:
+            assert server.url == f"http://[::1]:{server.port}"
+            client = DistanceClient(server.url)
+            assert client.health()["rows"] == 5
+
+    @pytest.mark.skipif(
+        not _ipv6_loopback_available(), reason="no IPv6 loopback on this host"
+    )
+    def test_ipv6_wildcard_advertises_bracketed_loopback(self, tmp_path):
+        _, store_dir = _saved_store(tmp_path, n=5)
+        with SketchQueryServer.from_store_dir(
+            store_dir, host="::", port=0
+        ).start() as server:
+            assert server.url == f"http://[::1]:{server.port}"
+            client = DistanceClient(server.url)
+            assert client.health()["rows"] == 5
+
+
+class TestClientDisconnects:
+    """A client hanging up is routine, not a server fault."""
+
+    @pytest.fixture()
+    def served(self, tmp_path):
+        sk, store_dir = _saved_store(tmp_path)
+        local = DistanceService(
+            ShardedSketchStore.load(store_dir, mmap=True), ExecutionPolicy(workers=1)
+        )
+        with SketchQueryServer.from_store_dir(
+            store_dir, port=0, policy=ExecutionPolicy(workers=1)
+        ).start() as server:
+            yield sk, local, server, DistanceClient(server.url)
+
+    def test_mid_request_disconnect_is_quiet_and_server_survives(self, served, capfd):
+        # a client that dies mid-body used to make the handler thread
+        # print a full traceback per disconnect; the reset must be
+        # swallowed and the server must keep answering
+        _, _, server, client = served
+        body = wire.encode_query(NormsQuery())
+        for sent in (0, len(body) // 2):  # die before and mid-body
+            raw = socket.create_connection((server.host, server.port), timeout=10)
+            try:
+                head = (
+                    f"POST /query HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                ).encode("ascii")
+                raw.sendall(head + body[:sent])
+                # SO_LINGER(1, 0) turns close() into a hard RST — the
+                # worst-case disconnect, mid-read on the server side
+                raw.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+                )
+            finally:
+                raw.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:  # let the handler threads hit the reset
+            if client.health()["status"] == "ok":
+                break
+        assert client.health()["status"] == "ok"
+        assert client.execute(NormsQuery()).payload.shape == (40,)
+        captured = capfd.readouterr()
+        assert "Traceback" not in captured.err, captured.err
+
+
+@pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"), reason="needs SO_REUSEPORT"
+)
+class TestMultiProcessServer:
+    def test_workers_share_one_port_and_match_local(self, tmp_path):
+        sk, store_dir = _saved_store(tmp_path)
+        local = DistanceService(
+            ShardedSketchStore.load(store_dir, mmap=True), ExecutionPolicy(workers=1)
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_SERVING_WORKERS", None)
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serving.server",
+                "--store",
+                str(store_dir),
+                "--port",
+                "0",
+                "--processes",
+                "2",
+                "--cache",
+                "64",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert " at http://" in banner, f"unexpected server banner: {banner!r}"
+            assert "2 processes" in banner
+            url = banner.rsplit(" at ", 1)[1].strip()
+            client = DistanceClient(url, timeout=30.0)
+            health = client.health()
+            assert health["rows"] == 40
+            assert health["cache"]["max_entries"] == 64
+            _assert_remote_matches_local(client, local, sk)
+            # the banner is printed only after every worker accepts, and
+            # the kernel spreads fresh connections across them: distinct
+            # pids prove both workers really share the port
+            pids = set()
+            for _ in range(32):
+                with DistanceClient(url, pool_size=0) as probe:
+                    pids.add(probe.health()["pid"])
+                if len(pids) >= 2:
+                    break
+            assert len(pids) >= 2, f"all connections landed on one worker: {pids}"
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                process.kill()
+                process.wait()

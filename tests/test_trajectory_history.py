@@ -1,0 +1,123 @@
+"""Benchmark-history tests: snapshots persist, renders show deltas.
+
+The trajectory script used to render only the current run's records —
+with nothing committed, the cross-commit "trajectory" was empty.  These
+tests pin the history mechanism: ``snapshot`` writes numbered,
+commit-stamped directories, and a render with ``--history`` annotates
+every metric with its change against the latest snapshot.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_trajectory",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "trajectory.py",
+)
+trajectory = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(trajectory)
+
+
+def _record(tmp_path, name="load", rate=100.0, seconds=0.010):
+    path = tmp_path / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(
+            {
+                "benchmark": name,
+                "commit": "c" * 40,
+                "workload": "test workload",
+                "rates": {"pooled_q_per_s": rate},
+                "timings": {"topk_p50_s": seconds},
+            }
+        )
+    )
+    return path
+
+
+class TestSnapshots:
+    def test_snapshot_dirs_are_numbered_and_commit_stamped(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "abcdef0123456789" * 2 + "abcdef01")
+        history = tmp_path / "bench-history"
+        first = trajectory.write_snapshot(history, [str(_record(tmp_path))])
+        assert first.name == "0001-abcdef012345"
+        assert (first / "BENCH_load.json").exists()
+        second = trajectory.write_snapshot(history, [str(_record(tmp_path, rate=120.0))])
+        assert second.name == "0002-abcdef012345"
+        assert [p.name for p in trajectory.snapshot_dirs(history)] == [
+            "0001-abcdef012345",
+            "0002-abcdef012345",
+        ]
+
+    def test_latest_snapshot_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "f" * 40)
+        history = tmp_path / "bench-history"
+        trajectory.write_snapshot(history, [str(_record(tmp_path, rate=100.0))])
+        trajectory.write_snapshot(history, [str(_record(tmp_path, rate=250.0))])
+        name, records = trajectory.load_latest_snapshot(history)
+        assert name.startswith("0002-")
+        assert records["load"]["rates"]["pooled_q_per_s"] == 250.0
+
+    def test_empty_history_renders_without_deltas(self, tmp_path):
+        name, records = trajectory.load_latest_snapshot(tmp_path / "missing")
+        assert (name, records) == ("", {})
+        lines = trajectory.render(
+            trajectory.load_records([str(_record(tmp_path))]), records, name
+        )
+        assert not any("%" in line for line in lines)
+
+    def test_snapshot_without_records_fails_loudly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no benchmark records"):
+            trajectory.write_snapshot(tmp_path / "bench-history", [])
+
+
+class TestDeltaRendering:
+    def test_render_shows_percent_change_against_latest_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("GITHUB_SHA", "a" * 40)
+        history = tmp_path / "bench-history"
+        trajectory.write_snapshot(
+            history, [str(_record(tmp_path, rate=100.0, seconds=0.010))]
+        )
+        current = trajectory.load_records(
+            [str(_record(tmp_path, rate=125.0, seconds=0.008))]
+        )
+        name, previous = trajectory.load_latest_snapshot(history)
+        lines = trajectory.render(current, previous, name)
+        text = "\n".join(lines)
+        assert "vs 0001-aaaaaaaaaaaa" in lines[0]
+        assert "(+25.0%)" in text  # 100 -> 125 q/s
+        assert "(-20.0%)" in text  # 10ms -> 8ms
+        # an unchanged metric renders as (=), not +0.0% noise
+        same = trajectory.render(
+            trajectory.load_records([str(_record(tmp_path, rate=100.0, seconds=0.010))]),
+            previous,
+            name,
+        )
+        assert "(=)" in "\n".join(same)
+
+    def test_cli_snapshot_then_render_with_history(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("GITHUB_SHA", "b" * 40)
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        history = tmp_path / "bench-history"
+        record = _record(tmp_path, rate=200.0)
+        assert (
+            trajectory.main(["snapshot", "--history", str(history), str(record)]) == 0
+        )
+        capsys.readouterr()
+        record2 = _record(tmp_path, rate=300.0)
+        assert trajectory.main(["--history", str(history), str(record2)]) == 0
+        out = capsys.readouterr().out
+        assert "(+50.0%)" in out
+        assert "vs 0001-bbbbbbbbbbbb" in out
+
+    def test_cli_without_history_matches_old_behaviour(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        record = _record(tmp_path, rate=200.0)
+        assert trajectory.main([str(record)]) == 0
+        out = capsys.readouterr().out
+        assert "rate.pooled_q_per_s" in out
+        assert "%" not in out
