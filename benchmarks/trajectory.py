@@ -15,6 +15,14 @@ committed to the repository by CI on main), and a render with
 ``--history`` annotates every metric with its delta against the most
 recent snapshot.
 
+The history also powers **regression alarms on sustained slowdowns**:
+a single noisy delta on shared CI hardware means nothing, but the same
+metric worsening in every one of the last ``--alarm-streak`` transitions
+by more than ``--alarm-tolerance`` is a trend, not noise.  Alarms print
+after the table and land in ``$GITHUB_STEP_SUMMARY`` as their own
+section; they are advisory (exit status unchanged) — the job stays
+green, the trend is impossible to miss.
+
 Usage::
 
     python benchmarks/trajectory.py BENCH_*.json
@@ -144,6 +152,88 @@ def write_snapshot(history: Path, paths: list[str]) -> Path:
     return target
 
 
+# -- sustained-slowdown alarms ------------------------------------------------
+
+#: Which direction is *worse*, per metric prefix (the singularized
+#: section from ``_metric_name``): +1 when growth is bad (time, bytes,
+#: error), -1 when shrinkage is bad (speedups, throughput, recall).
+_WORSE_SIGN = {
+    "timing": 1.0,
+    "size": 1.0,
+    "max_error": 1.0,
+    "speedup": -1.0,
+    "rate": -1.0,
+    "recall": -1.0,
+}
+
+#: metric prefix back to its record section, for rendering alarm values
+_SECTION_OF = {_metric_name(s, "x").split(".", 1)[0]: s for s in _SECTIONS}
+
+
+def _snapshot_metrics(snapshot: Path) -> dict[str, dict[str, float]]:
+    records = load_records([str(p) for p in sorted(snapshot.glob("BENCH_*.json"))])
+    return {record["benchmark"]: _raw_metrics(record) for record in records}
+
+
+def find_alarms(
+    records: list[dict],
+    history: Path,
+    *,
+    streak: int = 3,
+    tolerance: float = 0.05,
+) -> list[str]:
+    """Metrics that worsened through every one of the last ``streak`` steps.
+
+    The chain under test is the last ``streak`` committed snapshots plus
+    the current records — ``streak`` consecutive transitions.  A metric
+    alarms only when *every* transition moves in its bad direction by
+    more than ``tolerance`` (fractionally): one slow CI run cannot trip
+    it, and neither can a slowdown that already recovered.  Metrics
+    missing anywhere in the chain (new benchmarks, renamed keys) are
+    skipped — an alarm must rest on a complete series.
+    """
+    snapshots = snapshot_dirs(history)[-streak:]
+    if len(snapshots) < streak:
+        return []
+    series = [_snapshot_metrics(snapshot) for snapshot in snapshots]
+    alarms = []
+    for record in records:
+        bench = record["benchmark"]
+        current = _raw_metrics(record)
+        for metric, value in current.items():
+            sign = _WORSE_SIGN.get(metric.split(".", 1)[0])
+            if sign is None:
+                continue
+            chain = [step.get(bench, {}).get(metric) for step in series] + [value]
+            if any(v is None or v == 0 for v in chain[:-1]) or chain[-1] is None:
+                continue
+            worsened = all(
+                sign * (new - old) / abs(old) > tolerance
+                for old, new in zip(chain, chain[1:])
+            )
+            if not worsened:
+                continue
+            section = _SECTION_OF[metric.split(".", 1)[0]]
+            total = sign * (chain[-1] - chain[0]) / abs(chain[0]) * 100.0
+            alarms.append(
+                f"{bench} {metric}: worse in {len(chain) - 1} consecutive "
+                f"snapshots — {_render_value(section, chain[0])} -> "
+                f"{_render_value(section, chain[-1])} "
+                f"({total:+.1f}% cumulative, vs {snapshots[0].name})"
+            )
+    return alarms
+
+
+def _emit_alarms(alarms: list[str]) -> list[str]:
+    """Alarm block for stdout; mirrored into the step summary by main()."""
+    if not alarms:
+        return []
+    lines = ["sustained regressions (same metric worse across the streak):"]
+    lines += [f"  PERF ALARM: {alarm}" for alarm in alarms]
+    lines.append("")
+    return lines
+
+
 def _delta(section: str, old: float, new: float) -> str:
     if old == 0:
         return ""
@@ -202,6 +292,22 @@ def main(argv: list[str]) -> int:
         help="committed snapshot directory (bench-history); render shows "
         "deltas against its latest snapshot",
     )
+    parser.add_argument(
+        "--alarm-streak",
+        type=int,
+        default=3,
+        metavar="K",
+        help="alarm when a metric worsened in K consecutive snapshot "
+        "transitions (needs --history with >= K snapshots; default 3)",
+    )
+    parser.add_argument(
+        "--alarm-tolerance",
+        type=float,
+        default=0.05,
+        metavar="FRAC",
+        help="fractional worsening a single transition must exceed to count "
+        "toward the streak (default 0.05 = 5%%)",
+    )
     # 'snapshot' is peeled off before argparse: a positional subcommand
     # plus a variadic positional cannot straddle an optional argument
     argv = list(argv)
@@ -218,15 +324,38 @@ def main(argv: list[str]) -> int:
     if not records:
         print("no benchmark records found", file=sys.stderr)
         return 1
+    if args.alarm_streak < 1:
+        parser.error(f"--alarm-streak must be >= 1, got {args.alarm_streak}")
+    if args.alarm_tolerance < 0:
+        parser.error(f"--alarm-tolerance must be >= 0, got {args.alarm_tolerance}")
     previous_name, previous = ("", None)
+    alarms: list[str] = []
     if args.history is not None:
         previous_name, previous = load_latest_snapshot(args.history)
-    lines = render(records, previous, previous_name)
+        alarms = find_alarms(
+            records,
+            args.history,
+            streak=args.alarm_streak,
+            tolerance=args.alarm_tolerance,
+        )
+    lines = render(records, previous, previous_name) + _emit_alarms(alarms)
     print("\n".join(lines))
     summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary:
         with open(summary, "a", encoding="utf-8") as handle:
             handle.write("```\n" + "\n".join(lines) + "\n```\n")
+            if alarms:
+                # a dedicated markdown section so the trend is visible
+                # without expanding the table block
+                handle.write("\n### :warning: sustained benchmark regressions\n\n")
+                for alarm in alarms:
+                    handle.write(f"- {alarm}\n")
+                handle.write(
+                    f"\n(worse in each of the last {args.alarm_streak} "
+                    f"snapshot transitions by > "
+                    f"{args.alarm_tolerance:.0%}; advisory — the job "
+                    "stays green)\n"
+                )
     return 0
 
 

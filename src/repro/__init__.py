@@ -49,6 +49,7 @@ from repro.serving import (
     DistanceClient,
     DistanceService,
     ExecutionPolicy,
+    MaintenancePolicy,
     NormsQuery,
     PairwiseQuery,
     QueryResult,
@@ -58,7 +59,10 @@ from repro.serving import (
     RouterService,
     ShardedSketchStore,
     StorageSpec,
+    StoreMaintainer,
     TopKQuery,
+    compact_store,
+    merge_stores,
 )
 from repro.transforms import create_transform
 
@@ -90,6 +94,7 @@ __all__ = [
     "EnsembleSketch",
     "EnsembleSketcher",
     "ExecutionPolicy",
+    "MaintenancePolicy",
     "MechanismChoice",
     "Party",
     "PrivacyAccountant",
@@ -99,12 +104,14 @@ __all__ = [
     "PrivateSketcher",
     "ShardedSketchStore",
     "StorageSpec",
+    "StoreMaintainer",
     "SketchBatch",
     "SketchConfig",
     "SketchingSession",
     "StreamingSketch",
     "__version__",
     "choose_noise_name",
+    "compact_store",
     "create_transform",
     "cross_sq_distances",
     "estimate_distance",
@@ -112,6 +119,7 @@ __all__ = [
     "estimate_inner_product",
     "estimate_sq_distance",
     "estimate_sq_norm",
+    "merge_stores",
     "pairwise_sq_distances",
     "sq_norms",
 ]

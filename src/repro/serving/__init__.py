@@ -44,7 +44,18 @@ Above it sits one protocol:
   (noise is sampled once, when a sketch is released, and its budget
   spent then), so re-serving the byte-identical envelope for an
   identical query observes nothing new and costs no extra budget —
-  see :mod:`repro.serving.cache` for the full argument.
+  see :mod:`repro.serving.cache` for the full argument;
+* :mod:`repro.serving.maintenance` — LSM-style streaming store
+  upkeep: :func:`compact_store` re-encodes a saved directory
+  disk-to-disk in bounded row blocks (peak RSS stays O(block) however
+  large the store), publishing each rewrite as a new numbered
+  *generation* that readers — and a ``watch_interval`` server — pick up
+  atomically; ``delete()`` tombstones plus a :class:`MaintenancePolicy`
+  run by :class:`StoreMaintainer` automate the hot-write-tier →
+  cold-read-tier (``f8`` → ``f4``/``int8``) lifecycle.  All of it is
+  post-processing of already-released sketches: zero extra privacy
+  budget, and deletion never refunds any (see :mod:`repro.serving.store`
+  for the tombstone DP semantics).
 
 **Concurrency contract.**  One writer at a time may append to a store;
 any number of readers may query it concurrently.  Every query freezes a
@@ -81,7 +92,13 @@ exposes it via :meth:`~repro.core.protocol.SketchingSession.serve`.
 
 from repro.serving.cache import ReleaseCache
 from repro.serving.client import DistanceClient
-from repro.serving.execution import ExecutionPolicy
+from repro.serving.execution import ExecutionPolicy, pin_blas_threads
+from repro.serving.maintenance import (
+    MaintenancePolicy,
+    StoreMaintainer,
+    compact_store,
+    merge_stores,
+)
 from repro.serving.queries import (
     QUERY_TYPES,
     CrossQuery,
@@ -99,10 +116,12 @@ from repro.serving.serialization import (
     batch_to_bytes,
     decode_label,
     encode_label,
+    iter_batch_rows,
     map_values,
     read_batch,
     read_batch_info,
     write_batch,
+    write_batch_streaming,
 )
 from repro.serving.router import RouterService
 from repro.serving.service import DistanceService, stable_smallest_k
@@ -111,6 +130,7 @@ from repro.serving.store import (
     DEFAULT_SHARD_CAPACITY,
     ShardedSketchStore,
     ShardView,
+    read_manifest,
 )
 from repro.serving.wire import (
     WIRE_VERSION,
@@ -140,6 +160,7 @@ __all__ = [
     "DistanceClient",
     "DistanceService",
     "ExecutionPolicy",
+    "MaintenancePolicy",
     "NormsQuery",
     "PairwiseQuery",
     "QUERY_TYPES",
@@ -154,20 +175,27 @@ __all__ = [
     "ShardedSketchStore",
     "SketchQueryServer",
     "StorageSpec",
+    "StoreMaintainer",
     "TopKQuery",
     "WIRE_VERSION",
     "WireError",
     "batch_from_bytes",
     "batch_to_bytes",
+    "compact_store",
     "decode_label",
     "decode_query",
     "decode_result",
     "encode_label",
     "encode_query",
     "encode_result",
+    "iter_batch_rows",
     "map_values",
+    "merge_stores",
+    "pin_blas_threads",
     "read_batch",
     "read_batch_info",
+    "read_manifest",
     "stable_smallest_k",
     "write_batch",
+    "write_batch_streaming",
 ]

@@ -12,11 +12,26 @@ merge stays trivially small.
 Results are **bit-identical** across policies: every shard block is the
 same deterministic arithmetic whatever thread runs it, and the merge
 consumes the blocks in shard order regardless of completion order.
+
+**BLAS threads compose multiplicatively with the pool.**  Most BLAS
+builds default to one internal thread per core; fanning shard blocks
+across ``N`` pool workers then runs ``N × cores`` compute threads, and
+the oversubscribed kernel threads spend their time context-switching
+instead of multiplying.  :func:`pin_blas_threads` (called once, when a
+service first builds its pool) pins the BLAS libraries to one thread
+each so the *pool* is the only parallelism lever, exactly the
+threadpoolctl recipe — via threadpoolctl itself when installed, else a
+ctypes probe of the loaded BLAS plus the standard ``*_NUM_THREADS``
+environment guard for libraries yet to load.  Operators who want a
+different split (say 2 BLAS threads under a 2-worker pool on a 16-core
+box) set ``REPRO_SERVING_BLAS_THREADS``.
 """
 
 from __future__ import annotations
 
+import ctypes
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -40,8 +55,140 @@ def run_ordered(fn, items: list, *, executor: ThreadPoolExecutor | None = None) 
 
 _WORKERS_ENV = "REPRO_SERVING_WORKERS"
 _PREFILTER_ENV = "REPRO_SERVING_PREFILTER"
+_BLAS_THREADS_ENV = "REPRO_SERVING_BLAS_THREADS"
 _TRUE_VALUES = ("1", "true", "on", "yes")
 _FALSE_VALUES = ("0", "false", "off", "no")
+
+#: The thread-count knobs every mainstream BLAS/OpenMP build reads at
+#: library load time — the environment half of the guard, covering any
+#: compute library imported after the pin.
+_BLAS_ENV_VARS = (
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "OMP_NUM_THREADS",
+    "BLIS_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+#: ``set_num_threads``-style entry points of the BLAS builds numpy links
+#: against, for the ctypes half of the guard (the env vars cannot reach
+#: a library that already read them at load time).
+_BLAS_SETTERS = (
+    "openblas_set_num_threads",
+    "openblas_set_num_threads64_",
+    # the symbol names in the OpenBLAS builds vendored inside numpy/scipy
+    # manylinux wheels, which prefix everything with scipy_
+    "scipy_openblas_set_num_threads",
+    "scipy_openblas_set_num_threads64_",
+    "MKL_Set_Num_Threads",
+    "bli_thread_set_num_threads",
+)
+
+_pin_lock = threading.Lock()
+_pinned: int | None = None
+_threadpoolctl_limits = None  # keeps a threadpoolctl pin alive process-wide
+
+
+def _blas_threads_from_env() -> int | None:
+    raw = os.environ.get(_BLAS_THREADS_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        threads = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{_BLAS_THREADS_ENV}={raw!r} is not a valid BLAS thread count: "
+            "expected a positive integer such as 1 (unset it for the "
+            "default: 1 BLAS thread under a parallel worker pool)"
+        ) from None
+    if threads < 1:
+        raise ValueError(
+            f"{_BLAS_THREADS_ENV}={raw!r} is not a valid BLAS thread count: "
+            "must be >= 1 (unset it for the default)"
+        )
+    return threads
+
+
+def _loaded_blas_libraries():
+    """Handles for BLAS shared objects already mapped into this process.
+
+    A minimal stand-in for threadpoolctl's prefix scan: read the mapped
+    files from ``/proc/self/maps`` and keep the ones that look like a
+    BLAS build.  Platforms without /proc simply yield nothing — the
+    environment guard still covers subprocesses and later imports.
+    """
+    try:
+        with open("/proc/self/maps") as maps:
+            mapped = {
+                line.split(None, 5)[-1].strip()
+                for line in maps
+                if line.rstrip().endswith(".so") or ".so." in line
+            }
+    except OSError:
+        return
+    markers = ("openblas", "libblas", "libcblas", "mkl_rt", "libblis")
+    for path in sorted(mapped):
+        name = os.path.basename(path).lower()
+        if any(marker in name for marker in markers):
+            try:
+                yield ctypes.CDLL(path)
+            except OSError:
+                continue
+
+
+def _pin_loaded_blas(threads: int) -> None:
+    """Best-effort runtime pin of every BLAS already in the process."""
+    global _threadpoolctl_limits
+    try:
+        import threadpoolctl
+    except ImportError:
+        threadpoolctl = None
+    if threadpoolctl is not None:
+        # holding the controller applies the limit for the life of the
+        # process (releasing it would restore the oversubscribed default)
+        _threadpoolctl_limits = threadpoolctl.threadpool_limits(
+            limits=threads, user_api="blas"
+        )
+        return
+    for lib in _loaded_blas_libraries():
+        for symbol in _BLAS_SETTERS:
+            setter = getattr(lib, symbol, None)
+            if setter is not None:
+                try:
+                    setter(threads)
+                except (ctypes.ArgumentError, OSError):  # pragma: no cover
+                    continue
+
+
+def pin_blas_threads(threads: int | None = None) -> int:
+    """Pin BLAS-internal threading so the worker pool is the only lever.
+
+    Called once per process by :class:`~repro.serving.service.DistanceService`
+    when a parallel policy first builds its pool.  ``threads=None``
+    means the default of 1 BLAS thread; ``REPRO_SERVING_BLAS_THREADS``
+    overrides both the argument and the default (and is validated
+    loudly, like every other serving knob).  Pre-existing explicit
+    ``OPENBLAS_NUM_THREADS``-style settings are respected — the
+    environment half uses ``setdefault`` — unless the override variable
+    forces them.  Returns the pinned count; repeat calls are no-ops
+    returning the first pin (one process, one BLAS configuration).
+    """
+    global _pinned
+    override = _blas_threads_from_env()
+    requested = override if override is not None else (threads or 1)
+    with _pin_lock:
+        if _pinned is not None:
+            return _pinned
+        value = str(requested)
+        for var in _BLAS_ENV_VARS:
+            if override is not None:
+                os.environ[var] = value
+            else:
+                os.environ.setdefault(var, value)
+        _pin_loaded_blas(requested)
+        _pinned = requested
+        return requested
 
 
 def _workers_from_env() -> int:

@@ -1,0 +1,646 @@
+"""LSM-style background maintenance for on-disk sketch stores.
+
+Two disk-to-disk rewrites — :func:`compact_store` and
+:func:`merge_stores` — stream shard rows through the bounded block
+iterators of :mod:`repro.serving.serialization`, so peak memory is
+O(one block) no matter how large the store is: nothing is ever loaded,
+or even memory-mapped, in full.  Both drop tombstoned rows physically
+(budgets stay spent — the DP semantics of deletion are documented once,
+in :mod:`repro.serving.store`).
+
+:func:`compact_store` is *generational*: generation ``N+1`` is written
+into a sibling ``gen-NNNNN`` directory inside the store root, published
+by atomically replacing ``manifest.json`` once every shard is fully
+written and digest-verified, and older generations are pruned — except
+the immediately previous one, which in-flight readers may still be
+lazily attaching.  A crash at any point leaves the old generation
+loadable: staging directories and published-but-unreferenced generation
+directories are orphans the next ``compact_store`` removes (the
+manifest is the single source of truth for which generation is live).
+
+:class:`MaintenancePolicy` turns the quickstart's manual
+build-then-shrink workflow into an automatic rule — a hot full-precision
+write tier is compacted (tombstones dropped, partial shards repacked)
+and demoted to a cold quantised read tier once row/byte thresholds are
+crossed — and :class:`StoreMaintainer` runs that policy from a
+background thread.  A :class:`~repro.serving.server.SketchQueryServer`
+watching the manifest picks each new generation up without a restart.
+
+Like every operation downstream of release, maintenance is pure
+post-processing: no rewrite, re-encode, demotion or deletion here
+touches the privacy accountant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import shutil
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.serving.serialization import (
+    DEFAULT_BLOCK_ROWS,
+    BatchInfo,
+    StreamingBatchWriter,
+    iter_batch_rows,
+    read_batch_info,
+)
+from repro.serving.storage import StorageSpec
+from repro.serving.store import (
+    _MANIFEST_NAME,
+    _MANIFEST_VERSION,
+    _SHARD_PATTERN,
+    _drop_dead,
+    _is_positional,
+    _swap_into_place,
+    read_manifest,
+)
+from repro.core import estimators
+
+_GENERATION_PATTERN = "gen-{:05d}"
+
+
+def _generation_dirs(root: Path) -> list[Path]:
+    return sorted(p for p in root.glob("gen-*") if p.is_dir())
+
+
+def _clean_orphans(root: Path, live_dir: str) -> list[str]:
+    """Remove crash leftovers: staging dirs and unreferenced generations.
+
+    The manifest is the source of truth — any ``gen-*`` directory it
+    does not reference was published (or half-written) by a run that
+    died before (or while) replacing the manifest, and is unreachable.
+    Returns the removed names, for observability and the crash tests.
+    """
+    removed = []
+    for orphan in root.glob(".gen-*.staging-*"):
+        shutil.rmtree(orphan, ignore_errors=True)
+        removed.append(orphan.name)
+    for gen_dir in _generation_dirs(root):
+        if gen_dir.name != live_dir:
+            shutil.rmtree(gen_dir, ignore_errors=True)
+            removed.append(gen_dir.name)
+    return removed
+
+
+def _source_shards(root: Path, manifest: dict) -> list[BatchInfo]:
+    shard_dir = root / manifest.get("shards_dir", "")
+    return [
+        read_batch_info(shard_dir / _SHARD_PATTERN.format(i))
+        for i in range(manifest["n_shards"])
+    ]
+
+
+def _survivor_labels(
+    infos: list[BatchInfo], tombstones: np.ndarray
+) -> list | None:
+    """Labels of the untombstoned rows, or ``None`` when all positional.
+
+    ``None`` lets the writer elide labels entirely (they regenerate
+    from row offsets on load), which keeps big-store headers small —
+    exactly the rule :meth:`ShardedSketchStore.save` applies.  Any
+    explicit label, or any tombstone (survivors of a deletion keep
+    their old identities, which no longer match their new positions),
+    forces the labels to be materialised and stored.
+    """
+    labels: list = []
+    explicit = tombstones.size > 0
+    start = 0
+    for info in infos:
+        shard_labels = info.labels or range(start, start + info.n_rows)
+        if info.labels and not _is_positional(tuple(info.labels), start):
+            explicit = True
+        labels.extend(shard_labels)
+        start += info.n_rows
+    if not explicit:
+        return None
+    if tombstones.size:
+        keep = np.delete(np.arange(len(labels), dtype=np.intp), tombstones)
+        labels = [labels[i] for i in keep]
+    return labels
+
+
+def _global_scale(
+    infos: list[BatchInfo], tombstones: np.ndarray, block_rows: int
+) -> float:
+    """One int8 step covering every live row (an extra streaming pass).
+
+    The in-memory path derives one scale per shard as rows arrive; a
+    disk-to-disk rewrite cannot know a future block's peak, so it spends
+    one cheap read pass finding the store-wide peak instead and encodes
+    every output shard with that single step.  The step is recorded per
+    shard as usual, so readers are oblivious to the difference.
+    """
+    peak = 0.0
+    offset = 0
+    for info in infos:
+        spec = info.storage_spec
+        for block in _iter_live(info, tombstones, offset, block_rows):
+            decoded = np.asarray(spec.decode(block, info.scale), dtype=np.float64)
+            if decoded.size:
+                block_peak = float(np.max(np.abs(decoded)))
+                if not np.isfinite(block_peak):
+                    raise ValueError("int8 storage requires finite sketch values")
+                peak = max(peak, block_peak)
+        offset += info.n_rows
+    return StorageSpec.int8_step(peak)
+
+
+def _iter_live(
+    info: BatchInfo, tombstones: np.ndarray, offset: int, block_rows: int
+):
+    """One shard's raw code blocks with tombstoned rows dropped.
+
+    ``tombstones`` holds *global* row indices; ``offset`` is the shard's
+    global start.  Uses the serialization layer's buffered block reader,
+    so the stored digest is verified as the shard drains.
+    """
+    lo, hi = np.searchsorted(tombstones, (offset, offset + info.n_rows))
+    dead = tombstones[lo:hi] - offset
+    local = 0
+    for block in iter_batch_rows(info, block_rows):
+        n = block.shape[0]
+        if dead.size:
+            block = _drop_dead(block, local, dead)
+        local += n
+        yield block
+
+
+class _ShardRoller:
+    """Streams re-encoded blocks into capacity-sized output shards.
+
+    Owns the open :class:`StreamingBatchWriter`, splits incoming blocks
+    at shard boundaries, slices each output shard's labels out of the
+    survivor list (``None`` elides them), and aborts every partial file
+    on error — the staging directory is all-or-nothing.
+    """
+
+    def __init__(self, staging, template, spec, scale, capacity, labels):
+        self._staging = Path(staging)
+        self._template = template
+        self._spec = spec
+        self._scale = scale
+        self._capacity = capacity
+        self._labels = labels
+        self._writer: StreamingBatchWriter | None = None
+        self._shard_rows = 0
+        self.n_shards = 0
+        self.n_rows = 0
+
+    def _open(self) -> StreamingBatchWriter:
+        if self._writer is None:
+            self._writer = StreamingBatchWriter(
+                self._staging / _SHARD_PATTERN.format(self.n_shards),
+                self._template,
+                storage=self._spec,
+                scale=self._scale,
+            )
+            self._shard_rows = 0
+        return self._writer
+
+    def _roll(self) -> None:
+        self._writer.commit()
+        self._writer = None
+        self.n_shards += 1
+
+    def append(self, codes: np.ndarray) -> None:
+        while codes.shape[0]:
+            writer = self._open()
+            take = min(self._capacity - self._shard_rows, codes.shape[0])
+            labels = (
+                ()
+                if self._labels is None
+                else self._labels[self.n_rows : self.n_rows + take]
+            )
+            writer.append(codes[:take], labels)
+            codes = codes[take:]
+            self._shard_rows += take
+            self.n_rows += take
+            if self._shard_rows == self._capacity:
+                self._roll()
+
+    def finish(self) -> None:
+        """Commit the tail shard (a zero-row one if nothing was written:
+        every store needs at least one shard to carry its metadata).
+
+        When the last append landed exactly on a capacity boundary the
+        tail was already rolled — opening another writer here would add
+        a spurious zero-row shard, which the partial-shard policy would
+        then flag forever.
+        """
+        if self._writer is not None or self.n_shards == 0:
+            self._open()
+            self._roll()
+
+    def abort(self) -> None:
+        if self._writer is not None:
+            self._writer.abort()
+            self._writer = None
+
+
+def _stream_shards(
+    infos: list[BatchInfo],
+    tombstones: np.ndarray,
+    roller: _ShardRoller,
+    out_spec: StorageSpec,
+    scale: float | None,
+    block_rows: int,
+) -> None:
+    """Pump every live row of ``infos`` through the roller, re-encoding.
+
+    Same-spec float storage passes codes through verbatim (no decode
+    round trip — surviving rows stay bit-identical on disk); anything
+    else decodes to float64 and re-encodes, exactly like the in-memory
+    path.  ``int8`` always re-encodes: output shards straddle source
+    shards whose scales differ.
+    """
+    offset = 0
+    for info in infos:
+        in_spec = info.storage_spec
+        passthrough = in_spec.name == out_spec.name and not out_spec.quantised
+        for block in _iter_live(info, tombstones, offset, block_rows):
+            if not block.shape[0]:
+                continue
+            if passthrough:
+                roller.append(block)
+            else:
+                decoded = np.asarray(
+                    in_spec.decode(block, info.scale), dtype=np.float64
+                )
+                roller.append(out_spec.encode(decoded, scale))
+        offset += info.n_rows
+
+
+def compact_store(
+    path: str | os.PathLike,
+    *,
+    storage: StorageSpec | str | None = None,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+) -> dict:
+    """Rewrite an on-disk store as its next generation, disk-to-disk.
+
+    Streams every live row of the store at ``path`` into capacity-sized
+    shards inside a new ``gen-NNNNN`` sibling directory — tombstoned
+    rows are physically dropped, ``storage=...`` re-encodes along the
+    way (the hot-f8-to-cold-f4/int8 demotion) — then atomically
+    publishes the new generation by replacing ``manifest.json``.  Peak
+    memory is O(``block_rows``): source shards are read in bounded
+    buffered blocks (never mapped), written shards stream through a
+    temp file, and each source block's digest chain is verified before
+    the generation can publish.
+
+    Readers are never broken: a store loaded (even ``mmap=True``, even
+    mid-query) before the publish keeps serving its old generation —
+    the previous generation's files are retained for exactly this
+    reason, while generations older than that, and any crash orphans
+    (staging dirs, published-but-unreferenced generations), are pruned.
+    A long-running :class:`~repro.serving.server.SketchQueryServer`
+    notices the manifest's new generation and hot-swaps.
+
+    Returns a summary dict (``generation``, ``rows``,
+    ``tombstones_dropped``, ``shards``, ``storage``, ``pruned``).
+    """
+    root = Path(path)
+    manifest = read_manifest(root)
+    pruned = _clean_orphans(root, manifest.get("shards_dir", ""))
+    infos = _source_shards(root, manifest)
+    tombstones = np.asarray(
+        sorted(manifest.get("tombstones", ())), dtype=np.intp
+    )
+    out_spec = (
+        StorageSpec.parse(storage)
+        if storage is not None
+        else StorageSpec.parse(manifest.get("storage", "f8"))
+    )
+    generation = int(manifest.get("generation", 0)) + 1
+    gen_name = _GENERATION_PATTERN.format(generation)
+    staging = root / f".{gen_name}.staging-{os.getpid()}"
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir(parents=True)
+    labels = _survivor_labels(infos, tombstones)
+    scale = (
+        _global_scale(infos, tombstones, block_rows)
+        if out_spec.quantised
+        else None
+    )
+    roller = _ShardRoller(
+        staging, infos[0].meta, out_spec, scale, manifest["shard_capacity"], labels
+    )
+    try:
+        _stream_shards(infos, tombstones, roller, out_spec, scale, block_rows)
+        roller.finish()
+    except BaseException:
+        roller.abort()
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    os.replace(staging, root / gen_name)
+    new_manifest = {
+        "manifest_version": _MANIFEST_VERSION,
+        "shard_capacity": manifest["shard_capacity"],
+        "n_shards": roller.n_shards,
+        "n_rows": roller.n_rows,
+        "storage": out_spec.name,
+        "config_digest": manifest["config_digest"],
+        "generation": generation,
+        "shards_dir": gen_name,
+    }
+    _publish_manifest(root, new_manifest)
+    # prune everything older than {new, previous}: readers attached to
+    # the just-replaced generation may still be lazily mapping its files
+    previous = manifest.get("shards_dir", "")
+    for gen_dir in _generation_dirs(root):
+        if gen_dir.name not in (gen_name, previous):
+            shutil.rmtree(gen_dir, ignore_errors=True)
+            pruned.append(gen_dir.name)
+    if previous:
+        # the previous generation was itself a gen dir, so any flat
+        # shard files at the root are at least two generations stale
+        for stale in root.glob("shard-*.skb"):
+            stale.unlink()
+            pruned.append(stale.name)
+    return {
+        "path": os.fspath(root),
+        "generation": generation,
+        "rows": roller.n_rows,
+        "tombstones_dropped": int(tombstones.size),
+        "shards": roller.n_shards,
+        "storage": out_spec.name,
+        "pruned": pruned,
+    }
+
+
+def _publish_manifest(root: Path, manifest: dict) -> None:
+    """Atomically replace the store's manifest (tmp file + rename)."""
+    import json
+
+    tmp = root / f".{_MANIFEST_NAME}.tmp-{os.getpid()}"
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    os.replace(tmp, root / _MANIFEST_NAME)
+
+
+def merge_stores(
+    *sources: str | os.PathLike,
+    dest: str | os.PathLike,
+    storage: StorageSpec | str | None = None,
+    shard_capacity: int | None = None,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+) -> dict:
+    """Fuse on-disk stores into a new store directory, disk-to-disk.
+
+    The directory-to-directory form of
+    :meth:`ShardedSketchStore.merge`: rows keep their per-store order,
+    stores concatenate in argument order, tombstoned rows are dropped on
+    the way through, and nothing larger than one block is ever held in
+    memory.  The same storage rule applies — mixing specs is rejected
+    with the specs named unless ``storage=...`` re-encodes everything —
+    and all sources must share one public configuration.  ``dest`` is
+    written with the save path's staging-then-swap idiom, so a crash
+    never leaves a partial store there.
+    """
+    if not sources:
+        raise ValueError("merge_stores needs at least one source store")
+    roots = [Path(source) for source in sources]
+    manifests = [read_manifest(root) for root in roots]
+    specs = sorted({m.get("storage", "f8") for m in manifests})
+    if storage is None:
+        if len(specs) > 1:
+            raise ValueError(
+                f"cannot merge stores with different storage specs "
+                f"({', '.join(specs)}): their error envelopes differ; pass "
+                f"storage=... to re-encode the merged store into one spec"
+            )
+        storage = specs[0]
+    out_spec = StorageSpec.parse(storage)
+    per_source = [_source_shards(root, m) for root, m in zip(roots, manifests)]
+    template = per_source[0][0].meta
+    for infos in per_source[1:]:
+        estimators.check_compatible(template, infos[0].meta)
+    capacity = (
+        max(m["shard_capacity"] for m in manifests)
+        if shard_capacity is None
+        else shard_capacity
+    )
+    # concatenate the per-store survivor labels, re-eliding only if
+    # every source was positional and tombstone-free
+    all_labels: list | None = []
+    for manifest, infos in zip(manifests, per_source):
+        tombstones = np.asarray(
+            sorted(manifest.get("tombstones", ())), dtype=np.intp
+        )
+        source_labels = _survivor_labels(infos, tombstones)
+        if source_labels is None:
+            live = manifest["n_rows"] - int(tombstones.size)
+            source_labels = list(range(live))
+        all_labels.extend(source_labels)
+    if _is_positional(tuple(all_labels), 0):
+        all_labels = None
+
+    dest_root = Path(dest)
+    dest_root.parent.mkdir(parents=True, exist_ok=True)
+    staging = dest_root.with_name(f".{dest_root.name}.saving-{os.getpid()}")
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir(parents=True)
+    scale = None
+    if out_spec.quantised:
+        peak_scale = 0.0
+        for manifest, infos in zip(manifests, per_source):
+            tombstones = np.asarray(
+                sorted(manifest.get("tombstones", ())), dtype=np.intp
+            )
+            peak_scale = max(
+                peak_scale, _global_scale(infos, tombstones, block_rows)
+            )
+        scale = peak_scale
+    roller = _ShardRoller(staging, template, out_spec, scale, capacity, all_labels)
+    try:
+        for manifest, infos in zip(manifests, per_source):
+            tombstones = np.asarray(
+                sorted(manifest.get("tombstones", ())), dtype=np.intp
+            )
+            _stream_shards(infos, tombstones, roller, out_spec, scale, block_rows)
+        roller.finish()
+        _publish_manifest(
+            staging,
+            {
+                "manifest_version": _MANIFEST_VERSION,
+                "shard_capacity": capacity,
+                "n_shards": roller.n_shards,
+                "n_rows": roller.n_rows,
+                "storage": out_spec.name,
+                "config_digest": manifests[0]["config_digest"],
+                "generation": 0,
+            },
+        )
+        _swap_into_place(staging, dest_root)
+    except BaseException:
+        roller.abort()
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    return {
+        "path": os.fspath(dest_root),
+        "rows": roller.n_rows,
+        "shards": roller.n_shards,
+        "storage": out_spec.name,
+        "sources": [os.fspath(root) for root in roots],
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class MaintenancePolicy:
+    """When, and into what, an on-disk store should be compacted.
+
+    The tiering rule: stores are *written* hot (full-precision ``f8``
+    appends, tombstones accumulating) and *read* cold (compact,
+    optionally quantised, tombstone-free).  :meth:`plan` looks at a
+    store's manifest plus its on-disk byte size and answers with the
+    ``compact_store`` keyword arguments that would restore health, or
+    ``None`` when the store is already healthy:
+
+    * ``min_tombstones`` — compact once at least this many rows are
+      tombstoned (they cost scan time and disk until dropped).
+    * ``max_partial_shards`` — compact when the shard count exceeds the
+      minimum needed for the row count by more than this (partial
+      shards accumulate as appended batches straddle capacity).
+    * ``cold_rows`` / ``cold_bytes`` — demote a hot-tier store to
+      ``cold_storage`` once it holds at least this many rows / bytes
+      (``None`` disables the threshold; demotion triggers only from
+      the hot spec, so an already-cold store is not re-encoded again).
+
+    Pure function of observable state — the policy itself never touches
+    the store, so it is trivially testable and safe to evaluate from
+    any thread.
+    """
+
+    cold_storage: str = "f4"
+    hot_storage: str = "f8"
+    min_tombstones: int = 1
+    max_partial_shards: int = 1
+    cold_rows: int | None = None
+    cold_bytes: int | None = None
+
+    def plan(self, manifest: dict, *, nbytes: int | None = None) -> dict | None:
+        """The ``compact_store`` kwargs this store needs, or ``None``."""
+        rows = manifest["n_rows"]
+        tombstones = len(manifest.get("tombstones", ()))
+        capacity = manifest["shard_capacity"]
+        current = manifest.get("storage", "f8")
+        reasons = []
+        if tombstones >= self.min_tombstones > 0:
+            reasons.append(f"{tombstones} tombstoned rows")
+        min_shards = max(1, -(-(rows - tombstones) // capacity))
+        if manifest["n_shards"] > min_shards + self.max_partial_shards - 1:
+            reasons.append(
+                f"{manifest['n_shards']} shards for {rows} rows "
+                f"(minimum {min_shards})"
+            )
+        demote = current == self.hot_storage and (
+            (self.cold_rows is not None and rows >= self.cold_rows)
+            or (
+                self.cold_bytes is not None
+                and nbytes is not None
+                and nbytes >= self.cold_bytes
+            )
+        )
+        if demote:
+            reasons.append(f"demote {current} -> {self.cold_storage}")
+        if not reasons:
+            return None
+        return {
+            "storage": self.cold_storage if demote else None,
+            "reason": "; ".join(reasons),
+        }
+
+
+def _store_nbytes(root: Path, manifest: dict) -> int:
+    shard_dir = root / manifest.get("shards_dir", "")
+    return sum(
+        (shard_dir / _SHARD_PATTERN.format(i)).stat().st_size
+        for i in range(manifest["n_shards"])
+    )
+
+
+class StoreMaintainer:
+    """Runs a :class:`MaintenancePolicy` over a store dir, in background.
+
+    Between queries — the thread sleeps ``interval`` seconds, wakes,
+    reads the manifest, asks the policy, and calls
+    :func:`compact_store` when the policy says so.  Everything happens
+    disk-to-disk in this process; serving processes watching the
+    manifest (``SketchQueryServer(watch_interval=...)``) pick the new
+    generation up live.  One maintainer per store directory — the
+    generational publish is not multi-writer safe (the usual one-writer
+    contract of the store).
+
+    Errors are recorded on :attr:`last_error` and the loop keeps going:
+    a transient failure (say, disk full) must not kill maintenance
+    forever.  :attr:`history` keeps each completed action's summary.
+    Use as a context manager, or :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        policy: MaintenancePolicy | None = None,
+        *,
+        interval: float = 5.0,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+    ) -> None:
+        self.path = Path(path)
+        self.policy = MaintenancePolicy() if policy is None else policy
+        self.interval = float(interval)
+        self.block_rows = block_rows
+        self.history: list[dict] = []
+        self.last_error: Exception | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def run_once(self) -> dict | None:
+        """One policy evaluation; compacts if needed, returns the summary."""
+        manifest = read_manifest(self.path)
+        action = self.policy.plan(
+            manifest, nbytes=_store_nbytes(self.path, manifest)
+        )
+        if action is None:
+            return None
+        summary = compact_store(
+            self.path, storage=action["storage"], block_rows=self.block_rows
+        )
+        summary["reason"] = action["reason"]
+        summary["at"] = time.time()
+        self.history.append(summary)
+        return summary
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.run_once()
+                self.last_error = None
+            except Exception as exc:  # keep maintaining despite transient errors
+                self.last_error = exc
+
+    def start(self) -> "StoreMaintainer":
+        if self._thread is not None:
+            raise RuntimeError("maintainer already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-maintainer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+
+    def __enter__(self) -> "StoreMaintainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

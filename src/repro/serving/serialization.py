@@ -63,6 +63,7 @@ import json
 import math
 import numbers
 import os
+import shutil
 
 import numpy as np
 
@@ -653,3 +654,231 @@ def read_batch(path: str | os.PathLike) -> SketchBatch:
     """Read (eagerly, with full digest verification) a stored batch."""
     with open(path, "rb") as handle:
         return batch_from_bytes(handle.read())
+
+
+# -- streaming (disk-to-disk maintenance) --------------------------------------
+
+#: Default rows per streamed block: 8192 rows of a k=256 f8 sketch is
+#: 16 MiB — big enough to amortise syscalls and BLAS/hashing setup,
+#: small enough that maintenance peak RSS is shard-size independent.
+DEFAULT_BLOCK_ROWS = 8192
+
+
+def iter_batch_rows(info: BatchInfo, block_rows: int = DEFAULT_BLOCK_ROWS, *,
+                    verify: bool = True):
+    """Stream a stored batch's raw storage codes in bounded row blocks.
+
+    Yields C-contiguous ``(<= block_rows, output_dim)`` arrays in the
+    *storage* dtype (no decode, no float64 widening), read with plain
+    buffered I/O rather than ``mmap`` so peak RSS is genuinely bounded
+    by one block — the foundation the store's disk-to-disk
+    ``compact``/``merge`` path is built on.  The recorded values digest
+    accumulates across blocks and is verified once the stream is
+    exhausted (``verify=False`` skips it); a partially consumed
+    generator verifies nothing.  Callers that write the blocks
+    somewhere permanent must therefore finish the stream *before*
+    publishing the result — the maintenance layer streams into a
+    staging directory precisely so a corrupt source aborts the whole
+    rewrite instead of publishing half of it.
+
+    Format-1 blobs stream as float64 rows but carry one digest over the
+    whole envelope, which a block reader cannot check incrementally —
+    use :func:`read_batch` when v1 corruption detection matters.
+    """
+    if info.path is None:
+        raise ValueError("this BatchInfo was parsed from bytes, not a file")
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    dtype = _VALUES_DTYPE if info.version == _V1 else info.storage_spec.dtype
+    row_nbytes = info.meta.output_dim * dtype.itemsize
+    digest = (
+        hashlib.sha256() if verify and info.values_sha256 is not None else None
+    )
+    with open(info.path, "rb") as stream:
+        stream.seek(info.values_offset)
+        remaining = info.n_rows
+        while remaining:
+            take = min(block_rows, remaining)
+            data = _read_exact(stream, take * row_nbytes, "values section")
+            if digest is not None:
+                digest.update(data)
+            yield np.frombuffer(data, dtype=dtype).reshape(
+                take, info.meta.output_dim
+            )
+            remaining -= take
+    if digest is not None and digest.hexdigest() != info.values_sha256:
+        raise SerializationError(
+            "payload digest mismatch: stored batch is corrupt "
+            f"(expected {info.values_sha256}, got {digest.hexdigest()})"
+        )
+
+
+class StreamingBatchWriter:
+    """Write a format-3 container incrementally, one row block at a time.
+
+    The v3 header *precedes* the values segment and records its SHA-256
+    digest, row count and decoded norm bounds — none of which a
+    streaming writer knows up front.  Blocks therefore stream into a
+    temporary sibling file (``<path>.values-tmp``) while the digest,
+    row count and norm bounds accumulate incrementally; :meth:`commit`
+    then writes the final container (prefix, header, alignment padding)
+    and splices the temp file in with a bounded-buffer copy.  Peak
+    memory is O(one block), never O(shard), and the committed file is
+    **byte-identical** to :func:`write_batch` given the same content —
+    partitioned mins/maxes and a chunked SHA-256 equal their one-shot
+    counterparts exactly.
+
+    ``template`` is a zero-row :class:`SketchBatch` carrying the shared
+    metadata.  :meth:`append` takes raw storage *codes* already encoded
+    for ``storage``/``scale`` (an int8 writer needs its scale fixed at
+    construction: per-shard scales are immutable once rows are
+    published, so re-encoding decides scales *before* opening a
+    writer).  Labels ride along per block; they accumulate in memory,
+    which is fine — labels are header metadata, small next to the
+    values, and the store's positional-elision rule passes ``()``
+    anyway.  Use as a context manager: an exception aborts and removes
+    the temp and any partial output file.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        template: SketchBatch,
+        *,
+        storage="f8",
+        scale: float | None = None,
+    ) -> None:
+        self._spec = StorageSpec.parse(storage)
+        if self._spec.quantised and scale is None:
+            raise ValueError(
+                "int8 streaming writes need their quantisation scale fixed "
+                "up front (per-shard scales are immutable once published)"
+            )
+        self._path = os.fspath(path)
+        self._tmp_path = self._path + ".values-tmp"
+        self._template = template
+        self._scale = scale
+        self._tmp = open(self._tmp_path, "wb")
+        self._digest = hashlib.sha256()
+        self._labels: list = []
+        self._min_sq = np.inf
+        self._max_sq = -np.inf
+        self.n_rows = 0
+        self.nbytes = 0
+        self._committed = False
+
+    def append(self, codes: np.ndarray, labels=()) -> None:
+        """Stream one block of raw storage codes (plus its labels)."""
+        codes = np.ascontiguousarray(codes, dtype=self._spec.dtype)
+        if codes.ndim != 2 or codes.shape[1] != self._template.output_dim:
+            raise ValueError(
+                f"block of shape {codes.shape} does not hold "
+                f"output_dim={self._template.output_dim} rows"
+            )
+        if labels and len(labels) != codes.shape[0]:
+            raise ValueError(
+                f"got {len(labels)} labels for a {codes.shape[0]}-row block"
+            )
+        data = codes.tobytes()
+        self._digest.update(data)
+        self._tmp.write(data)
+        decoded = np.asarray(self._spec.decode(codes, self._scale), dtype=np.float64)
+        if decoded.shape[0]:
+            norms = np.einsum("ij,ij->i", decoded, decoded)
+            self._min_sq = min(self._min_sq, float(norms.min()))
+            self._max_sq = max(self._max_sq, float(norms.max()))
+        self.n_rows += codes.shape[0]
+        self.nbytes += len(data)
+        self._labels.extend(labels)
+
+    def commit(self) -> None:
+        """Assemble the final container; the writer is spent afterwards."""
+        if self._committed:
+            raise ValueError(f"{self._path} was already committed")
+        self._tmp.close()
+        template = self._template
+        meta = {
+            "n_rows": self.n_rows,
+            "sq_norm_bounds": (
+                None if self.n_rows == 0 else [self._min_sq, self._max_sq]
+            ),
+            "input_dim": template.input_dim,
+            "output_dim": template.output_dim,
+            "perturbation": template.perturbation,
+            "noise_spec": template.noise_spec,
+            "noise_second_moment": template.noise_second_moment,
+            "epsilon": template.guarantee.epsilon,
+            "delta": template.guarantee.delta,
+            "config_digest": template.config_digest,
+            "labels": [encode_label(label) for label in self._labels],
+            "values_nbytes": self.nbytes,
+            "storage": self._spec.name,
+            "scale": self._scale,
+        }
+        header = dict(
+            meta,
+            meta_sha256=_meta_digest(meta),
+            values_sha256=self._digest.hexdigest(),
+        )
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        offset = _values_offset(len(header_bytes))
+        with open(self._path, "wb") as out:
+            out.write(MAGIC)
+            out.write(FORMAT_VERSION.to_bytes(2, "big"))
+            out.write(len(header_bytes).to_bytes(4, "big"))
+            out.write(header_bytes)
+            out.write(b"\0" * (offset - _PREFIX_LEN - len(header_bytes)))
+            with open(self._tmp_path, "rb") as values:
+                shutil.copyfileobj(values, out, 1 << 20)
+        os.remove(self._tmp_path)
+        self._committed = True
+
+    def abort(self) -> None:
+        """Remove the temp file and any partial output (idempotent)."""
+        if not self._tmp.closed:
+            self._tmp.close()
+        if not self._committed:
+            for leftover in (self._tmp_path, self._path):
+                try:
+                    os.remove(leftover)
+                except FileNotFoundError:
+                    pass
+
+    def __enter__(self) -> "StreamingBatchWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None or not self._committed:
+            self.abort()
+
+
+def write_batch_streaming(
+    path: str | os.PathLike,
+    blocks,
+    template: SketchBatch,
+    *,
+    storage="f8",
+    scale: float | None = None,
+    labels=(),
+) -> None:
+    """Write an iterable of raw code blocks as one v3 batch container.
+
+    The convenience wrapper over :class:`StreamingBatchWriter`:
+    ``labels`` (when given) is the *full* label tuple, sliced per block
+    as the stream advances, and must match the total row count.  Byte
+    identical to :func:`write_batch` for the same content, with peak
+    memory bounded by one block.
+    """
+    with StreamingBatchWriter(
+        path, template, storage=storage, scale=scale
+    ) as writer:
+        offset = 0
+        for block in blocks:
+            block = np.asarray(block)
+            writer.append(
+                block, labels[offset : offset + block.shape[0]] if labels else ()
+            )
+            offset += block.shape[0]
+        if labels and offset != len(labels):
+            raise ValueError(f"got {len(labels)} labels for {offset} streamed rows")
+        writer.commit()

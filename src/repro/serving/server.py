@@ -14,8 +14,9 @@ Endpoints (all bodies are :mod:`repro.serving.wire` envelopes):
 =====================  =======================================================
 ``POST /query``        one query envelope in, one result envelope out
 ``POST /query-many``   a JSON array of query envelopes in, results out
-``GET /healthz``       liveness + store shape: rows, shards, config digest,
-                       worker pid, cache counters when caching is on
+``GET /healthz``       liveness + store shape: rows, live rows, shards,
+                       generation, tombstone count, config digest, worker
+                       pid, cache counters when caching is on
 ``GET /meta``          the store's public metadata header (no values)
 =====================  =======================================================
 
@@ -42,6 +43,11 @@ many as the machine has cores, no external load balancer required.
 ``--cache ENTRIES`` enables a per-worker LRU of result envelopes
 (:class:`~repro.serving.cache.ReleaseCache` — safe because releases
 are deterministic; see that module for the no-extra-budget argument).
+``--watch SECONDS`` makes every worker follow the store directory
+across maintenance: when :func:`~repro.serving.maintenance.compact_store`
+publishes a new generation, workers hot-swap it in without a restart
+(in-flight queries finish on the old snapshot, caches invalidate via
+the generation component of the store token).
 
 Run from the command line::
 
@@ -76,7 +82,7 @@ from repro.serving.cache import ReleaseCache
 from repro.serving.execution import ExecutionPolicy
 from repro.serving.queries import CrossQuery, PairwiseQuery, TopKQuery
 from repro.serving.service import DistanceService
-from repro.serving.store import ShardedSketchStore
+from repro.serving.store import ShardedSketchStore, read_manifest
 
 #: Default port; chosen out of the way of common dev servers.
 DEFAULT_PORT = 8790
@@ -312,10 +318,13 @@ class _QueryHandler(BaseHTTPRequestHandler):
         ``execute()`` is deterministic given the stored sketches (see
         :mod:`repro.serving.cache` for why replaying a release costs no
         privacy budget), and the token — row count, config digest,
-        storage — changes on any append, so a hit is always the
-        byte-identical envelope a fresh execution would produce.  The
-        token is re-checked after computing: a result that raced a
-        concurrent append is simply not cached.
+        storage, generation, tombstone count — changes on any append,
+        delete or generation swap, so a hit is always the byte-identical
+        envelope a fresh execution would produce.  (Tombstones only grow
+        within a generation and ``compact()`` clears them while bumping
+        the generation, so the tuple never repeats across maintenance.)
+        The token is re-checked after computing: a result that raced a
+        concurrent append or a live swap is simply not cached.
         """
         cache = self.cache
         token = self._store_token() if cache is not None else None
@@ -339,6 +348,8 @@ class _QueryHandler(BaseHTTPRequestHandler):
             len(store),
             None if meta is None else meta.config_digest,
             store.storage.name,
+            store.generation,
+            len(store.tombstones),
         )
 
     def do_GET(self) -> None:
@@ -370,8 +381,11 @@ class _QueryHandler(BaseHTTPRequestHandler):
             payload = {
                 "status": "ok",
                 "rows": len(store),
+                "live_rows": store.live_row_count,
                 "shards": store.n_shards,
                 "storage": store.storage.name,
+                "generation": store.generation,
+                "tombstones": len(store.tombstones),
                 "config_digest": (
                     None if store.metadata is None else store.metadata.config_digest
                 ),
@@ -437,6 +451,22 @@ class SketchQueryServer:
     ``cache`` enables the LRU result-envelope cache: pass a
     :class:`~repro.serving.cache.ReleaseCache` or an entry count.
 
+    **Live generation swap.**  A server constructed over a store
+    *directory* (``from_store_dir``, or ``store_path=`` here) can follow
+    that directory across maintenance: ``watch_interval=SECONDS`` polls
+    the manifest on a daemon thread and, whenever its identity — the
+    generation counter bumped by :func:`~repro.serving.maintenance.compact_store`,
+    plus rows/shards/storage/tombstones — changes, loads the new
+    generation and swaps it into the running service without a restart.
+    In-flight queries finish on the snapshot they already took (the
+    store-swap contract in :mod:`repro.serving.service`); the next
+    request sees the new generation, and the result cache invalidates
+    itself because the store token carries the generation.  A failed
+    reload (e.g. a manifest read racing a publish) never takes the
+    server down: the old store keeps serving and the error is parked in
+    :attr:`watch_error` until a later poll succeeds.  Call
+    :meth:`reload_if_changed` to force one synchronous check.
+
     Use :meth:`start` for a background thread (then :meth:`close`), or
     :meth:`serve_forever` to block the calling thread (the CLI path).
     Context-manager use starts on enter and closes on exit.
@@ -450,8 +480,31 @@ class SketchQueryServer:
         *,
         reuse_port: bool = False,
         cache: ReleaseCache | int | None = None,
+        store_path=None,
+        mmap: bool = True,
+        watch_interval: float | None = None,
     ) -> None:
         self.service = service
+        if watch_interval is not None and watch_interval <= 0:
+            raise ValueError(f"watch_interval must be positive, got {watch_interval}")
+        if watch_interval is not None and store_path is None:
+            raise ValueError(
+                "watch_interval needs a store directory to watch — construct "
+                "the server via from_store_dir() or pass store_path="
+            )
+        self._store_path = store_path
+        self._mmap = mmap
+        self._watch_interval = watch_interval
+        self._watch_stop = threading.Event()
+        self._watch_thread: threading.Thread | None = None
+        self._watch_state = (
+            self._manifest_state() if store_path is not None else None
+        )
+        #: last exception a watch poll hit, or None; the server keeps
+        #: serving the old generation while this is set
+        self.watch_error: Exception | None = None
+        #: how many times the watcher swapped a new generation in
+        self.swaps = 0
         if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
             raise ValueError(
                 "reuse_port=True needs SO_REUSEPORT, which this platform "
@@ -487,11 +540,15 @@ class SketchQueryServer:
         policy: ExecutionPolicy | None = None,
         reuse_port: bool = False,
         cache: ReleaseCache | int | None = None,
+        watch_interval: float | None = None,
     ) -> "SketchQueryServer":
         """Serve a directory saved by :meth:`ShardedSketchStore.save`.
 
         ``mmap=True`` (default) attaches shards lazily, so multiple
         server processes over one directory share the OS page cache.
+        ``watch_interval=SECONDS`` keeps following the directory across
+        maintenance: new generations are hot-swapped in without a
+        restart (see the class docstring).
         """
         store = ShardedSketchStore.load(path, mmap=mmap)
         return cls(
@@ -500,7 +557,61 @@ class SketchQueryServer:
             port=port,
             reuse_port=reuse_port,
             cache=cache,
+            store_path=path,
+            mmap=mmap,
+            watch_interval=watch_interval,
         )
+
+    # -- manifest watching / live swap ---------------------------------------
+
+    def _manifest_state(self) -> tuple:
+        """The store directory's identity, as cheap-to-read manifest facts.
+
+        Any maintenance step changes at least one component: ``delete``
+        + re-save grows the tombstone list, ``compact_store`` bumps the
+        generation (and re-points ``shards_dir``), a tier demotion
+        changes ``storage``, appends change ``n_rows``.  Reading the
+        manifest is one small JSON file — cheap enough to poll.
+        """
+        manifest = read_manifest(self._store_path)
+        return (
+            int(manifest.get("generation", 0)),
+            manifest["n_rows"],
+            manifest["n_shards"],
+            manifest.get("storage", "f8"),
+            manifest.get("shards_dir", ""),
+            tuple(manifest.get("tombstones", ())),
+        )
+
+    def reload_if_changed(self) -> bool:
+        """Poll the manifest once; swap the new generation in if it moved.
+
+        Returns True when a swap happened.  The old store object is
+        released to garbage collection only — queries that already
+        snapshotted it finish on its (still-mapped) shards, exactly the
+        snapshot isolation :meth:`ShardedSketchStore.snapshot` promises.
+        """
+        if self._store_path is None:
+            raise ValueError("this server was not given a store directory to watch")
+        state = self._manifest_state()
+        if state == self._watch_state:
+            return False
+        store = ShardedSketchStore.load(self._store_path, mmap=self._mmap)
+        self.service.swap_store(store)
+        self._watch_state = state
+        self.swaps += 1
+        return True
+
+    def _watch_loop(self) -> None:
+        while not self._watch_stop.wait(self._watch_interval):
+            try:
+                self.reload_if_changed()
+                self.watch_error = None
+            except Exception as exc:  # noqa: BLE001 - keep serving the old gen
+                # a poll racing a publish (or a half-written manifest from
+                # a crashed compactor) must not kill serving: park the
+                # error for operators and try again next interval
+                self.watch_error = exc
 
     @property
     def host(self) -> str:
@@ -516,6 +627,14 @@ class SketchQueryServer:
         """A connectable URL: wildcard binds advertise loopback, IPv6 brackets."""
         return f"http://{_format_host(self.host)}:{self.port}"
 
+    def _start_watcher(self) -> None:
+        if self._watch_interval is not None and self._watch_thread is None:
+            self._watch_stop.clear()
+            self._watch_thread = threading.Thread(
+                target=self._watch_loop, name="repro-store-watcher", daemon=True
+            )
+            self._watch_thread.start()
+
     def start(self) -> "SketchQueryServer":
         """Serve on a daemon thread; returns ``self`` for chaining."""
         if self._thread is None:
@@ -524,11 +643,13 @@ class SketchQueryServer:
                 target=self._httpd.serve_forever, name="repro-query-server", daemon=True
             )
             self._thread.start()
+        self._start_watcher()
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted (the CLI path)."""
         self._serving = True
+        self._start_watcher()
         try:
             self._httpd.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive path
@@ -543,6 +664,10 @@ class SketchQueryServer:
         blocks on an event only a ``serve_forever`` loop ever sets, so
         it is skipped unless a loop was launched.
         """
+        if self._watch_thread is not None:
+            self._watch_stop.set()
+            self._watch_thread.join()
+            self._watch_thread = None
         if self._serving:
             self._httpd.shutdown()
             self._serving = False
@@ -562,7 +687,9 @@ class SketchQueryServer:
 # -- the multi-process launcher ------------------------------------------------
 
 
-def _serve_worker(store, host, port, mmap, workers, cache_entries, ready) -> None:
+def _serve_worker(
+    store, host, port, mmap, workers, cache_entries, watch, ready
+) -> None:
     """One ``--processes`` worker: bind the shared port, signal, serve."""
     policy = None
     if workers is not None:
@@ -575,6 +702,7 @@ def _serve_worker(store, host, port, mmap, workers, cache_entries, ready) -> Non
         policy=policy,
         reuse_port=True,
         cache=cache_entries,
+        watch_interval=watch or None,
     )
     ready.put(os.getpid())
     server.serve_forever()
@@ -613,6 +741,7 @@ def _serve_multiprocess(args, policy_display: str) -> None:
                 not args.eager,
                 args.workers,
                 args.cache,
+                args.watch,
                 ready,
             ),
             name=f"repro-query-worker-{i}",
@@ -694,11 +823,22 @@ def main(argv=None) -> None:
         action="store_true",
         help="read shards into RAM up front instead of memory-mapping lazily",
     )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="poll the store manifest every SECONDS and hot-swap new "
+        "generations in without a restart (0 disables; in-flight queries "
+        "finish on the snapshot they started with)",
+    )
     args = parser.parse_args(argv)
     if args.processes < 1:
         parser.error(f"--processes must be >= 1, got {args.processes}")
     if args.cache < 0:
         parser.error(f"--cache must be >= 0, got {args.cache}")
+    if args.watch < 0:
+        parser.error(f"--watch must be >= 0, got {args.watch}")
     # layer the flag over the environment policy so REPRO_SERVING_PREFILTER
     # keeps working (and keeps failing loudly on garbage) alongside --workers
     policy = None
@@ -715,6 +855,7 @@ def main(argv=None) -> None:
         mmap=not args.eager,
         policy=policy,
         cache=args.cache,
+        watch_interval=args.watch or None,
     )
     store = server.service.store
     # the URL line is machine-readable: launchers (and the smoke test)

@@ -41,6 +41,23 @@ Three mechanisms keep large stores fast:
   appending (the store-level concurrency contract: one writer at a
   time, any number of readers).
 
+Two maintenance-facing contracts ride on the same snapshot discipline:
+
+* **Tombstones** — rows the store has
+  :meth:`~repro.serving.store.ShardedSketchStore.delete`-d are invisible
+  to every query kind.  Distance blocks are still computed over the
+  full shard and the dead entries discarded afterwards, so the
+  surviving rows' estimates are *bit-identical* to what they were
+  before the deletion — and to what they will be after compaction
+  physically drops the tombstones.  Matrix-shaped payloads (cross,
+  pairwise, norms) cover live rows only, in store order, exactly the
+  shape a compacted store would serve.
+* **Live store swap** — every handler reads ``self.store`` exactly
+  once, up front; :meth:`DistanceService.swap_store` can therefore
+  replace the store mid-flight (e.g. when maintenance publishes a new
+  generation) and a query that already started simply finishes on the
+  snapshot of the store it began with.
+
 Empty-store behaviour is uniform across every query kind: a store that
 has *never* seen a release has no pinned metadata to validate against,
 so ``execute`` raises ``ValueError``; a store that is empty but carries
@@ -79,7 +96,7 @@ import numpy as np
 
 from repro.core import estimators
 from repro.core.sketch import SketchBatch
-from repro.serving.execution import ExecutionPolicy, run_ordered
+from repro.serving.execution import ExecutionPolicy, pin_blas_threads, run_ordered
 from repro.theory.quantisation import accumulation_gamma
 from repro.serving.queries import (
     CrossQuery,
@@ -207,10 +224,14 @@ def _deprecated(old: str, replacement: str) -> None:
 
 
 def _shard_stats(views: list[ShardView], scanned_mask: list[bool]) -> QueryStats:
-    """Stats for a per-shard scan; ``scanned_mask[i]`` is False when pruned."""
-    rows_total = sum(view.size for view in views)
+    """Stats for a per-shard scan; ``scanned_mask[i]`` is False when pruned.
+
+    Row counts are *live* rows — tombstoned rows are not served, so they
+    are not reported, matching what a compacted store would say.
+    """
+    rows_total = sum(view.live_size for view in views)
     rows_scanned = sum(
-        view.size for view, scanned in zip(views, scanned_mask) if scanned
+        view.live_size for view, scanned in zip(views, scanned_mask) if scanned
     )
     visited = sum(scanned_mask)
     return QueryStats(
@@ -284,6 +305,25 @@ class DistanceService:
         if pool is not None:
             pool.shutdown(wait=True)
 
+    def swap_store(self, store: ShardedSketchStore) -> ShardedSketchStore:
+        """Atomically switch to ``store``; returns the one it replaces.
+
+        The live-swap seam: when maintenance publishes a new store
+        generation, the server reloads it and swaps it in here without
+        interrupting traffic.  Every handler binds ``self.store`` once,
+        up front, so a query in flight finishes — consistently — on the
+        snapshot of the store it started with, and the next query sees
+        the replacement; nothing is ever half-and-half.  The new store
+        must be compatible with the old (same public configuration):
+        swapping in a store from a different configuration would change
+        answers silently, so it is rejected.
+        """
+        old = self.store
+        if old.metadata is not None and store.metadata is not None:
+            estimators.check_compatible(old.metadata, store.metadata)
+        self.store = store
+        return old
+
     def __enter__(self) -> "DistanceService":
         return self
 
@@ -295,6 +335,11 @@ class DistanceService:
     def _executor(self) -> ThreadPoolExecutor:
         with self._pool_lock:
             if self._pool is None:
+                # a parallel pool over a multi-threaded BLAS runs
+                # workers × cores compute threads; pin BLAS to one
+                # thread (REPRO_SERVING_BLAS_THREADS overrides) so the
+                # pool is the only parallelism lever
+                pin_blas_threads()
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.policy.workers,
                     thread_name_prefix="repro-serving",
@@ -315,32 +360,39 @@ class DistanceService:
         )
         return run_ordered(fn, views, executor=pool)
 
-    def _query_rows(self, query) -> np.ndarray:
+    @staticmethod
+    def _query_rows(query, store: ShardedSketchStore) -> np.ndarray:
         """Validate a query release against the store, as an ``(m, k)`` matrix.
 
         Validation runs against the pinned metadata whenever any release
         has ever been added — including when the store currently holds
         zero rows — so an incompatible query is always rejected.  Only a
         store that has never seen a release cannot validate anything.
+        (``store`` is the handler's once-bound store, not ``self.store``
+        — the live-swap contract.)
         """
-        meta = self.store.metadata
+        meta = store.metadata
         if meta is None:
             raise ValueError("the index is empty")
         estimators.check_compatible(meta, query)
         values = np.asarray(query.values, dtype=np.float64)
         return values[np.newaxis, :] if values.ndim == 1 else values
 
-    def _correction(self) -> float:
-        return estimators.sq_distance_correction(self.store.metadata)
+    @staticmethod
+    def _correction(store: ShardedSketchStore) -> float:
+        return estimators.sq_distance_correction(store.metadata)
 
-    def _scan_gamma(self) -> float:
+    def _scan_gamma(self, store: ShardedSketchStore | None = None) -> float:
         """The store's GEMM accumulation envelope for prefilter slack.
 
         Zero for float64 stores (the historical slack already covers
         float64 rounding); the float32 ``gamma_k`` otherwise, so the
-        prefilter stays exact over quantised shards.
+        prefilter stays exact over quantised shards.  Handlers pass
+        their once-bound store; ``None`` reads ``self.store`` (kept for
+        external callers, e.g. the property suite).
         """
-        return accumulation_gamma(self.store.storage, self.store.metadata.output_dim)
+        store = self.store if store is None else store
+        return accumulation_gamma(store.storage, store.metadata.output_dim)
 
     # -- the one entry point -------------------------------------------------
 
@@ -383,16 +435,17 @@ class DistanceService:
     # -- per-kind executors --------------------------------------------------
 
     def _execute_top_k(self, query: TopKQuery) -> tuple[list, QueryStats]:
+        store = self.store  # bound once: a swap mid-query is invisible
         k = query.k
-        rows = self._query_rows(query.queries)
-        views = self.store.snapshot()
+        rows = self._query_rows(query.queries, store)
+        views = [v for v in store.snapshot() if v.live_size]
         n_queries = rows.shape[0]
         if not views:
             return [[] for _ in range(n_queries)], QueryStats()
         sq_rows = np.einsum("ij,ij->i", rows, rows)
         query_norms = np.sqrt(sq_rows)
-        correction = self._correction()
-        gamma = self._scan_gamma()
+        correction = self._correction(store)
+        gamma = self._scan_gamma(store)
         running = _RunningBest(n_queries, k) if self.policy.prefilter else None
 
         def scan(view: ShardView):
@@ -400,14 +453,20 @@ class DistanceService:
                 _shard_lower_bounds(view, sq_rows, query_norms, correction, gamma)
             ):
                 return None
+            # the block covers every physical row — dead entries are
+            # dropped after the fact, keeping survivors bit-identical
             block = estimators.cross_sq_distances_from_parts(
                 rows, sq_rows, view.values, view.sq_norms, correction
             )
+            live = None if view.dead is None else view.live_local()
             winners_idx, winners_est = [], []
             for q in range(n_queries):
-                winners = stable_smallest_k(block[q], k)
-                winners_idx.append(winners + view.start)
-                winners_est.append(block[q][winners])
+                estimates = block[q] if live is None else block[q][live]
+                winners = stable_smallest_k(estimates, k)
+                winners_idx.append(
+                    (winners if live is None else live[winners]) + view.start
+                )
+                winners_est.append(estimates[winners])
             if running is not None:
                 running.update(winners_est)
             return winners_idx, winners_est
@@ -426,7 +485,7 @@ class DistanceService:
             results.append(
                 [
                     (
-                        self.store.label(int(idx[i])),
+                        store.label(int(idx[i])),
                         estimators.clamp_sq_estimates(float(est[i])),
                     )
                     for i in order
@@ -435,17 +494,18 @@ class DistanceService:
         return results, _shard_stats(views, [c is not None for c in per_shard])
 
     def _execute_radius(self, query: RadiusQuery) -> tuple[list, QueryStats]:
+        store = self.store  # bound once: a swap mid-query is invisible
         radius_sq = query.radius_sq
-        rows = self._query_rows(query.query)
+        rows = self._query_rows(query.query, store)
         if rows.shape[0] != 1:
             raise ValueError("radius queries take a single sketch")
-        views = self.store.snapshot()
+        views = [v for v in store.snapshot() if v.live_size]
         if not views:
             return [], QueryStats()
         sq_rows = np.einsum("ij,ij->i", rows, rows)
         query_norms = np.sqrt(sq_rows)
-        correction = self._correction()
-        gamma = self._scan_gamma()
+        correction = self._correction(store)
+        gamma = self._scan_gamma(store)
         prefilter = self.policy.prefilter
 
         def scan(view: ShardView):
@@ -458,6 +518,11 @@ class DistanceService:
             block = estimators.cross_sq_distances_from_parts(
                 rows, sq_rows, view.values, view.sq_norms, correction
             )[0]
+            if view.dead is not None:
+                live = view.live_local()
+                block = block[live]
+                hits = np.flatnonzero(block <= radius_sq)
+                return live[hits] + view.start, block[hits]
             hits = np.flatnonzero(block <= radius_sq)
             return hits + view.start, block[hits]
 
@@ -471,7 +536,7 @@ class DistanceService:
         order = np.lexsort((idx, est))
         payload = [
             (
-                self.store.label(int(idx[i])),
+                store.label(int(idx[i])),
                 estimators.clamp_sq_estimates(float(est[i])),
             )
             for i in order
@@ -479,42 +544,56 @@ class DistanceService:
         return payload, stats
 
     def _execute_cross(self, query: CrossQuery) -> tuple[np.ndarray, QueryStats]:
-        rows = self._query_rows(query.queries)
-        views = self.store.snapshot()
-        total = views[-1].start + views[-1].size if views else 0
+        store = self.store  # bound once: a swap mid-query is invisible
+        rows = self._query_rows(query.queries, store)
+        views = [v for v in store.snapshot() if v.live_size]
         sq_rows = np.einsum("ij,ij->i", rows, rows)
-        correction = self._correction()
-        out = np.empty((rows.shape[0], total))
+        correction = self._correction(store)
+        # columns cover live rows only, in store order — the exact matrix
+        # a compacted (tombstone-free) store would serve
+        offsets = np.concatenate(
+            ([0], np.cumsum([view.live_size for view in views]))
+        ).astype(np.intp)
+        out = np.empty((rows.shape[0], int(offsets[-1])))
 
-        def scan(view: ShardView):
-            out[:, view.start : view.start + view.size] = (
-                estimators.cross_sq_distances_from_parts(
-                    rows, sq_rows, view.values, view.sq_norms, correction
-                )
+        def scan(item):
+            view, offset = item
+            block = estimators.cross_sq_distances_from_parts(
+                rows, sq_rows, view.values, view.sq_norms, correction
             )
+            if view.dead is not None:
+                block = block[:, view.live_local()]
+            out[:, offset : offset + view.live_size] = block
 
-        self._run_ordered(scan, views)
+        self._run_ordered(scan, list(zip(views, offsets)))
         return out, _shard_stats(views, [True] * len(views))
 
     def _execute_pairwise(self, query: PairwiseQuery) -> tuple[np.ndarray, QueryStats]:
-        if self.store.metadata is None:
+        store = self.store  # bound once: a swap mid-query is invisible
+        if store.metadata is None:
             raise ValueError("the index is empty")
-        views = self.store.snapshot()
-        n = views[-1].start + views[-1].size if views else 0
+        views = [v for v in store.snapshot() if v.live_size]
+        # indices address the *live* row sequence — the numbering a
+        # compacted store would have, so answers survive maintenance
+        n = sum(view.live_size for view in views)
         indices = np.asarray(query.indices, dtype=np.int64)
         if indices.size and (indices.min() < -n or indices.max() >= n):
             raise IndexError(f"indices out of range for store of {n} rows")
         if indices.size:
             indices = indices % n
-        bounds = np.cumsum([0] + [view.size for view in views])
+        bounds = np.cumsum([0] + [view.live_size for view in views])
         shard_ids = np.searchsorted(bounds, indices, side="right") - 1
         local = indices - bounds[shard_ids]
-        gathered = np.empty((indices.size, self.store.metadata.output_dim))
+        gathered = np.empty((indices.size, store.metadata.output_dim))
         touched = np.unique(shard_ids)
         for shard in touched:
+            view = views[int(shard)]
             mask = shard_ids == shard
-            gathered[mask] = views[int(shard)].values[local[mask]]
-        subset = dataclasses.replace(self.store.metadata, values=gathered, labels=())
+            rows = local[mask]
+            if view.dead is not None:
+                rows = view.live_local()[rows]
+            gathered[mask] = view.values[rows]
+        subset = dataclasses.replace(store.metadata, values=gathered, labels=())
         # shards the gather never touches count as pruned (skipped without
         # a read — on an mmap store their files stay cold), preserving the
         # visited + pruned == snapshot-shards invariant of QueryStats
@@ -527,14 +606,25 @@ class DistanceService:
         return estimators.pairwise_sq_distances(subset), stats
 
     def _execute_norms(self, query: NormsQuery) -> tuple[np.ndarray, QueryStats]:
-        meta = self.store.metadata
+        store = self.store  # bound once: a swap mid-query is invisible
+        meta = store.metadata
         if meta is None:
             raise ValueError("the index is empty")
-        views = self.store.snapshot()
+        views = [v for v in store.snapshot() if v.live_size]
         correction = estimators.sq_norm_correction(meta)
         if not views:
             return np.empty(0), QueryStats()
-        norms = np.concatenate([view.sq_norms for view in views]) - correction
+        norms = (
+            np.concatenate(
+                [
+                    view.sq_norms
+                    if view.dead is None
+                    else view.sq_norms[view.live_local()]
+                    for view in views
+                ]
+            )
+            - correction
+        )
         return norms, _shard_stats(views, [True] * len(views))
 
     # -- deprecated method-per-query shims -----------------------------------

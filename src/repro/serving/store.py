@@ -42,6 +42,27 @@ the shard, whole shards the prefilter skips are never read, and pages
 the OS maps in can be evicted again — stores larger than RAM stay
 queryable.
 
+Maintenance is LSM-style.  Published rows are immutable, so deletion is
+*tombstoned*: :meth:`ShardedSketchStore.delete` marks rows by label,
+tombstoned rows are skipped by every query and by :meth:`merge`, and
+they are physically dropped (rows *and* labels) when :meth:`compact`
+rewrites the shards.  **DP semantics of deletion** (documented once,
+here): deleting a release never refunds privacy budget.  The noise was
+sampled and the sketch *published* when the row was released — removing
+it from this store afterwards is post-processing of an already-spent
+budget, the same argument that makes result caching free
+(:mod:`repro.serving.cache`), so the accountant's spend is deliberately
+never decremented.  A tombstone is an availability control, not a
+privacy rewind: anyone who saw the published sketch still holds it.
+
+Every manifest carries a **generation** counter that maintenance bumps
+each time it rewrites the shard layout.  The disk-to-disk path
+(:func:`repro.serving.maintenance.compact_store`) streams generation
+``N+1`` into a sibling ``gen-NNNNN`` directory in bounded row blocks
+(:meth:`ShardView.iter_codes` — peak memory is O(block), not O(store))
+and atomically replaces the manifest, so a long-running server can
+watch the manifest and hot-swap to the new layout without a restart.
+
 Concurrency contract (shared with :class:`~repro.serving.service.DistanceService`):
 one writer at a time; any number of concurrent readers, each of which
 sees a *consistent prefix* of the store as of its :meth:`snapshot`.
@@ -62,8 +83,10 @@ import numpy as np
 from repro.core import estimators
 from repro.core.sketch import PrivateSketch, SketchBatch
 from repro.serving.serialization import (
+    DEFAULT_BLOCK_ROWS,
     BatchInfo,
     SerializationError,
+    iter_batch_rows,
     map_values,
     read_batch_info,
     read_batch_raw,
@@ -229,6 +252,12 @@ class _Shard:
         view.flags.writeable = False
         return view
 
+    def iter_codes(self, block_rows: int = DEFAULT_BLOCK_ROWS):
+        """The filled rows as bounded blocks of raw codes (zero copy)."""
+        codes = self.codes
+        for start in range(0, self.size, block_rows):
+            yield codes[start : start + block_rows]
+
     @property
     def nbytes(self) -> int:
         """Bytes of stored values (filled rows only; norm and decode
@@ -314,6 +343,17 @@ class _MappedShard:
         """Raw storage values, memory-mapped (the save/compact path)."""
         return map_values(self._info)
 
+    def iter_codes(self, block_rows: int = DEFAULT_BLOCK_ROWS):
+        """Raw codes in bounded blocks via buffered reads, not ``mmap``.
+
+        The maintenance path: plain block-sized reads keep peak memory
+        *and address space* O(block) — a memory map would charge the
+        whole file against ``RLIMIT_AS`` at map time — and the stored
+        values digest is verified as the stream drains, so a corrupt
+        shard aborts a rewrite instead of propagating into it.
+        """
+        yield from iter_batch_rows(self._info, block_rows)
+
     @property
     def sq_norms(self) -> np.ndarray:
         if self._sq_norms is None:
@@ -341,14 +381,34 @@ class ShardView:
     rows frozen by the snapshot.  Values and norms are exposed lazily so
     that a view of a memory-mapped shard the prefilter skips never
     touches the file.
+
+    ``dead`` is the sorted array of *local* row indices tombstoned at
+    snapshot time (``None`` when the shard has none — the overwhelmingly
+    common case, kept allocation-free).  Values and norms still cover
+    every physical row: scanning the full block and discarding dead
+    entries afterwards is what keeps the surviving rows' estimates
+    bit-identical before and after the tombstones are physically
+    compacted away.
     """
 
-    __slots__ = ("start", "size", "_shard")
+    __slots__ = ("start", "size", "dead", "_shard")
 
-    def __init__(self, start: int, size: int, shard) -> None:
+    def __init__(self, start: int, size: int, shard, dead=None) -> None:
         self.start = start
         self.size = size
+        self.dead = dead
         self._shard = shard
+
+    @property
+    def live_size(self) -> int:
+        """Rows the snapshot actually serves (``size`` minus tombstones)."""
+        return self.size if self.dead is None else self.size - len(self.dead)
+
+    def live_local(self) -> np.ndarray:
+        """Sorted *local* indices of the view's untombstoned rows."""
+        if self.dead is None:
+            return np.arange(self.size, dtype=np.intp)
+        return np.delete(np.arange(self.size, dtype=np.intp), self.dead)
 
     @property
     def values(self) -> np.ndarray:
@@ -358,6 +418,23 @@ class ShardView:
     def codes(self) -> np.ndarray:
         """The view's rows in raw storage form (no decode; save path)."""
         return self._shard.codes[: self.size]
+
+    def iter_codes(self, block_rows: int = DEFAULT_BLOCK_ROWS):
+        """The view's raw codes in bounded row blocks (tombstones included).
+
+        In-memory shards yield zero-copy buffer slices; memory-mapped
+        shards stream block-sized buffered reads so a disk-to-disk
+        rewrite never holds (or even maps) more than one block.  Blocks
+        cover every physical row of the view — callers dropping
+        tombstones filter against :attr:`dead` as they go.
+        """
+        remaining = self.size
+        for block in self._shard.iter_codes(block_rows):
+            if remaining <= 0:
+                return
+            take = min(block.shape[0], remaining)
+            yield block[:take]
+            remaining -= take
 
     @property
     def storage(self) -> StorageSpec:
@@ -426,6 +503,10 @@ class ShardedSketchStore:
         self._shards: list = []
         self._labels: list[object] = []
         self._template: SketchBatch | None = None  # zero-row metadata carrier
+        self._tombstones: set[int] = set()  # global row indices, see delete()
+        #: Bumped every time maintenance rewrites the shard layout;
+        #: persisted in the manifest so servers can watch for swaps.
+        self.generation: int = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -468,6 +549,9 @@ class ShardedSketchStore:
         """
         return {
             "rows": len(self),
+            "live_rows": self.live_row_count,
+            "tombstones": len(self._tombstones),
+            "generation": self.generation,
             "shards": self.n_shards,
             "shard_capacity": self.shard_capacity,
             "storage": self.storage.name,
@@ -577,10 +661,23 @@ class ShardedSketchStore:
         """
         views = []
         start = 0
+        dead_global = (
+            np.fromiter(sorted(self._tombstones), dtype=np.intp)
+            if self._tombstones
+            else None
+        )
         for shard in list(self._shards):
             size = shard.size
             if size:
-                views.append(ShardView(start, size, shard))
+                dead = None
+                if dead_global is not None:
+                    lo, hi = np.searchsorted(dead_global, (start, start + size))
+                    if hi > lo:
+                        dead = dead_global[lo:hi] - start
+                # fully tombstoned views stay in the snapshot (persistence
+                # relies on views tiling the physical layout); queries skip
+                # them by their zero live_size without touching the shard
+                views.append(ShardView(start, size, shard, dead=dead))
             start += size
         return views
 
@@ -604,6 +701,57 @@ class ShardedSketchStore:
         )
         return _with_values(self._template, values, tuple(self._labels))
 
+    # -- deletion ------------------------------------------------------------
+
+    @property
+    def tombstones(self) -> tuple[int, ...]:
+        """Sorted global row indices marked deleted (empty when none)."""
+        return tuple(sorted(self._tombstones))
+
+    @property
+    def live_row_count(self) -> int:
+        """Rows queries actually serve: ``len(self)`` minus tombstones."""
+        return len(self) - len(self._tombstones)
+
+    def delete(self, labels) -> int:
+        """Tombstone every row whose label is in ``labels``; count new ones.
+
+        Rows are never mutated in place — published rows are immutable,
+        and the snapshot contract depends on it — so deletion marks the
+        rows' global indices as tombstones instead.  Tombstoned rows are
+        skipped by every query and by :meth:`merge`, persist through
+        :meth:`save`/:meth:`load` (the manifest records them), and are
+        physically dropped, labels included, when :meth:`compact` or
+        :func:`repro.serving.maintenance.compact_store` next rewrites
+        the shards.  Deleting an already tombstoned row is a no-op; the
+        return value counts rows *newly* tombstoned.  Unknown labels
+        raise ``KeyError`` naming them — a deployment deleting a label
+        that was never stored (or already compacted away) should find
+        out, not silently succeed.
+
+        Deletion does **not** refund privacy budget — see the module
+        docstring for the DP semantics (post-processing of an
+        already-spent budget; the accountant is never decremented).
+        """
+        if isinstance(labels, (str, bytes)) or not hasattr(labels, "__iter__"):
+            labels = (labels,)  # one label, not an iterable of them
+        wanted = set(labels)
+        if not wanted:
+            return 0
+        matches: dict[object, list[int]] = {}
+        for i, label in enumerate(self._labels):
+            if label in wanted:
+                matches.setdefault(label, []).append(i)
+        missing = wanted - matches.keys()
+        if missing:
+            raise KeyError(
+                f"labels not in this store: {sorted(missing, key=repr)!r}"
+            )
+        rows = {i for positions in matches.values() for i in positions}
+        added = rows - self._tombstones
+        self._tombstones |= added
+        return len(added)
+
     # -- maintenance ---------------------------------------------------------
 
     def compact(self, storage: StorageSpec | str | None = None) -> "ShardedSketchStore":
@@ -624,13 +772,43 @@ class ShardedSketchStore:
         are unchanged); changing precision, or repacking ``int8``
         shards (whose per-shard scales are re-derived), re-rounds the
         rows within the documented envelope.
+
+        Tombstoned rows are physically dropped here, labels included
+        (their budget stays spent — see the module docstring), and the
+        store's :attr:`generation` is bumped.  Rows stream through in
+        bounded blocks — on an mmap-loaded store nothing larger than a
+        block is ever read at once, so compacting a store bigger than
+        RAM is fine.  For a disk-to-disk rewrite that never loads the
+        store at all, use
+        :func:`repro.serving.maintenance.compact_store`.
         """
         if storage is not None:
             self.storage = StorageSpec.parse(storage)
-        old = self._shards
+        views = self.snapshot()
+        old_labels = self._labels
         self._shards = []
-        for shard in old:
-            self._fill(np.asarray(shard.values, dtype=np.float64))
+        self._labels = []
+        self._tombstones = set()
+        self.generation += 1
+        for view in views:
+            labels = old_labels[view.start : view.start + view.size]
+            if view.dead is not None:
+                keep = np.delete(np.arange(view.size), view.dead)
+                labels = [labels[i] for i in keep]
+            self._labels.extend(labels)
+            offset = 0
+            for block in view.iter_codes():
+                n = block.shape[0]
+                if view.dead is not None:
+                    block = _drop_dead(block, offset, view.dead)
+                offset += n
+                if block.shape[0]:
+                    self._fill(
+                        np.asarray(
+                            view.storage.decode(block, view.scale),
+                            dtype=np.float64,
+                        )
+                    )
         return self
 
     @classmethod
@@ -648,10 +826,15 @@ class ShardedSketchStore:
         rule) **and one storage spec** — mixing precisions would
         silently blend error envelopes, so it is rejected with the
         specs named; pass ``storage=...`` explicitly to re-encode
-        everything into one spec instead.  Empty stores are skipped.
-        Combine with ``load(path, mmap=True)`` and :meth:`save` to fuse
-        on-disk stores: shard pages stream through the memory maps as
-        they are copied into the merged shards.
+        everything into one spec instead.  Empty stores are skipped,
+        and tombstoned rows are dropped on the way through (the merged
+        store starts with a clean tombstone set; budgets stay spent —
+        see the module docstring).  Rows stream through in bounded
+        blocks: merging mmap-loaded stores reads nothing larger than
+        one block at a time, so on-disk stores far bigger than RAM
+        fuse fine (see also
+        :func:`repro.serving.maintenance.merge_stores` for the
+        directory-to-directory form).
         """
         if not stores:
             raise ValueError("merge needs at least one store")
@@ -677,11 +860,25 @@ class ShardedSketchStore:
                 merged._template = store._template
             else:
                 estimators.check_compatible(merged._template, store._template)
-            views = store.snapshot()
-            n_rows = sum(view.size for view in views)
-            merged._labels.extend(store._labels[:n_rows])
-            for view in views:
-                merged._fill(np.asarray(view.values, dtype=np.float64))
+            for view in store.snapshot():
+                labels = store._labels[view.start : view.start + view.size]
+                if view.dead is not None:
+                    keep = np.delete(np.arange(view.size), view.dead)
+                    labels = [labels[i] for i in keep]
+                merged._labels.extend(labels)
+                offset = 0
+                for block in view.iter_codes():
+                    n = block.shape[0]
+                    if view.dead is not None:
+                        block = _drop_dead(block, offset, view.dead)
+                    offset += n
+                    if block.shape[0]:
+                        merged._fill(
+                            np.asarray(
+                                view.storage.decode(block, view.scale),
+                                dtype=np.float64,
+                            )
+                        )
         return merged
 
     # -- persistence ---------------------------------------------------------
@@ -754,7 +951,10 @@ class ShardedSketchStore:
                 "n_rows": offset,
                 "storage": self.storage.name,
                 "config_digest": self._template.config_digest,
+                "generation": self.generation,
             }
+            if self._tombstones:
+                manifest["tombstones"] = sorted(self._tombstones)
             (staging / _MANIFEST_NAME).write_text(
                 json.dumps(manifest, indent=2, sort_keys=True)
             )
@@ -779,24 +979,13 @@ class ShardedSketchStore:
         never from ``REPRO_STORE_DTYPE``.
         """
         root = Path(path)
-        manifest_path = root / _MANIFEST_NAME
-        if not manifest_path.exists():
-            raise FileNotFoundError(f"no store manifest at {manifest_path}")
-        try:
-            manifest = json.loads(manifest_path.read_text())
-        except json.JSONDecodeError as exc:
-            raise SerializationError(
-                f"manifest at {manifest_path} is not valid JSON: {exc}"
-            ) from exc
-        if manifest.get("manifest_version") != _MANIFEST_VERSION:
-            raise SerializationError(
-                f"unsupported manifest version {manifest.get('manifest_version')!r}"
-            )
+        manifest = read_manifest(root)
         try:
             return cls._load_shards(root, manifest, mmap)
         except KeyError as exc:
             raise SerializationError(
-                f"manifest at {manifest_path} is missing required field {exc}"
+                f"manifest at {root / _MANIFEST_NAME} is missing required "
+                f"field {exc}"
             ) from exc
 
     @classmethod
@@ -809,12 +998,25 @@ class ShardedSketchStore:
             shard_capacity=manifest["shard_capacity"],
             storage=manifest.get("storage", "f8"),
         )
+        # flat pre-generation layouts carry no shards_dir; generational
+        # manifests point at the gen-NNNNN sibling the shards live in
+        shard_dir = root / manifest.get("shards_dir", "")
         for i in range(manifest["n_shards"]):
-            shard_path = root / _SHARD_PATTERN.format(i)
+            shard_path = shard_dir / _SHARD_PATTERN.format(i)
             if mmap:
                 store._attach_mapped(read_batch_info(shard_path))
             else:
                 store._attach_eager(*read_batch_raw(shard_path))
+        store.generation = int(manifest.get("generation", 0))
+        tombstones = manifest.get("tombstones", ())
+        if tombstones:
+            bad = [t for t in tombstones if not 0 <= int(t) < len(store)]
+            if bad:
+                raise SerializationError(
+                    f"manifest at {root} tombstones rows {bad} outside the "
+                    f"store's {len(store)} rows"
+                )
+            store._tombstones = {int(t) for t in tombstones}
         if len(store) != manifest["n_rows"]:
             raise SerializationError(
                 f"store at {root} holds {len(store)} rows, manifest says "
@@ -874,6 +1076,46 @@ class ShardedSketchStore:
             )
             shard.adopt(raw, info.scale)
             self._shards.append(shard)
+
+
+def read_manifest(path: str | os.PathLike) -> dict:
+    """Read and validate a store directory's ``manifest.json``.
+
+    The shared parsing step of :meth:`ShardedSketchStore.load`, the
+    maintenance layer and the server's generation watcher — all three
+    must agree on what a well-formed manifest is.  Raises
+    ``FileNotFoundError`` when no manifest exists and
+    :class:`SerializationError` for junk or an unsupported version.
+    """
+    manifest_path = Path(path) / _MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no store manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"manifest at {manifest_path} is not valid JSON: {exc}"
+        ) from exc
+    if manifest.get("manifest_version") != _MANIFEST_VERSION:
+        raise SerializationError(
+            f"unsupported manifest version {manifest.get('manifest_version')!r}"
+        )
+    return manifest
+
+
+def _drop_dead(block: np.ndarray, offset: int, dead: np.ndarray) -> np.ndarray:
+    """``block`` (a view's rows ``[offset, offset + n)``) minus tombstones.
+
+    ``dead`` is the view's sorted local tombstone array; membership is
+    resolved by binary search so a block touching no tombstones costs
+    O(n log d), not O(n * d).
+    """
+    local = np.arange(offset, offset + block.shape[0])
+    hit = np.searchsorted(dead, local)
+    dead_here = (hit < dead.size) & (
+        dead[np.minimum(hit, dead.size - 1)] == local
+    )
+    return block[~dead_here]
 
 
 def _is_positional(labels: tuple, start: int) -> bool:

@@ -121,3 +121,92 @@ class TestDeltaRendering:
         out = capsys.readouterr().out
         assert "rate.pooled_q_per_s" in out
         assert "%" not in out
+
+
+class TestFindAlarms:
+    """Sustained-slowdown detection over the committed snapshot chain."""
+
+    def _history(self, tmp_path, monkeypatch, steps):
+        monkeypatch.setenv("GITHUB_SHA", "a" * 40)
+        history = tmp_path / "bench-history"
+        for rate, seconds in steps:
+            trajectory.write_snapshot(
+                history, [str(_record(tmp_path, rate=rate, seconds=seconds))]
+            )
+        return history
+
+    def _current(self, tmp_path, rate=100.0, seconds=0.010):
+        return trajectory.load_records(
+            [str(_record(tmp_path, rate=rate, seconds=seconds))]
+        )
+
+    def test_sustained_timing_growth_trips(self, tmp_path, monkeypatch):
+        history = self._history(
+            tmp_path,
+            monkeypatch,
+            [(100.0, 0.010), (100.0, 0.012), (100.0, 0.015)],
+        )
+        alarms = trajectory.find_alarms(
+            self._current(tmp_path, seconds=0.020), history
+        )
+        assert len(alarms) == 1
+        assert "timing.topk_p50_s" in alarms[0]
+        assert "worse in 3 consecutive snapshots" in alarms[0]
+        assert "+100.0% cumulative" in alarms[0]
+
+    def test_sustained_rate_drop_trips_via_the_sign_map(self, tmp_path, monkeypatch):
+        # throughput worsens *downward*: the sign map must flip it
+        history = self._history(
+            tmp_path,
+            monkeypatch,
+            [(100.0, 0.010), (90.0, 0.010), (80.0, 0.010)],
+        )
+        alarms = trajectory.find_alarms(self._current(tmp_path, rate=70.0), history)
+        assert len(alarms) == 1
+        assert "rate.pooled_q_per_s" in alarms[0]
+
+    def test_a_recovered_step_breaks_the_streak(self, tmp_path, monkeypatch):
+        history = self._history(
+            tmp_path,
+            monkeypatch,
+            [(100.0, 0.010), (100.0, 0.015), (100.0, 0.013)],
+        )
+        assert (
+            trajectory.find_alarms(self._current(tmp_path, seconds=0.020), history)
+            == []
+        )
+
+    def test_tolerance_gates_slow_drift(self, tmp_path, monkeypatch):
+        # +2% per step: invisible at the default 5% tolerance, alarmed
+        # when the caller tightens it
+        history = self._history(
+            tmp_path,
+            monkeypatch,
+            [(100.0, 0.0100), (100.0, 0.0102), (100.0, 0.0104)],
+        )
+        current = self._current(tmp_path, seconds=0.0107)
+        assert trajectory.find_alarms(current, history) == []
+        assert len(trajectory.find_alarms(current, history, tolerance=0.01)) == 1
+
+    def test_streak_needs_enough_committed_history(self, tmp_path, monkeypatch):
+        history = self._history(
+            tmp_path, monkeypatch, [(100.0, 0.010), (100.0, 0.013)]
+        )
+        current = self._current(tmp_path, seconds=0.017)
+        assert trajectory.find_alarms(current, history, streak=3) == []
+        assert len(trajectory.find_alarms(current, history, streak=2)) == 1
+
+    def test_metrics_missing_from_history_are_skipped(self, tmp_path, monkeypatch):
+        history = self._history(
+            tmp_path, monkeypatch, [(100.0, 0.010)] * 3
+        )
+        # a *new* benchmark has no chain at all — silence, not a crash
+        fresh = trajectory.load_records(
+            [str(_record(tmp_path, name="brand_new", seconds=99.0))]
+        )
+        assert trajectory.find_alarms(fresh, history) == []
+
+    def test_emitted_block_carries_the_alarm_prefix(self):
+        lines = trajectory._emit_alarms(["bench timing.x: worse ..."])
+        assert any(line.startswith("  PERF ALARM:") for line in lines)
+        assert trajectory._emit_alarms([]) == []
