@@ -120,6 +120,29 @@ def load_latest_snapshot(history: Path) -> tuple[str, dict[str, dict]]:
     return latest.name, {record["benchmark"]: record for record in records}
 
 
+def load_previous_snapshot(
+    history: Path, current_commit: str | None
+) -> tuple[str, dict[str, dict]]:
+    """The newest snapshot that is *not* the current commit's own.
+
+    CI snapshots the current records and then renders, so the latest
+    directory is frequently this very run's numbers — a delta against
+    it is a self-comparison that renders every metric as a meaningless
+    ``(=)``.  Snapshots whose commit stamp matches the current records'
+    commit are skipped; with nothing older to fall back to, the caller
+    renders absolute values with an explicit "no prior snapshot" note.
+    """
+    stamp = (current_commit or "")[:12]
+    for snapshot in reversed(snapshot_dirs(history)):
+        if stamp and snapshot.name.split("-", 1)[1] == stamp:
+            continue
+        records = load_records(
+            [str(p) for p in sorted(snapshot.glob("BENCH_*.json"))]
+        )
+        return snapshot.name, {record["benchmark"]: record for record in records}
+    return "", {}
+
+
 def _commit_stamp() -> str:
     commit = os.environ.get("GITHUB_SHA")
     if not commit:
@@ -236,7 +259,9 @@ def _emit_alarms(alarms: list[str]) -> list[str]:
 
 def _delta(section: str, old: float, new: float) -> str:
     if old == 0:
-        return ""
+        # a zero baseline has no percentage; say so instead of a silent
+        # blank that reads like "no previous value recorded"
+        return "  (was 0)"
     pct = (new - old) / abs(old) * 100.0
     if abs(pct) < 0.05:
         return "  (=)"
@@ -244,18 +269,23 @@ def _delta(section: str, old: float, new: float) -> str:
 
 
 def render(records: list[dict], previous: dict[str, dict] | None = None,
-           previous_name: str = "") -> list[str]:
+           previous_name: str = "", note: str = "") -> list[str]:
     """The trajectory table, one benchmark per block.
 
-    With ``previous`` (the latest committed snapshot), every metric also
-    shows its percentage change against that snapshot — the per-commit
-    delta the history directory exists for.
+    With ``previous`` (the latest committed snapshot that is not this
+    run's own), every metric also shows its percentage change against
+    that snapshot — the per-commit delta the history directory exists
+    for.  ``note`` is appended to the header: the caller uses it to say
+    explicitly when a requested history had no prior snapshot to
+    compare against, so absolute-only output never looks like an
+    accident.
     """
     commit = next((r["commit"] for r in records if r.get("commit")), None)
     header = (
         f"benchmark trajectory ({len(records)} records"
         f"{', commit ' + commit[:12] if commit else ''}"
-        f"{', vs ' + previous_name if previous_name else ''})"
+        f"{', vs ' + previous_name if previous_name else ''}"
+        f"{', ' + note if note else ''})"
     )
     lines = [header, ""]
     for record in records:
@@ -268,6 +298,10 @@ def render(records: list[dict], previous: dict[str, dict] | None = None,
             suffix = ""
             if key in old_raw and key in raw:
                 suffix = _delta(key.split(".", 1)[0], old_raw[key], raw[key])
+            elif old_raw:
+                # the benchmark existed in the snapshot but this metric
+                # did not: new metric, not a rendering gap
+                suffix = "  (new)"
             lines.append(f"    {key:<{width}}  {value:>12}{suffix}")
         lines.append("")
     return lines
@@ -328,17 +362,23 @@ def main(argv: list[str]) -> int:
         parser.error(f"--alarm-streak must be >= 1, got {args.alarm_streak}")
     if args.alarm_tolerance < 0:
         parser.error(f"--alarm-tolerance must be >= 0, got {args.alarm_tolerance}")
-    previous_name, previous = ("", None)
+    previous_name, previous, note = ("", None, "")
     alarms: list[str] = []
     if args.history is not None:
-        previous_name, previous = load_latest_snapshot(args.history)
+        commit = next((r.get("commit") for r in records if r.get("commit")), None)
+        previous_name, previous = load_previous_snapshot(args.history, commit)
+        if not previous_name:
+            # a history was asked for but holds nothing to compare with
+            # (empty, or only this run's own snapshot): absolute values,
+            # said out loud rather than silently delta-free
+            note = "no prior snapshot — absolute values"
         alarms = find_alarms(
             records,
             args.history,
             streak=args.alarm_streak,
             tolerance=args.alarm_tolerance,
         )
-    lines = render(records, previous, previous_name) + _emit_alarms(alarms)
+    lines = render(records, previous, previous_name, note) + _emit_alarms(alarms)
     print("\n".join(lines))
     summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary:

@@ -16,8 +16,10 @@ fresh process — either eagerly or as lazy memory maps for stores larger
 than RAM — and answer typed queries (`TopKQuery`, `RadiusQuery`, ...)
 through `DistanceService.execute()`, serially or across a thread pool
 of shard workers; shrink the store 2-8x with quantised shard storage
-(`compact(storage="f4")`); then serve the same store **over the
-network** with `SketchQueryServer` and query it through a
+(`compact(storage="f4")`); route queries past most shards entirely with
+IVF-style centroid routing (`compact(routing=True)` + an optional
+`RoutingSpec(nprobe=N)` recall/latency dial); then serve the same store
+**over the network** with `SketchQueryServer` and query it through a
 `DistanceClient`, which speaks the same `execute()` protocol and
 returns bit-identical results.  The "keep the store healthy" section
 shows the LSM maintenance lifecycle: tombstone a release
@@ -29,6 +31,12 @@ generation in with zero downtime.  The last section scales the server
 out: multi-process `--processes N` workers with a `--cache` release
 cache on one port, and a `RouterService` scatter-gathering across
 several store servers while keeping answers bit-identical.
+
+Going deeper: docs/ARCHITECTURE.md maps the layers this tour walks
+through (and where the privacy budget is actually spent),
+docs/FORMATS.md specifies the on-disk container and manifest, and
+docs/OPERATIONS.md is the production runbook (env vars, CLI flags,
+maintenance).
 
 Run:  python examples/quickstart.py
 """
@@ -47,6 +55,7 @@ from repro import (
     MaintenancePolicy,
     PrivateSketcher,
     RouterService,
+    RoutingSpec,
     ShardedSketchStore,
     SketchConfig,
     SketchQueryServer,
@@ -179,6 +188,59 @@ def main() -> None:
               f"(vs {full_bytes} at f8, {full_bytes / shrunk.nbytes:.1f}x), "
               f"same top-3 {shrunk.describe()['storage']}-served neighbors")
 
+        # -- route your queries: sub-linear search over clustered data -----
+        # compact(routing=True) reorders rows by k-means cluster and
+        # persists one centroid + covering radius per shard.  Queries
+        # then skip shards in two modes:
+        #
+        # * exact (the default once a table exists): a shard is pruned
+        #   only when the centroid-ball bound *proves* it cannot beat
+        #   the current top-k — answers stay bit-identical;
+        # * approximate: RoutingSpec(nprobe=N) visits only the N
+        #   shards with the nearest centroids — a recall/latency dial
+        #   (benchmarks/bench_routed_search.py gates recall@10 >= 0.95
+        #   at 105k rows; here the demo checks its own recall).
+        #
+        # Routing is pure post-processing of released sketches — zero
+        # extra privacy budget (docs/ARCHITECTURE.md spells out why).
+        routing_rng = np.random.default_rng(11)
+        clustered_cfg = SketchConfig(input_dim=64, epsilon=4.0,
+                                     output_dim=32, sparsity=4)
+        clustered_sk = PrivateSketcher(clustered_cfg)
+        centers = 10.0 * routing_rng.standard_normal((8, 64))
+        points = (centers[routing_rng.integers(8, size=4000)]
+                  + routing_rng.standard_normal((4000, 64)))
+        clustered = ShardedSketchStore(shard_capacity=512)
+        clustered.add_batch(clustered_sk.sketch_batch(points, noise_rng=1))
+        routed_store = clustered.compact(routing=True)  # k-means + radii
+        probe = clustered_sk.sketch_batch(
+            centers[:1] + routing_rng.standard_normal((1, 64)), noise_rng=2
+        )
+        with DistanceService(
+            routed_store, ExecutionPolicy(routing=False)
+        ) as flat_svc:                           # routing off: full scan
+            flat = flat_svc.execute(TopKQuery(queries=probe, k=10))
+        with DistanceService(routed_store) as routed_svc:
+            t0 = time.perf_counter()
+            exact = routed_svc.execute(TopKQuery(queries=probe, k=10))
+            exact_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            approx = routed_svc.execute(
+                TopKQuery(queries=probe, k=10, routing=RoutingSpec(nprobe=2))
+            )
+            approx_s = time.perf_counter() - t0
+        assert exact.payload == flat.payload     # exact mode: a proof
+        exact_hits = {label for label, _ in exact.payload[0]}
+        approx_hits = {label for label, _ in approx.payload[0]}
+        recall = len(exact_hits & approx_hits) / len(exact_hits)
+        print(f"\nrouted store: {routed_store.n_shards} shards, "
+              f"{routed_store.describe()['routing']['n_clusters']} clusters")
+        print(f"exact-routed: bit-identical top-10 in {exact_s * 1e3:.2f} ms, "
+              f"{exact.stats.shards_routed} shards route-pruned, "
+              f"{exact.stats.rows_scanned}/{exact.stats.rows_total} rows")
+        print(f"nprobe=2:     recall@10 {recall:.2f} in {approx_s * 1e3:.2f} ms, "
+              f"{approx.stats.rows_scanned}/{approx.stats.rows_total} rows")
+
         # -- keep the store healthy: delete -> policy -> live swap ---------
         # A long-lived store needs upkeep, and all of it is pure
         # post-processing of already-released sketches — zero extra
@@ -283,8 +345,14 @@ def main() -> None:
         #    store.  It speaks execute() like everything else, so a
         #    SketchQueryServer can serve *it*, giving remote analysts
         #    one endpoint over the whole fleet.
-        half = len(batch) // 2
-        part_a, part_b = ShardedSketchStore(), ShardedSketchStore()
+        # split on the store's shard boundary: each backend's scan
+        # blocks then have exactly the shapes the single store's shards
+        # do, keeping the merged ranking bit-identical rather than
+        # merely close (BLAS kernels may round differently for
+        # different block shapes)
+        half = store.shard_capacity
+        part_a = ShardedSketchStore(shard_capacity=store.shard_capacity)
+        part_b = ShardedSketchStore(shard_capacity=store.shard_capacity)
         part_a.add_batch(batch[:half])
         part_b.add_batch(batch[half:])
         backends = [

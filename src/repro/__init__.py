@@ -57,6 +57,7 @@ from repro.serving import (
     RadiusQuery,
     ReleaseCache,
     RouterService,
+    RoutingSpec,
     ShardedSketchStore,
     StorageSpec,
     StoreMaintainer,
@@ -89,6 +90,7 @@ __all__ = [
     "RadiusQuery",
     "ReleaseCache",
     "RouterService",
+    "RoutingSpec",
     "SketchQueryServer",
     "TopKQuery",
     "EnsembleSketch",

@@ -77,6 +77,18 @@ the prefilter on are identical to results with it off, ties included;
 it is a work-skipping optimisation, never an approximation.  Skipped
 shards are visible in ``QueryResult.stats.shards_pruned``.
 
+**Centroid routing.**  ``compact(routing=True)`` clusters the live rows
+(seeded, deterministic k-means) so each sealed shard holds one cluster,
+and persists per-shard centroids and covering radii in the manifest
+(:mod:`repro.serving.routing`).  On such stores the query plane adds a
+routing stage *ahead of* the prefilter: in exact mode the centroid-ball
+bound ``max(0, ||q - c|| - r)`` skips provably hopeless shards under
+the same slack discipline as the prefilter — bit-identical results,
+ties included; per-query :class:`RoutingSpec(nprobe=N) <RoutingSpec>`
+instead visits only the ``N`` nearest-centroid shards, an explicit
+recall/speed trade reported in ``QueryStats.shards_routed``.  Both are
+post-processing of released sketches: no extra privacy budget.
+
 **Deprecation policy.**  The pre-query-plane ``DistanceService``
 methods (``top_k``, ``top_k_batch``, ``radius``, ``cross``,
 ``pairwise_submatrix``) are shims over ``execute()``: bit-identical
@@ -107,8 +119,10 @@ from repro.serving.queries import (
     QueryResult,
     QueryStats,
     RadiusQuery,
+    RoutingSpec,
     TopKQuery,
 )
+from repro.serving.routing import ShardRouting, build_shard_routing, kmeans_centroids
 from repro.serving.serialization import (
     BatchInfo,
     SerializationError,
@@ -169,8 +183,10 @@ __all__ = [
     "RadiusQuery",
     "ReleaseCache",
     "RouterService",
+    "RoutingSpec",
     "STORAGE_SPECS",
     "SerializationError",
+    "ShardRouting",
     "ShardView",
     "ShardedSketchStore",
     "SketchQueryServer",
@@ -181,6 +197,7 @@ __all__ = [
     "WireError",
     "batch_from_bytes",
     "batch_to_bytes",
+    "build_shard_routing",
     "compact_store",
     "decode_label",
     "decode_query",
@@ -189,6 +206,7 @@ __all__ = [
     "encode_query",
     "encode_result",
     "iter_batch_rows",
+    "kmeans_centroids",
     "map_values",
     "merge_stores",
     "pin_blas_threads",

@@ -55,6 +55,7 @@ def run_ordered(fn, items: list, *, executor: ThreadPoolExecutor | None = None) 
 
 _WORKERS_ENV = "REPRO_SERVING_WORKERS"
 _PREFILTER_ENV = "REPRO_SERVING_PREFILTER"
+_ROUTING_ENV = "REPRO_SERVING_ROUTING"
 _BLAS_THREADS_ENV = "REPRO_SERVING_BLAS_THREADS"
 _TRUE_VALUES = ("1", "true", "on", "yes")
 _FALSE_VALUES = ("0", "false", "off", "no")
@@ -210,8 +211,8 @@ def _workers_from_env() -> int:
     return workers
 
 
-def _prefilter_from_env() -> bool:
-    raw = os.environ.get(_PREFILTER_ENV, "").strip().lower()
+def _switch_from_env(var: str) -> bool:
+    raw = os.environ.get(var, "").strip().lower()
     if not raw:  # unset or empty means the default, same as the workers var
         return True
     if raw in _TRUE_VALUES:
@@ -219,9 +220,17 @@ def _prefilter_from_env() -> bool:
     if raw in _FALSE_VALUES:
         return False
     raise ValueError(
-        f"{_PREFILTER_ENV}={raw!r} is not a valid switch: use one of "
+        f"{var}={raw!r} is not a valid switch: use one of "
         f"{'/'.join(_TRUE_VALUES)} or {'/'.join(_FALSE_VALUES)}"
     )
+
+
+def _prefilter_from_env() -> bool:
+    return _switch_from_env(_PREFILTER_ENV)
+
+
+def _routing_from_env() -> bool:
+    return _switch_from_env(_ROUTING_ENV)
 
 
 @dataclass(frozen=True, repr=False)
@@ -238,10 +247,19 @@ class ExecutionPolicy:
         best-case distance provably cannot produce a result).  Exact —
         filtered and unfiltered queries return identical answers; see
         :mod:`repro.serving.service` for the guarantee.
+    routing:
+        Enable the exact centroid-routing stage ahead of the prefilter
+        on stores that carry a routing table
+        (:mod:`repro.serving.routing`).  Also exact — the centroid-ball
+        bound only skips provably hopeless shards, so results never
+        depend on it.  Per-query ``RoutingSpec(nprobe=N)`` approximate
+        routing is requested on the query itself and is *not* gated by
+        this switch (an explicit spec is an explicit recall trade).
     """
 
     workers: int = 1
     prefilter: bool = True
+    routing: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -249,7 +267,10 @@ class ExecutionPolicy:
 
     def __repr__(self) -> str:
         mode = "serial" if self.workers == 1 else f"workers={self.workers}"
-        return f"ExecutionPolicy({mode}, prefilter={'on' if self.prefilter else 'off'})"
+        return (
+            f"ExecutionPolicy({mode}, prefilter={'on' if self.prefilter else 'off'}, "
+            f"routing={'on' if self.routing else 'off'})"
+        )
 
     @property
     def parallel(self) -> bool:
@@ -261,11 +282,16 @@ class ExecutionPolicy:
 
         ``REPRO_SERVING_WORKERS`` sets the worker count — CI uses it to
         run the whole serving test suite under a 4-worker pool without
-        touching the tests — and ``REPRO_SERVING_PREFILTER=0`` disables
-        the prefilter (an A/B lever for debugging; the prefilter is
-        exact, so results never depend on it).  Malformed values raise
-        ``ValueError`` naming the variable, the offending value and the
-        accepted forms — a typo in a deployment manifest should fail
-        loudly at service construction, not silently fall back.
+        touching the tests — ``REPRO_SERVING_PREFILTER=0`` disables
+        the prefilter and ``REPRO_SERVING_ROUTING=0`` the exact routing
+        stage (A/B levers for debugging; both are exact, so results
+        never depend on them).  Malformed values raise ``ValueError``
+        naming the variable, the offending value and the accepted
+        forms — a typo in a deployment manifest should fail loudly at
+        service construction, not silently fall back.
         """
-        return cls(workers=_workers_from_env(), prefilter=_prefilter_from_env())
+        return cls(
+            workers=_workers_from_env(),
+            prefilter=_prefilter_from_env(),
+            routing=_routing_from_env(),
+        )

@@ -42,12 +42,22 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.serving.routing import (
+    DEFAULT_TRAIN_SAMPLE,
+    ShardRouting,
+    assign_rows,
+    default_cluster_count,
+    inflate_radius,
+    kmeans_centroids,
+)
 from repro.serving.serialization import (
     DEFAULT_BLOCK_ROWS,
+    ROUTING_BLOB_NAME,
     BatchInfo,
     StreamingBatchWriter,
     iter_batch_rows,
     read_batch_info,
+    write_routing_blob,
 )
 from repro.serving.storage import StorageSpec
 from repro.serving.store import (
@@ -223,6 +233,16 @@ class _ShardRoller:
             if self._shard_rows == self._capacity:
                 self._roll()
 
+    def seal(self) -> None:
+        """Commit the current partial shard so the next append opens a new one.
+
+        The cluster-boundary primitive of a clustered rewrite — the
+        disk-side analogue of ``ShardedSketchStore._seal_tail`` — so
+        every output shard holds rows of exactly one cluster.
+        """
+        if self._writer is not None:
+            self._roll()
+
     def finish(self) -> None:
         """Commit the tail shard (a zero-row one if nothing was written:
         every store needs at least one shard to carry its metadata).
@@ -275,11 +295,144 @@ def _stream_shards(
         offset += info.n_rows
 
 
+def _iter_live_decoded(
+    infos: list[BatchInfo], tombstones: np.ndarray, block_rows: int
+):
+    """Every live row of the store as decoded float64 blocks, in order."""
+    offset = 0
+    for info in infos:
+        spec = info.storage_spec
+        for block in _iter_live(info, tombstones, offset, block_rows):
+            if block.shape[0]:
+                yield np.asarray(spec.decode(block, info.scale), dtype=np.float64)
+        offset += info.n_rows
+
+
+def _sample_live_rows(
+    infos: list[BatchInfo],
+    tombstones: np.ndarray,
+    block_rows: int,
+    target: int = DEFAULT_TRAIN_SAMPLE,
+) -> np.ndarray:
+    """Deterministic stride sample of live rows — k-means training data.
+
+    The same every-``step``-th-live-row rule as the in-memory
+    ``_sample_live``, so an in-memory and a disk-to-disk clustered
+    compact of the same rows train on the same sample.
+    """
+    total = sum(info.n_rows for info in infos) - int(tombstones.size)
+    step = max(1, total // max(target, 1))
+    sample, seen = [], 0
+    for block in _iter_live_decoded(infos, tombstones, block_rows):
+        idx = np.arange(seen, seen + block.shape[0])
+        take = block[idx % step == 0]
+        if take.shape[0]:
+            sample.append(take)
+        seen += block.shape[0]
+    return np.concatenate(sample)
+
+
+def _stream_clustered(
+    infos: list[BatchInfo],
+    tombstones: np.ndarray,
+    roller: _ShardRoller,
+    out_spec: StorageSpec,
+    scale: float | None,
+    block_rows: int,
+    centroids: np.ndarray,
+    base_labels: list,
+    permuted: list,
+) -> None:
+    """Pump live rows through the roller cluster-by-cluster, re-encoding.
+
+    One streaming pass per cluster, recomputing the (deterministic)
+    assignment per block instead of materialising it — peak memory stays
+    O(block) however many rows the store holds.  ``permuted`` is the
+    label list the roller slices from; it is extended here, just ahead
+    of each append, with the labels of the rows being appended, so the
+    roller's positional slicing always finds them present.
+    """
+    for j in range(centroids.shape[0]):
+        pos = 0
+        for decoded in _iter_live_decoded(infos, tombstones, block_rows):
+            member = assign_rows(decoded, centroids) == j
+            if member.any():
+                permuted.extend(base_labels[i] for i in np.flatnonzero(member) + pos)
+                roller.append(out_spec.encode(decoded[member], scale))
+            pos += decoded.shape[0]
+        roller.seal()  # shard boundaries align with cluster boundaries
+
+
+def _staged_routing(
+    staging: Path,
+    n_shards: int,
+    block_rows: int,
+    *,
+    generation: int,
+    n_clusters: int,
+    seed: int,
+) -> ShardRouting:
+    """The routing table of a freshly staged clustered generation.
+
+    Two streaming passes per staged shard — mean, then max distance —
+    over the shard's *decoded* values (what queries will scan, so a
+    quantised rewrite's rounding is inside the ball by construction),
+    finished with the same :func:`~repro.serving.routing.inflate_radius`
+    margin the in-memory builder applies.
+    """
+    centroids, radii, sizes = [], [], []
+    for i in range(n_shards):
+        info = read_batch_info(staging / _SHARD_PATTERN.format(i))
+        spec = info.storage_spec
+        total, count = None, 0
+        for block in iter_batch_rows(info, block_rows):
+            decoded = np.asarray(spec.decode(block, info.scale), dtype=np.float64)
+            total = decoded.sum(axis=0) + (0.0 if total is None else total)
+            count += decoded.shape[0]
+        if count == 0:
+            raise ValueError("cannot build routing over an empty shard")
+        centroid = total / count
+        max_sq = 0.0
+        for block in iter_batch_rows(info, block_rows):
+            decoded = np.asarray(spec.decode(block, info.scale), dtype=np.float64)
+            diff = decoded - centroid[np.newaxis, :]
+            max_sq = max(max_sq, float(np.max(np.einsum("ij,ij->i", diff, diff))))
+        centroids.append(centroid)
+        radii.append(
+            inflate_radius(float(np.sqrt(max_sq)), float(np.linalg.norm(centroid)))
+        )
+        sizes.append(count)
+    return ShardRouting(
+        centroids=np.asarray(centroids, dtype=np.float64),
+        radii=np.asarray(radii, dtype=np.float64),
+        shard_sizes=tuple(sizes),
+        generation=generation,
+        n_clusters=n_clusters,
+        seed=seed,
+    )
+
+
+def _resolve_clusters(routing, live_rows: int, capacity: int) -> int | None:
+    """Resolve a ``routing`` argument, mirroring the in-memory rule."""
+    if routing is None or routing is False:
+        return None
+    if live_rows == 0:
+        raise ValueError("cannot build routing over an empty store")
+    if routing is True:
+        return default_cluster_count(live_rows, capacity)
+    clusters = int(routing)
+    if clusters < 1:
+        raise ValueError(f"routing cluster count must be >= 1, got {clusters}")
+    return clusters
+
+
 def compact_store(
     path: str | os.PathLike,
     *,
     storage: StorageSpec | str | None = None,
     block_rows: int = DEFAULT_BLOCK_ROWS,
+    routing: bool | int | None = None,
+    routing_seed: int = 0,
 ) -> dict:
     """Rewrite an on-disk store as its next generation, disk-to-disk.
 
@@ -301,8 +454,20 @@ def compact_store(
     A long-running :class:`~repro.serving.server.SketchQueryServer`
     notices the manifest's new generation and hot-swaps.
 
+    ``routing=True`` makes the rewrite *clustered*: rows are k-means
+    clustered (``routing=N`` picks the cluster count; ``True`` means
+    :func:`~repro.serving.routing.default_cluster_count`) and written
+    cluster-by-cluster with sealed shard boundaries between clusters,
+    and the generation is published with a centroid routing table the
+    query plane uses for sub-linear shard selection (see
+    :mod:`repro.serving.routing`).  Still O(block) memory: one extra
+    streaming pass per cluster plus two per staged shard.  The default
+    ``None`` keeps the order-preserving rewrite — which also drops any
+    existing routing entry, since the layout it described is gone.
+
     Returns a summary dict (``generation``, ``rows``,
-    ``tombstones_dropped``, ``shards``, ``storage``, ``pruned``).
+    ``tombstones_dropped``, ``shards``, ``storage``, ``routing``,
+    ``pruned``).
     """
     root = Path(path)
     manifest = read_manifest(root)
@@ -316,6 +481,9 @@ def compact_store(
         if storage is not None
         else StorageSpec.parse(manifest.get("storage", "f8"))
     )
+    capacity = manifest["shard_capacity"]
+    live_rows = int(manifest["n_rows"]) - int(tombstones.size)
+    clusters = _resolve_clusters(routing, live_rows, capacity)
     generation = int(manifest.get("generation", 0)) + 1
     gen_name = _GENERATION_PATTERN.format(generation)
     staging = root / f".{gen_name}.staging-{os.getpid()}"
@@ -323,17 +491,53 @@ def compact_store(
         shutil.rmtree(staging)
     staging.mkdir(parents=True)
     labels = _survivor_labels(infos, tombstones)
+    if clusters is not None:
+        # the clustered order is a permutation, so positions no longer
+        # encode identities: labels must be materialised and permuted
+        base_labels = labels if labels is not None else list(range(live_rows))
+        labels = []  # filled in cluster order by _stream_clustered
     scale = (
         _global_scale(infos, tombstones, block_rows)
         if out_spec.quantised
         else None
     )
     roller = _ShardRoller(
-        staging, infos[0].meta, out_spec, scale, manifest["shard_capacity"], labels
+        staging, infos[0].meta, out_spec, scale, capacity, labels
     )
+    routing_entry = None
     try:
-        _stream_shards(infos, tombstones, roller, out_spec, scale, block_rows)
-        roller.finish()
+        if clusters is not None:
+            centroids = kmeans_centroids(
+                _sample_live_rows(infos, tombstones, block_rows),
+                clusters,
+                seed=routing_seed,
+            )
+            _stream_clustered(
+                infos, tombstones, roller, out_spec, scale, block_rows,
+                centroids, base_labels, labels,
+            )
+            roller.finish()
+            table = _staged_routing(
+                staging, roller.n_shards, block_rows,
+                generation=generation,
+                n_clusters=int(centroids.shape[0]),
+                seed=routing_seed,
+            )
+            digest = write_routing_blob(
+                staging / ROUTING_BLOB_NAME,
+                table.to_payload(),
+                table.centroids,
+                table.radii,
+            )
+            routing_entry = {
+                "file": ROUTING_BLOB_NAME,
+                "sha256": digest,
+                "n_clusters": int(centroids.shape[0]),
+                "generation": generation,
+            }
+        else:
+            _stream_shards(infos, tombstones, roller, out_spec, scale, block_rows)
+            roller.finish()
     except BaseException:
         roller.abort()
         shutil.rmtree(staging, ignore_errors=True)
@@ -341,7 +545,7 @@ def compact_store(
     os.replace(staging, root / gen_name)
     new_manifest = {
         "manifest_version": _MANIFEST_VERSION,
-        "shard_capacity": manifest["shard_capacity"],
+        "shard_capacity": capacity,
         "n_shards": roller.n_shards,
         "n_rows": roller.n_rows,
         "storage": out_spec.name,
@@ -349,6 +553,8 @@ def compact_store(
         "generation": generation,
         "shards_dir": gen_name,
     }
+    if routing_entry is not None:
+        new_manifest["routing"] = routing_entry
     _publish_manifest(root, new_manifest)
     # prune everything older than {new, previous}: readers attached to
     # the just-replaced generation may still be lazily mapping its files
@@ -370,6 +576,7 @@ def compact_store(
         "tombstones_dropped": int(tombstones.size),
         "shards": roller.n_shards,
         "storage": out_spec.name,
+        "routing": None if clusters is None else clusters,
         "pruned": pruned,
     }
 
@@ -511,6 +718,16 @@ class MaintenancePolicy:
       ``cold_storage`` once it holds at least this many rows / bytes
       (``None`` disables the threshold; demotion triggers only from
       the hot spec, so an already-cold store is not re-encoded again).
+    * ``routed`` — make every compaction a *clustered* rewrite
+      (``compact_store(..., routing=True)``), so the store always
+      carries a fresh centroid routing table.  A store whose manifest
+      already has routing is re-clustered on compaction regardless, so
+      maintenance never silently strips an operator-built table.
+
+    A manifest that carries routing is exempt from the partial-shard
+    trigger: a clustered layout legitimately ends every cluster on a
+    partial shard, and "repacking" those would just tear the clustering
+    down and rebuild it forever.
 
     Pure function of observable state — the policy itself never touches
     the store, so it is trivially testable and safe to evaluate from
@@ -523,6 +740,7 @@ class MaintenancePolicy:
     max_partial_shards: int = 1
     cold_rows: int | None = None
     cold_bytes: int | None = None
+    routed: bool = False
 
     def plan(self, manifest: dict, *, nbytes: int | None = None) -> dict | None:
         """The ``compact_store`` kwargs this store needs, or ``None``."""
@@ -530,11 +748,15 @@ class MaintenancePolicy:
         tombstones = len(manifest.get("tombstones", ()))
         capacity = manifest["shard_capacity"]
         current = manifest.get("storage", "f8")
+        has_routing = bool(manifest.get("routing"))
         reasons = []
         if tombstones >= self.min_tombstones > 0:
             reasons.append(f"{tombstones} tombstoned rows")
         min_shards = max(1, -(-(rows - tombstones) // capacity))
-        if manifest["n_shards"] > min_shards + self.max_partial_shards - 1:
+        if (
+            manifest["n_shards"] > min_shards + self.max_partial_shards - 1
+            and not has_routing
+        ):
             reasons.append(
                 f"{manifest['n_shards']} shards for {rows} rows "
                 f"(minimum {min_shards})"
@@ -553,6 +775,7 @@ class MaintenancePolicy:
             return None
         return {
             "storage": self.cold_storage if demote else None,
+            "routing": True if (self.routed or has_routing) else None,
             "reason": "; ".join(reasons),
         }
 
@@ -609,9 +832,34 @@ class StoreMaintainer:
         if action is None:
             return None
         summary = compact_store(
-            self.path, storage=action["storage"], block_rows=self.block_rows
+            self.path,
+            storage=action["storage"],
+            routing=action.get("routing"),
+            block_rows=self.block_rows,
         )
         summary["reason"] = action["reason"]
+        summary["at"] = time.time()
+        self.history.append(summary)
+        return summary
+
+    def rebuild_routing(
+        self, clusters: bool | int = True, *, seed: int = 0
+    ) -> dict:
+        """Force a clustered rewrite now, refreshing the routing table.
+
+        The recovery path after appends or deletes have invalidated a
+        store's routing (the query plane falls back to unrouted scans
+        until the table matches the layout again): one
+        :func:`compact_store` call with ``routing=clusters``, recorded
+        in :attr:`history` like any policy-driven action.
+        """
+        summary = compact_store(
+            self.path,
+            routing=clusters,
+            routing_seed=seed,
+            block_rows=self.block_rows,
+        )
+        summary["reason"] = "rebuild routing"
         summary["at"] = time.time()
         self.history.append(summary)
         return summary

@@ -49,6 +49,8 @@ import dataclasses
 import numbers
 from dataclasses import dataclass
 
+from repro.serving.routing import RoutingSpec
+
 #: The union of query dataclasses — kept in one tuple so dispatchers and
 #: codecs enumerate the algebra from a single place.
 __all__ = [
@@ -59,8 +61,16 @@ __all__ = [
     "QueryResult",
     "QueryStats",
     "RadiusQuery",
+    "RoutingSpec",
     "TopKQuery",
 ]
+
+
+def _check_routing(routing) -> None:
+    if routing is not None and not isinstance(routing, RoutingSpec):
+        raise ValueError(
+            f"routing must be a RoutingSpec or None, got {routing!r}"
+        )
 
 
 @dataclass(frozen=True, eq=False)
@@ -72,6 +82,12 @@ class TopKQuery:
     ranking per row (a single sketch yields a one-entry list), each a
     list of ``(label, clamped squared-distance estimate)`` pairs in
     ascending distance order, ties broken by insertion order.
+
+    ``routing`` optionally carries a
+    :class:`~repro.serving.routing.RoutingSpec`: ``nprobe=N`` trades
+    recall for speed by visiting only the ``N`` nearest-centroid
+    shards; the default ``None`` (and ``RoutingSpec()``) keeps results
+    exact.  See :mod:`repro.serving.routing` for the contract.
     """
 
     #: kind tags are the wire names; they never change once released
@@ -79,6 +95,7 @@ class TopKQuery:
 
     queries: object
     k: int = 1
+    routing: RoutingSpec | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.k, bool) or not isinstance(self.k, numbers.Integral):
@@ -86,6 +103,7 @@ class TopKQuery:
         object.__setattr__(self, "k", int(self.k))  # np.int64 -> JSON-safe int
         if self.k < 1:
             raise ValueError(f"top must be >= 1, got {self.k}")
+        _check_routing(self.routing)
 
 
 @dataclass(frozen=True, eq=False)
@@ -103,11 +121,13 @@ class RadiusQuery:
 
     query: object
     radius_sq: float
+    routing: RoutingSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "radius_sq", float(self.radius_sq))
         if not self.radius_sq >= 0:  # rejects NaN too
             raise ValueError(f"radius_sq must be >= 0, got {self.radius_sq}")
+        _check_routing(self.routing)
 
 
 @dataclass(frozen=True, eq=False)
@@ -181,10 +201,19 @@ class QueryStats:
     scanned).  ``elapsed_seconds`` is backend wall time: for a remote
     execution it is the *server-side* time, so a client can separate
     network cost from compute cost.
+
+    ``shards_routed`` counts the shards the centroid-routing stage
+    skipped — by the exact centroid-ball bound, or because an
+    ``nprobe`` spec left them unprobed.  Routed shards are a subset of
+    ``shards_pruned`` (they were skipped without computing a block), so
+    the visited + pruned == total invariant is unchanged; the counter
+    separates the routing stage's work-skipping from the norm
+    prefilter's.
     """
 
     shards_visited: int = 0
     shards_pruned: int = 0
+    shards_routed: int = 0
     rows_scanned: int = 0
     rows_total: int = 0
     elapsed_seconds: float = 0.0

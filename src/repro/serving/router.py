@@ -82,6 +82,7 @@ def _merge_stats(parts: list[QueryStats]) -> QueryStats:
     return QueryStats(
         shards_visited=sum(s.shards_visited for s in parts),
         shards_pruned=sum(s.shards_pruned for s in parts),
+        shards_routed=sum(s.shards_routed for s in parts),
         rows_scanned=sum(s.rows_scanned for s in parts),
         rows_total=sum(s.rows_total for s in parts),
         elapsed_seconds=max((s.elapsed_seconds for s in parts), default=0.0),

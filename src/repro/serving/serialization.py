@@ -56,6 +56,7 @@ which is what that format recorded.
 
 from __future__ import annotations
 
+import base64
 import dataclasses
 import hashlib
 import io
@@ -64,6 +65,7 @@ import math
 import numbers
 import os
 import shutil
+from pathlib import Path
 
 import numpy as np
 
@@ -882,3 +884,91 @@ def write_batch_streaming(
         if labels and offset != len(labels):
             raise ValueError(f"got {len(labels)} labels for {offset} streamed rows")
         writer.commit()
+
+
+# -- routing blobs -------------------------------------------------------------
+
+ROUTING_FORMAT_VERSION = 1
+ROUTING_BLOB_NAME = "routing.json"
+
+
+def write_routing_blob(path: str | os.PathLike, payload: dict,
+                       centroids: np.ndarray, radii: np.ndarray) -> str:
+    """Write a shard-routing table next to its shards; returns its digest.
+
+    The blob is JSON — ``payload`` (the layout facts a
+    :class:`~repro.serving.routing.ShardRouting` pins) plus the
+    centroid matrix and radius vector as base64 little-endian float64 —
+    so it stays greppable and versioned like the manifest.  The
+    returned sha256 of the file bytes goes into the manifest's
+    ``routing`` entry, which is how a swapped or truncated blob is
+    caught at load time.
+    """
+    centroids = np.ascontiguousarray(centroids, dtype="<f8")
+    radii = np.ascontiguousarray(radii, dtype="<f8")
+    blob = json.dumps(
+        {
+            "routing_format": ROUTING_FORMAT_VERSION,
+            **payload,
+            "centroids": base64.b64encode(centroids.tobytes()).decode("ascii"),
+            "radii": base64.b64encode(radii.tobytes()).decode("ascii"),
+        },
+        indent=2,
+        sort_keys=True,
+    ).encode("utf-8")
+    Path(path).write_bytes(blob)
+    return hashlib.sha256(blob).hexdigest()
+
+
+def read_routing_blob(
+    path: str | os.PathLike, expected_sha256: str | None = None
+) -> tuple[dict, np.ndarray, np.ndarray]:
+    """Read a routing blob back as ``(payload, centroids, radii)``.
+
+    Verifies the manifest-pinned digest (when given) over the raw file
+    bytes before parsing anything, then rebuilds the float64 arrays at
+    the payload's recorded shape.  Raises :class:`SerializationError`
+    for a missing file, digest mismatch, junk JSON or shape mismatch —
+    a manifest that references routing promises it loads.
+    """
+    blob_path = Path(path)
+    try:
+        blob = blob_path.read_bytes()
+    except FileNotFoundError:
+        raise SerializationError(
+            f"manifest references a routing blob but none exists at {blob_path}"
+        ) from None
+    if expected_sha256 is not None:
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != expected_sha256:
+            raise SerializationError(
+                f"routing blob at {blob_path} does not match its manifest "
+                f"digest (expected {expected_sha256}, got {digest})"
+            )
+    try:
+        payload = json.loads(blob)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"routing blob at {blob_path} is not valid JSON: {exc}"
+        ) from exc
+    if payload.get("routing_format") != ROUTING_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported routing blob format {payload.get('routing_format')!r}"
+        )
+    try:
+        n_shards = int(payload["n_shards"])
+        dim = int(payload["output_dim"])
+        centroids = np.frombuffer(
+            base64.b64decode(payload["centroids"]), dtype="<f8"
+        ).reshape(n_shards, dim)
+        radii = np.frombuffer(base64.b64decode(payload["radii"]), dtype="<f8")
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(
+            f"routing blob at {blob_path} is malformed: {exc}"
+        ) from exc
+    if radii.shape != (n_shards,):
+        raise SerializationError(
+            f"routing blob at {blob_path} carries {radii.shape[0]} radii "
+            f"for {n_shards} shards"
+        )
+    return payload, centroids.astype(np.float64), radii.astype(np.float64)

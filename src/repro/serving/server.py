@@ -344,12 +344,16 @@ class _QueryHandler(BaseHTTPRequestHandler):
         if store is None:
             return None  # a router has no cheap store-state token: no caching
         meta = store.metadata
+        routing = store.routing
         return (
             len(store),
             None if meta is None else meta.config_digest,
             store.storage.name,
             store.generation,
             len(store.tombstones),
+            # a routing rebuild changes answers' cost profile but also —
+            # for nprobe queries — the answers themselves: new table, new token
+            None if routing is None else (routing.generation, routing.n_clusters),
         )
 
     def do_GET(self) -> None:
@@ -388,6 +392,11 @@ class _QueryHandler(BaseHTTPRequestHandler):
                 "tombstones": len(store.tombstones),
                 "config_digest": (
                     None if store.metadata is None else store.metadata.config_digest
+                ),
+                # None when the store has no (valid) routing table; lets
+                # operators confirm a rebuild-routing pass took effect
+                "routing_generation": (
+                    None if store.routing is None else store.routing.generation
                 ),
             }
         # the answering worker's pid: under --processes N the kernel
@@ -581,6 +590,9 @@ class SketchQueryServer:
             manifest.get("storage", "f8"),
             manifest.get("shards_dir", ""),
             tuple(manifest.get("tombstones", ())),
+            # a rebuild-routing pass rewrites only this entry (same
+            # generation semantics as a compact, new routing blob)
+            tuple(sorted((manifest.get("routing") or {}).items())),
         )
 
     def reload_if_changed(self) -> bool:

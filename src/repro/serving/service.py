@@ -20,12 +20,23 @@ every query kind — store validation, snapshotting, the
 ``execute()`` protocol, so local and remote backends are
 interchangeable.
 
-Three mechanisms keep large stores fast:
+Four mechanisms keep large stores fast:
 
 * **Shard parallelism** — an :class:`~repro.serving.execution.ExecutionPolicy`
   with ``workers > 1`` dispatches per-shard distance blocks across a
   thread pool (BLAS releases the GIL) and merges the per-shard winners
   in shard order, so results are bit-identical to serial execution.
+* **Centroid routing** — on a store carrying a
+  :class:`~repro.serving.routing.ShardRouting` table (built by a
+  clustered compaction), a stage *ahead of* the norm prefilter bounds
+  each shard's whole distance block by the reverse triangle inequality
+  over its centroid ball, ``max(0, ||q - c_i|| - r_i)^2``.  Exact mode
+  (the default) skips only provably hopeless shards — bit-identical
+  results, same slack discipline as the prefilter; a per-query
+  :class:`~repro.serving.queries.RoutingSpec` with ``nprobe=N`` trades
+  recall for speed by visiting only the ``N`` nearest-centroid shards.
+  Shards the stage skips are counted in ``stats.shards_routed`` (a
+  subset of ``shards_pruned``).  See :mod:`repro.serving.routing`.
 * **Norm-bound prefilter** — by the reverse triangle inequality a shard
   whose cached squared-norm range puts every row's best-case distance
   strictly above the current ``k``-th candidate (or the radius cutoff)
@@ -223,11 +234,17 @@ def _deprecated(old: str, replacement: str) -> None:
     )
 
 
-def _shard_stats(views: list[ShardView], scanned_mask: list[bool]) -> QueryStats:
+def _shard_stats(
+    views: list[ShardView],
+    scanned_mask: list[bool],
+    routed_mask: list[bool] | None = None,
+) -> QueryStats:
     """Stats for a per-shard scan; ``scanned_mask[i]`` is False when pruned.
 
     Row counts are *live* rows — tombstoned rows are not served, so they
     are not reported, matching what a compacted store would say.
+    ``routed_mask`` marks the pruned shards the centroid-routing stage
+    (rather than the norm prefilter) skipped.
     """
     rows_total = sum(view.live_size for view in views)
     rows_scanned = sum(
@@ -237,6 +254,7 @@ def _shard_stats(views: list[ShardView], scanned_mask: list[bool]) -> QueryStats
     return QueryStats(
         shards_visited=visited,
         shards_pruned=len(views) - visited,
+        shards_routed=0 if routed_mask is None else sum(routed_mask),
         rows_scanned=rows_scanned,
         rows_total=rows_total,
     )
@@ -394,6 +412,34 @@ class DistanceService:
         store = self.store if store is None else store
         return accumulation_gamma(store.storage, store.metadata.output_dim)
 
+    def _routing_for(self, store: ShardedSketchStore, views: list[ShardView], spec):
+        """The routing table valid for this exact snapshot, or ``None``.
+
+        Revalidates the store's table against the *frozen* snapshot's
+        per-view sizes — a concurrent append between the table read and
+        the snapshot can therefore never pair fresh rows with stale
+        ball geometry.  ``spec`` is the query's
+        :class:`~repro.serving.queries.RoutingSpec` (or ``None``): an
+        explicit ``nprobe`` request on a store without a fresh table
+        raises (the recall contract cannot be honoured), while exact
+        mode silently degrades to an unrouted scan, which is always
+        correct.  With routing disabled by policy and no explicit spec,
+        returns ``None`` without touching the table.
+        """
+        nprobe = None if spec is None else spec.nprobe
+        if not self.policy.routing and spec is None:
+            return None
+        routing = store.routing
+        if routing is not None and not routing.matches([v.size for v in views]):
+            routing = None
+        if routing is None and nprobe is not None:
+            raise ValueError(
+                "this query requests nprobe routing but the store has no "
+                "routing table for its current layout; rebuild one with "
+                "compact(routing=True) or StoreMaintainer.rebuild_routing()"
+            )
+        return routing
+
     # -- the one entry point -------------------------------------------------
 
     _HANDLERS: dict = {}  # populated after the class body; type -> method name
@@ -446,13 +492,46 @@ class DistanceService:
         query_norms = np.sqrt(sq_rows)
         correction = self._correction(store)
         gamma = self._scan_gamma(store)
-        running = _RunningBest(n_queries, k) if self.policy.prefilter else None
+        routing = self._routing_for(store, views, query.routing)
+        nprobe = None if query.routing is None else query.routing.nprobe
+        routed = [False] * len(views)
+        if nprobe is not None:
+            # approximate mode: only the nprobe nearest-centroid shards
+            # (union over query rows) are even eligible for scanning
+            probe = set(routing.probe_shards(rows, sq_rows, nprobe).tolist())
+            scan_items = [(i, views[i]) for i in sorted(probe)]
+            for i in range(len(views)):
+                routed[i] = i not in probe
+            route_bounds = None
+        else:
+            scan_items = list(enumerate(views))
+            # exact mode: one (n_queries, n_shards) bound matrix up
+            # front; a shard is skipped only when the centroid-ball
+            # bound *proves* it cannot beat the current k-th candidate
+            route_bounds = (
+                routing.lower_bounds(rows, sq_rows, query_norms, correction, gamma)
+                if routing is not None
+                else None
+            )
+        prefilter = self.policy.prefilter
+        running = (
+            _RunningBest(n_queries, k)
+            if prefilter or route_bounds is not None
+            else None
+        )
 
-        def scan(view: ShardView):
-            if running is not None and running.skippable(
-                _shard_lower_bounds(view, sq_rows, query_norms, correction, gamma)
-            ):
-                return None
+        def scan(item):
+            i, view = item
+            if running is not None:
+                if route_bounds is not None and running.skippable(
+                    route_bounds[:, i]
+                ):
+                    routed[i] = True
+                    return None
+                if prefilter and running.skippable(
+                    _shard_lower_bounds(view, sq_rows, query_norms, correction, gamma)
+                ):
+                    return None
             # the block covers every physical row — dead entries are
             # dropped after the fact, keeping survivors bit-identical
             block = estimators.cross_sq_distances_from_parts(
@@ -471,12 +550,17 @@ class DistanceService:
                 running.update(winners_est)
             return winners_idx, winners_est
 
-        per_shard = self._run_ordered(scan, views)
+        per_shard = self._run_ordered(scan, scan_items)
+        scanned = [False] * len(views)
+        for (i, _), result in zip(scan_items, per_shard):
+            scanned[i] = result is not None
         candidates = [c for c in per_shard if c is not None]
         results = []
         for q in range(n_queries):
-            idx = np.concatenate([c[0][q] for c in candidates])
-            est = np.concatenate([c[1][q] for c in candidates])
+            idx = np.concatenate(
+                [c[0][q] for c in candidates] or [np.empty(0, dtype=np.intp)]
+            )
+            est = np.concatenate([c[1][q] for c in candidates] or [np.empty(0)])
             # ties across shards resolve by global position — the same
             # order a stable sort over the full concatenated row gives;
             # ordering is decided on the raw estimates, the *reported*
@@ -491,7 +575,7 @@ class DistanceService:
                     for i in order
                 ]
             )
-        return results, _shard_stats(views, [c is not None for c in per_shard])
+        return results, _shard_stats(views, scanned, routed)
 
     def _execute_radius(self, query: RadiusQuery) -> tuple[list, QueryStats]:
         store = self.store  # bound once: a swap mid-query is invisible
@@ -506,9 +590,31 @@ class DistanceService:
         query_norms = np.sqrt(sq_rows)
         correction = self._correction(store)
         gamma = self._scan_gamma(store)
+        routing = self._routing_for(store, views, query.routing)
+        nprobe = None if query.routing is None else query.routing.nprobe
+        routed = [False] * len(views)
+        if nprobe is not None:
+            probe = set(routing.probe_shards(rows, sq_rows, nprobe).tolist())
+            scan_items = [(i, views[i]) for i in sorted(probe)]
+            for i in range(len(views)):
+                routed[i] = i not in probe
+            route_bounds = None
+        else:
+            scan_items = list(enumerate(views))
+            route_bounds = (
+                routing.lower_bounds(rows, sq_rows, query_norms, correction, gamma)
+                if routing is not None
+                else None
+            )
         prefilter = self.policy.prefilter
 
-        def scan(view: ShardView):
+        def scan(item):
+            i, view = item
+            # against a fixed radius the centroid-ball bound is usable
+            # immediately — no running best to warm up first
+            if route_bounds is not None and route_bounds[0, i] > radius_sq:
+                routed[i] = True
+                return None
             if prefilter:
                 bound = _shard_lower_bounds(
                     view, sq_rows, query_norms, correction, gamma
@@ -526,8 +632,11 @@ class DistanceService:
             hits = np.flatnonzero(block <= radius_sq)
             return hits + view.start, block[hits]
 
-        per_shard = self._run_ordered(scan, views)
-        stats = _shard_stats(views, [r is not None for r in per_shard])
+        per_shard = self._run_ordered(scan, scan_items)
+        scanned = [False] * len(views)
+        for (i, _), result in zip(scan_items, per_shard):
+            scanned[i] = result is not None
+        stats = _shard_stats(views, scanned, routed)
         hits = [r for r in per_shard if r is not None]
         if not hits:
             return [], stats

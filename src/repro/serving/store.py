@@ -82,15 +82,26 @@ import numpy as np
 
 from repro.core import estimators
 from repro.core.sketch import PrivateSketch, SketchBatch
+from repro.serving.routing import (
+    DEFAULT_TRAIN_SAMPLE,
+    ShardRouting,
+    assign_rows,
+    build_shard_routing,
+    default_cluster_count,
+    kmeans_centroids,
+)
 from repro.serving.serialization import (
     DEFAULT_BLOCK_ROWS,
+    ROUTING_BLOB_NAME,
     BatchInfo,
     SerializationError,
     iter_batch_rows,
     map_values,
     read_batch_info,
     read_batch_raw,
+    read_routing_blob,
     write_batch,
+    write_routing_blob,
 )
 from repro.serving.storage import INT8_CODE_MAX, StorageSpec
 
@@ -98,7 +109,10 @@ from repro.serving.storage import INT8_CODE_MAX, StorageSpec
 DEFAULT_SHARD_CAPACITY = 65536
 
 _MANIFEST_NAME = "manifest.json"
-_MANIFEST_VERSION = 1
+#: Version 2 adds the optional ``routing`` entry (centroid shard
+#: routing); version-1 manifests — every pre-routing store — still load.
+_MANIFEST_VERSION = 2
+_SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 _SHARD_PATTERN = "shard-{:05d}.skb"
 
 
@@ -507,6 +521,9 @@ class ShardedSketchStore:
         #: Bumped every time maintenance rewrites the shard layout;
         #: persisted in the manifest so servers can watch for swaps.
         self.generation: int = 0
+        #: Centroid routing table for the *current* shard layout, or
+        #: ``None``; appends and deletes invalidate it (see `routing`).
+        self._routing: ShardRouting | None = None
 
     # -- introspection -------------------------------------------------------
 
@@ -529,6 +546,27 @@ class ShardedSketchStore:
     def metadata(self) -> SketchBatch | None:
         """A zero-row batch carrying the store's shared metadata."""
         return self._template
+
+    @property
+    def routing(self) -> ShardRouting | None:
+        """The centroid routing table, iff it matches the current layout.
+
+        Returns ``None`` whenever routing is absent *or stale*: an
+        append or delete since the last clustered
+        :meth:`compact`/:func:`~repro.serving.maintenance.compact_store`
+        invalidates the table (the per-shard balls no longer cover the
+        rows), and this property is the one place that staleness rule
+        is enforced — callers can never observe a table that does not
+        describe exactly the shards they would scan.  Rebuild with
+        ``compact(routing=True)`` or the maintenance layer's
+        ``rebuild_routing``.
+        """
+        routing = self._routing
+        if routing is None or self._tombstones:
+            return None
+        if not routing.matches(self.shard_sizes()):
+            return None
+        return routing
 
     @property
     def nbytes(self) -> int:
@@ -558,6 +596,15 @@ class ShardedSketchStore:
             "nbytes": self.nbytes,
             "config_digest": (
                 None if self._template is None else self._template.config_digest
+            ),
+            "routing": (
+                None
+                if self.routing is None
+                else {
+                    "shards": self.routing.n_shards,
+                    "n_clusters": self.routing.n_clusters,
+                    "generation": self.routing.generation,
+                }
             ),
         }
 
@@ -596,6 +643,12 @@ class ShardedSketchStore:
             self._template = _as_template(release)
         else:
             estimators.check_compatible(self._template, release)
+        # appended rows are not covered by any existing centroid ball:
+        # drop the table *before* the rows land, so a concurrent reader
+        # can never pair fresh rows with stale routing geometry (the
+        # snapshot-sizes check in the service is the second line of
+        # defence)
+        self._routing = None
         self._labels.extend(labels)
         self._fill(rows)
 
@@ -750,11 +803,23 @@ class ShardedSketchStore:
         rows = {i for positions in matches.values() for i in positions}
         added = rows - self._tombstones
         self._tombstones |= added
+        if added:
+            # tombstoned shards still satisfy the centroid bounds (they
+            # only shrink the live set), but the routing contract is
+            # "fresh layout or nothing": mark the table stale so the
+            # next compaction rebuilds it over the survivors
+            self._routing = None
         return len(added)
 
     # -- maintenance ---------------------------------------------------------
 
-    def compact(self, storage: StorageSpec | str | None = None) -> "ShardedSketchStore":
+    def compact(
+        self,
+        storage: StorageSpec | str | None = None,
+        *,
+        routing: bool | int | None = None,
+        routing_seed: int = 0,
+    ) -> "ShardedSketchStore":
         """Rewrite the shards so every shard except the last is full.
 
         Partial shards accumulate when batches straddle shard
@@ -781,35 +846,85 @@ class ShardedSketchStore:
         RAM is fine.  For a disk-to-disk rewrite that never loads the
         store at all, use
         :func:`repro.serving.maintenance.compact_store`.
+
+        ``routing`` builds a centroid routing table along the way
+        (:mod:`repro.serving.routing`): ``True`` clusters the rows into
+        :func:`~repro.serving.routing.default_cluster_count` k-means
+        clusters (one per would-be-full shard), an integer picks the
+        cluster count explicitly.  Rows are rewritten
+        cluster-by-cluster with a sealed shard boundary between
+        clusters, so every shard holds rows of exactly one cluster and
+        gets a tight ``(centroid, radius)`` ball; labels travel with
+        their rows (the clustered order is a permutation of the
+        original).  Clustered rewrites make one streaming pass per
+        cluster, still O(block) memory.  ``routing_seed`` makes the
+        clustering reproducible.  The default ``None`` keeps the
+        historical order-preserving rewrite (and drops any existing
+        routing table — the layout changed).
         """
         if storage is not None:
             self.storage = StorageSpec.parse(storage)
         views = self.snapshot()
         old_labels = self._labels
+        clusters = self._cluster_count(routing, views)
         self._shards = []
         self._labels = []
         self._tombstones = set()
+        self._routing = None
         self.generation += 1
-        for view in views:
-            labels = old_labels[view.start : view.start + view.size]
-            if view.dead is not None:
-                keep = np.delete(np.arange(view.size), view.dead)
-                labels = [labels[i] for i in keep]
-            self._labels.extend(labels)
-            offset = 0
-            for block in view.iter_codes():
-                n = block.shape[0]
-                if view.dead is not None:
-                    block = _drop_dead(block, offset, view.dead)
-                offset += n
-                if block.shape[0]:
-                    self._fill(
-                        np.asarray(
-                            view.storage.decode(block, view.scale),
-                            dtype=np.float64,
-                        )
+        if clusters is None:
+            for block, labels in _iter_live_decoded(views, old_labels):
+                self._labels.extend(labels)
+                self._fill(block)
+            return self
+        centroids = kmeans_centroids(
+            _sample_live(views), clusters, seed=routing_seed
+        )
+        # one streaming pass per cluster: assignment is recomputed per
+        # block (deterministic, so every pass agrees) instead of being
+        # materialised, keeping peak memory at O(block) even here
+        for j in range(centroids.shape[0]):
+            filled_before = len(self._labels)
+            for block, labels in _iter_live_decoded(views, old_labels):
+                member = assign_rows(block, centroids) == j
+                if member.any():
+                    self._labels.extend(
+                        [labels[i] for i in np.flatnonzero(member)]
                     )
+                    self._fill(block[member])
+            if len(self._labels) > filled_before:
+                self._seal_tail()  # shard boundaries align with clusters
+        self._routing = build_shard_routing(
+            [shard.values for shard in self._shards],
+            generation=self.generation,
+            n_clusters=int(centroids.shape[0]),
+            seed=routing_seed,
+        )
         return self
+
+    def _cluster_count(self, routing, views) -> int | None:
+        """Resolve the ``routing`` argument of :meth:`compact`."""
+        if routing is None or routing is False:
+            return None
+        live = sum(view.live_size for view in views)
+        if live == 0:
+            raise ValueError("cannot build routing over an empty store")
+        if routing is True:
+            return default_cluster_count(live, self.shard_capacity)
+        clusters = int(routing)
+        if clusters < 1:
+            raise ValueError(f"routing cluster count must be >= 1, got {clusters}")
+        return clusters
+
+    def _seal_tail(self) -> None:
+        """Seal the tail shard so the next fill opens a fresh one.
+
+        The cluster-boundary primitive of clustered compaction: capping
+        the shard's capacity at its size makes :meth:`_Shard.admit`
+        return zero forever, exactly like a full shard.
+        """
+        if self._shards and self._shards[-1].size:
+            self._shards[-1].capacity = self._shards[-1].size
 
     @classmethod
     def merge(
@@ -955,6 +1070,20 @@ class ShardedSketchStore:
             }
             if self._tombstones:
                 manifest["tombstones"] = sorted(self._tombstones)
+            routing = self.routing  # the property: fresh-layout or None
+            if routing is not None:
+                digest = write_routing_blob(
+                    staging / ROUTING_BLOB_NAME,
+                    routing.to_payload(),
+                    routing.centroids,
+                    routing.radii,
+                )
+                manifest["routing"] = {
+                    "file": ROUTING_BLOB_NAME,
+                    "sha256": digest,
+                    "n_clusters": routing.n_clusters,
+                    "generation": routing.generation,
+                }
             (staging / _MANIFEST_NAME).write_text(
                 json.dumps(manifest, indent=2, sort_keys=True)
             )
@@ -1031,6 +1160,20 @@ class ShardedSketchStore:
                 f"{store.metadata.config_digest}, manifest pins "
                 f"{manifest['config_digest']} — directory contents were swapped"
             )
+        routing_entry = manifest.get("routing")
+        if routing_entry is not None:
+            payload, centroids, radii = read_routing_blob(
+                shard_dir / routing_entry.get("file", ROUTING_BLOB_NAME),
+                routing_entry.get("sha256"),
+            )
+            routing = ShardRouting.from_payload(payload, centroids, radii)
+            if not routing.matches(store.shard_sizes()):
+                raise SerializationError(
+                    f"routing blob at {root} describes shard sizes "
+                    f"{routing.shard_sizes}, the store has "
+                    f"{tuple(store.shard_sizes())} — the table is stale"
+                )
+            store._routing = routing
         return store
 
     def _pin_stored_shard(self, info: BatchInfo) -> None:
@@ -1096,7 +1239,7 @@ def read_manifest(path: str | os.PathLike) -> dict:
         raise SerializationError(
             f"manifest at {manifest_path} is not valid JSON: {exc}"
         ) from exc
-    if manifest.get("manifest_version") != _MANIFEST_VERSION:
+    if manifest.get("manifest_version") not in _SUPPORTED_MANIFEST_VERSIONS:
         raise SerializationError(
             f"unsupported manifest version {manifest.get('manifest_version')!r}"
         )
@@ -1116,6 +1259,63 @@ def _drop_dead(block: np.ndarray, offset: int, dead: np.ndarray) -> np.ndarray:
         dead[np.minimum(hit, dead.size - 1)] == local
     )
     return block[~dead_here]
+
+
+def _iter_live_decoded(views: list[ShardView], labels: list):
+    """Live rows of ``views`` as ``(float64 block, labels)`` pairs.
+
+    The shared streaming front end of :meth:`ShardedSketchStore.compact`:
+    blocks arrive decoded to float64 with tombstoned rows dropped and
+    each surviving row's label alongside, bounded by the block size —
+    nothing store-sized is ever materialised.
+    """
+    for view in views:
+        view_labels = labels[view.start : view.start + view.size]
+        offset = 0
+        for block in view.iter_codes():
+            n = block.shape[0]
+            block_labels = view_labels[offset:offset + n]
+            if view.dead is not None:
+                keep = _block_live(offset, n, view.dead)
+                block = block[keep]
+                block_labels = [block_labels[i] for i in keep]
+            offset += n
+            if block.shape[0]:
+                yield (
+                    np.asarray(
+                        view.storage.decode(block, view.scale), dtype=np.float64
+                    ),
+                    block_labels,
+                )
+
+
+def _block_live(offset: int, n: int, dead: np.ndarray) -> np.ndarray:
+    """Local indices (within ``[offset, offset+n)``) of untombstoned rows."""
+    local = np.arange(offset, offset + n)
+    hit = np.searchsorted(dead, local)
+    dead_here = (hit < dead.size) & (dead[np.minimum(hit, dead.size - 1)] == local)
+    return np.flatnonzero(~dead_here)
+
+
+def _sample_live(
+    views: list[ShardView], target: int = DEFAULT_TRAIN_SAMPLE
+) -> np.ndarray:
+    """A deterministic stride sample of the live rows, for k-means.
+
+    Every ``step``-th live row (step chosen so roughly ``target`` rows
+    come back) — spread across the whole store, no randomness, so
+    repeated compactions of the same store train on the same sample.
+    """
+    total = sum(view.live_size for view in views)
+    step = max(1, total // max(target, 1))
+    sample, seen = [], 0
+    for block, _ in _iter_live_decoded(views, [None] * sum(v.size for v in views)):
+        idx = np.arange(seen, seen + block.shape[0])
+        take = block[idx % step == 0]
+        if take.shape[0]:
+            sample.append(take)
+        seen += block.shape[0]
+    return np.concatenate(sample)
 
 
 def _is_positional(labels: tuple, start: int) -> bool:

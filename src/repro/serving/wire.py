@@ -52,6 +52,7 @@ from repro.serving.queries import (
     QueryResult,
     QueryStats,
     RadiusQuery,
+    RoutingSpec,
     TopKQuery,
 )
 from repro.serving.serialization import (
@@ -203,12 +204,20 @@ def _query_body(query) -> dict:
             f"got {type(query).__name__}"
         )
     if isinstance(query, TopKQuery):
-        return {"k": query.k, "release": _encode_release(query.queries)}
+        body = {"k": query.k, "release": _encode_release(query.queries)}
+        if query.routing is not None:
+            # omitted when None so pre-routing peers parse the envelope
+            # unchanged; WIRE_VERSION stays 1
+            body["routing"] = {"nprobe": query.routing.nprobe}
+        return body
     if isinstance(query, RadiusQuery):
-        return {
+        body = {
             "radius_sq": _encode_float(query.radius_sq),  # inf is a legal radius
             "release": _encode_release(query.query),
         }
+        if query.routing is not None:
+            body["routing"] = {"nprobe": query.routing.nprobe}
+        return body
     if isinstance(query, CrossQuery):
         return {"release": _encode_release(query.queries)}
     if isinstance(query, PairwiseQuery):
@@ -251,6 +260,16 @@ def decode_queries(blob: bytes) -> list:
     return [_parse_query(_check_envelope(env, "query")) for env in envelopes]
 
 
+def _decode_routing(spec) -> RoutingSpec | None:
+    if spec is None:
+        return None
+    if not isinstance(spec, dict):
+        raise WireError(f"malformed routing spec {spec!r}: expected an object")
+    # RoutingSpec validates nprobe itself; a bad value raises ValueError
+    # from the constructor, the same failure a local caller would see
+    return RoutingSpec(nprobe=spec.get("nprobe"))
+
+
 def _parse_query(envelope: dict):
     kind = envelope.get("query")
     cls = _QUERY_BY_KIND.get(kind)
@@ -262,12 +281,15 @@ def _parse_query(envelope: dict):
     try:
         if cls is TopKQuery:
             return TopKQuery(
-                queries=_decode_release(envelope["release"]), k=envelope["k"]
+                queries=_decode_release(envelope["release"]),
+                k=envelope["k"],
+                routing=_decode_routing(envelope.get("routing")),
             )
         if cls is RadiusQuery:
             return RadiusQuery(
                 query=_decode_release(envelope["release"]),
                 radius_sq=_decode_float(envelope["radius_sq"]),
+                routing=_decode_routing(envelope.get("routing")),
             )
         if cls is CrossQuery:
             return CrossQuery(queries=_decode_release(envelope["release"]))

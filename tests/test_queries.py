@@ -394,10 +394,13 @@ class TestExecutionPolicyEnv:
     """Satellite: env parsing fails loudly, and the repr reads well."""
 
     def test_repr(self):
-        assert repr(ExecutionPolicy()) == "ExecutionPolicy(serial, prefilter=on)"
+        assert (
+            repr(ExecutionPolicy())
+            == "ExecutionPolicy(serial, prefilter=on, routing=on)"
+        )
         assert (
             repr(ExecutionPolicy(workers=4, prefilter=False))
-            == "ExecutionPolicy(workers=4, prefilter=off)"
+            == "ExecutionPolicy(workers=4, prefilter=off, routing=on)"
         )
 
     def test_garbage_worker_count_names_variable_and_value(self, monkeypatch):

@@ -123,6 +123,82 @@ class TestDeltaRendering:
         assert "%" not in out
 
 
+class TestSingleSnapshotRendering:
+    """The only snapshot being this run's own must not self-compare.
+
+    CI snapshots the current records, then renders with ``--history`` —
+    on the very first run the sole snapshot is the run's own numbers,
+    and the old behaviour rendered every delta as a meaningless ``(=)``
+    against itself (or, metrics-missing cases, silent blanks).
+    """
+
+    def test_own_snapshot_is_skipped_and_said_out_loud(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # stamp the snapshot with the records' own commit
+        monkeypatch.setenv("GITHUB_SHA", "c" * 40)
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        history = tmp_path / "bench-history"
+        record = _record(tmp_path, rate=200.0)
+        assert (
+            trajectory.main(["snapshot", "--history", str(history), str(record)]) == 0
+        )
+        capsys.readouterr()
+        assert trajectory.main(["--history", str(history), str(record)]) == 0
+        out = capsys.readouterr().out
+        assert "no prior snapshot" in out
+        assert "%" not in out and "(=)" not in out  # no self-comparison
+        assert "200" in out  # absolute values still rendered
+
+    def test_falls_back_to_older_snapshot_past_own(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        history = tmp_path / "bench-history"
+        monkeypatch.setenv("GITHUB_SHA", "b" * 40)  # an earlier commit
+        trajectory.write_snapshot(history, [str(_record(tmp_path, rate=100.0))])
+        monkeypatch.setenv("GITHUB_SHA", "c" * 40)  # this run's commit
+        record = _record(tmp_path, rate=150.0)
+        trajectory.write_snapshot(history, [str(record)])
+        assert trajectory.main(["--history", str(history), str(record)]) == 0
+        out = capsys.readouterr().out
+        assert "vs 0001-bbbbbbbbbbbb" in out  # own 0002 snapshot skipped
+        assert "(+50.0%)" in out
+
+    def test_empty_history_says_no_prior_snapshot(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        history = tmp_path / "bench-history"
+        history.mkdir()
+        assert (
+            trajectory.main(["--history", str(history), str(_record(tmp_path))]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "no prior snapshot" in out
+
+    def test_zero_baseline_renders_explicit_note(self, tmp_path):
+        previous = {
+            "load": {"benchmark": "load", "rates": {"pooled_q_per_s": 0.0}}
+        }
+        lines = trajectory.render(
+            trajectory.load_records([str(_record(tmp_path, rate=50.0))]),
+            previous,
+            "0001-aaaaaaaaaaaa",
+        )
+        assert any("(was 0)" in line for line in lines)
+
+    def test_metric_new_since_snapshot_is_marked(self, tmp_path):
+        previous = {
+            "load": {"benchmark": "load", "rates": {"pooled_q_per_s": 100.0}}
+        }
+        lines = trajectory.render(
+            trajectory.load_records([str(_record(tmp_path, rate=110.0))]),
+            previous,
+            "0001-aaaaaaaaaaaa",
+        )
+        text = "\n".join(lines)
+        assert "(+10.0%)" in text  # the shared metric still deltas
+        assert "timing.topk_p50_s" in text
+        assert "(new)" in text  # the snapshot had no timings section
+
+
 class TestFindAlarms:
     """Sustained-slowdown detection over the committed snapshot chain."""
 
